@@ -1,0 +1,52 @@
+"""Appendix B.1 — the DBpedia politician/scientist/physicist case study.
+
+Paper: on occupation-labeled DBpedia, the triangle query (a politician
+connected to a scientist and a physicist who also know each other) returns
+40 diversified historical triangles (Nixon/Paine/Blagonravov, ...).
+
+Here: the same query on the occupation-flavoured stand-in; the reproduced
+claims are that DSQL fills its k slots with near-disjoint triangles and
+beats the first-k baseline's coverage.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from common import emit
+from repro.baselines.firstk import first_k_baseline
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.examples import dbpedia_flavor
+
+K = 40
+
+
+def run_case_study():
+    graph, query = dbpedia_flavor(num_people=4000, seed=11)
+    dsql = DSQL(graph, config=DSQLConfig(k=K, node_budget=500_000)).query(query)
+    firstk = first_k_baseline(graph, query, K, node_budget=500_000)
+    return graph, query, dsql, firstk
+
+
+def test_appb1_dbpedia_case_study(benchmark):
+    graph, query, dsql, firstk = benchmark.pedantic(
+        run_case_study, rounds=1, iterations=1
+    )
+    reuse = Counter(v for emb in dsql.embeddings for v in emb)
+    max_reuse = max(reuse.values()) if reuse else 0
+    lines = [
+        f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}",
+        f"DSQL   : coverage {dsql.coverage} over {len(dsql)} triangles",
+        f"first-k: coverage {firstk.coverage} over {len(firstk.embeddings)} triangles",
+        f"max person reuse in DSQL answer: {max_reuse}",
+        "sample triangles: "
+        + "; ".join(
+            "-".join(f"{graph.label(v)}#{v}" for v in emb)
+            for emb in dsql.embeddings[:3]
+        ),
+    ]
+    emit("appb1_dbpedia_case_study", "\n".join(lines))
+    assert dsql.coverage >= firstk.coverage
+    # Diversity shape: no person appears in more than a few of the k answers.
+    assert max_reuse <= 3

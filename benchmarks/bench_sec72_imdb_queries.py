@@ -1,0 +1,43 @@
+"""Section 7.2 — the IMDB case-study query (DSQL 150 vs COM 97).
+
+Paper: on real IMDB, the team-style query (people co-appearing in series)
+gives DSQL coverage 150 vs COM's 97 at k = 40 — DSQL retrieves casts COM
+misses ("Prison Break").
+
+Here: the same query shape on the affiliation-flavoured stand-in; the claim
+reproduced is the *direction and rough magnitude* of the gap.
+"""
+
+from __future__ import annotations
+
+from common import emit
+from repro.baselines.com import com_search
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.examples import imdb_flavor
+
+K = 40
+
+
+def run_case_study():
+    graph, query = imdb_flavor(num_people=4000, num_series=700, seed=7)
+    dsql = DSQL(graph, config=DSQLConfig(k=K, node_budget=500_000)).query(query)
+    com = com_search(graph, query, K, node_budget=500_000)
+    return graph, query, dsql, com
+
+
+def test_sec72_imdb_case_study(benchmark):
+    graph, query, dsql, com = benchmark.pedantic(run_case_study, rounds=1, iterations=1)
+    lines = [
+        f"graph: |V|={graph.num_vertices} |E|={graph.num_edges}",
+        f"query: {query.size} nodes / {query.num_edges} edges",
+        f"DSQL coverage: {dsql.coverage} ({len(dsql)} embeddings)",
+        f"COM  coverage: {com.coverage} ({len(com.embeddings)} embeddings)",
+        f"gap: {dsql.coverage / max(1, com.coverage):.2f}x (paper: 150/97 = 1.55x)",
+    ]
+    emit("sec72_imdb_case_study", "\n".join(lines))
+    # Shape: DSQL's coverage >= COM's on the case-study query.
+    assert dsql.coverage >= com.coverage
+    # And the diversified teams reuse far fewer people than first-k style
+    # answers would: each embedding brings mostly fresh vertices.
+    assert dsql.coverage >= 0.6 * sum(len(set(e)) for e in dsql.embeddings)

@@ -1,0 +1,43 @@
+"""Table 1 — statistics of the dataset stand-ins.
+
+Regenerates the dataset-statistics table at bench scale and records the
+published full-scale numbers alongside, so the scaling substitution is
+visible in one place.
+"""
+
+from __future__ import annotations
+
+from common import bench_graph, emit
+from repro.datasets.registry import dataset_names, get_profile
+from repro.experiments.report import render_table
+from repro.graph.statistics import compute_statistics
+
+
+def build_table() -> str:
+    rows = []
+    for name in dataset_names():
+        profile = get_profile(name)
+        stats = compute_statistics(bench_graph(name))
+        rows.append(
+            [
+                name,
+                f"{profile.num_vertices}/{stats.num_vertices}",
+                f"{profile.num_edges}/{stats.num_edges}",
+                f"{profile.num_labels}/{stats.num_labels}",
+                f"{profile.avg_degree:.2f}/{stats.average_degree:.2f}",
+            ]
+        )
+    return render_table(
+        ["dataset", "|V| paper/bench", "|E| paper/bench", "|Sigma| p/b", "avg deg p/b"],
+        rows,
+    )
+
+
+def test_table1_statistics(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    emit("table1_datasets", table)
+    # Shape assertions: every stand-in keeps its profile's density.
+    for name in dataset_names():
+        stats = compute_statistics(bench_graph(name))
+        profile = get_profile(name)
+        assert abs(stats.average_degree - profile.avg_degree) / profile.avg_degree < 0.35

@@ -1,0 +1,80 @@
+"""Table 4 — enumerate-all + k-coverage strategies vs DSQL (DBLP).
+
+Paper (Appendix B.2): with all embeddings pre-generated (time ``t``),
+SWAP1/SWAP2/SWAP_A/SWAPα reach coverage ~112-123, Greedy ~118-127 at
+higher selection cost, while DSQL reaches 127.4 in ~10ms without any
+pre-generation. The qualitative claims: (a) generation dominates the
+pipeline cost, (b) Greedy >= swaps in coverage, (c) DSQL matches the best
+pipelines at a fraction of the total time.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from common import bench_graph, bench_queries, dsql_config, emit, queries_per_point
+from repro.baselines.enumerate_then_cover import STRATEGIES, generate_all, select_top_k
+from repro.core.dsql import DSQL
+from repro.coverage.core import coverage as coverage_of
+from repro.experiments.report import render_table
+from repro.experiments.workloads import DEFAULT_K, DEFAULT_QUERY_EDGES
+
+GENERATION_BUDGET = 60_000
+
+
+def build_rows():
+    graph = bench_graph("dblp")
+    queries = bench_queries("dblp", DEFAULT_QUERY_EDGES, queries_per_point(5))
+
+    per_strategy = {s: {"cov": [], "ms": []} for s in STRATEGIES}
+    gen_times, dsql_cov, dsql_ms = [], [], []
+
+    solver = DSQL(graph, config=dsql_config(DEFAULT_K))
+    for query in queries:
+        start = time.perf_counter()
+        embeddings = generate_all(graph, query, node_budget=GENERATION_BUDGET)
+        gen_times.append(time.perf_counter() - start)
+        for strategy in STRATEGIES:
+            start = time.perf_counter()
+            members = select_top_k(embeddings, DEFAULT_K, strategy)
+            per_strategy[strategy]["ms"].append((time.perf_counter() - start) * 1000)
+            per_strategy[strategy]["cov"].append(coverage_of(members))
+        start = time.perf_counter()
+        result = solver.query(query)
+        dsql_ms.append((time.perf_counter() - start) * 1000)
+        dsql_cov.append(result.coverage)
+
+    t = statistics.fmean(gen_times) * 1000
+    rows = []
+    for strategy in STRATEGIES:
+        rows.append(
+            [
+                strategy,
+                f"{statistics.fmean(per_strategy[strategy]['ms']):.2f}+t",
+                f"{statistics.fmean(per_strategy[strategy]['cov']):.1f}",
+            ]
+        )
+    rows.append(["DSQL", f"{statistics.fmean(dsql_ms):.2f}", f"{statistics.fmean(dsql_cov):.1f}"])
+    return rows, t
+
+
+def test_table4_swap_strategies(benchmark):
+    rows, t = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    table = render_table(["strategy", "time (ms)", "coverage"], rows)
+    emit("table4_swap_strategies", table + f"\n(t = generation = {t:.1f} ms/query)")
+
+    cov = {row[0]: float(row[2]) for row in rows}
+    ms = {row[0]: float(str(row[1]).replace("+t", "")) for row in rows}
+    # Shape (a): generation dominates the indexed selection stages (the
+    # paper's SWAP implementations are PNP-indexed; ours indexes SWAPalpha
+    # and SWAP2 — SWAP0/SWAP1/SWAP_A stay deliberately naive baselines).
+    assert t > ms["SWAPalpha"] * 0.5
+    # Shape (b): Greedy's coverage is at least each single-pass swap's - slack.
+    for s in ("SWAP1", "SWAP2", "SWAP_A", "SWAPalpha"):
+        assert cov["Greedy"] >= cov[s] - 2.0, s
+    # Shape (c): DSQL is within a small factor of the best pipeline coverage
+    # while skipping generation entirely.
+    best = max(cov[s] for s in STRATEGIES)
+    assert cov["DSQL"] >= 0.7 * best
+    assert ms["DSQL"] < t + max(ms.values())

@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+The suite is runnable two ways:
+
+* ``pytest benchmarks/ --benchmark-only`` — timed runs via pytest-benchmark;
+* ``pytest benchmarks/`` — the same experiments as plain tests (each bench
+  function asserts the paper's qualitative *shape*, e.g. "DSQL covers at
+  least as much as COM").
+
+Reports land in ``benchmarks/out/`` either way.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow `import common` from bench modules regardless of invocation cwd.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,44 @@
+"""Section 7.2 flavour: diversified casting teams in a movie/person graph.
+
+Recreates the paper's IMDB case study on a synthetic affiliation graph: find
+an actor, an actress and a director who all appear together in the *same
+two* highly-rated drama series (the pattern behind the paper's Prison
+Break / Lost result). Compares DSQL's coverage against the COM interleaving
+baseline — the paper reports 150 vs 97 on real IMDB; the same gap direction
+appears here.
+
+Run: ``python examples/movie_collaboration.py``
+"""
+
+from __future__ import annotations
+
+from repro import diversified_search
+from repro.baselines import com_search
+from repro.datasets import imdb_flavor
+
+
+def main() -> None:
+    graph, query = imdb_flavor(num_people=4000, num_series=700, seed=7)
+    print(f"graph: {graph.num_vertices} vertices ({graph.name}), "
+          f"{graph.num_edges} appearance edges")
+    print(f"query: {query.size} nodes / {query.num_edges} edges "
+          f"({', '.join(str(query.label(u)) for u in range(query.size))})\n")
+
+    k = 40
+    dsql = diversified_search(graph, query, k=k)
+    com = com_search(graph, query, k)
+    print(f"DSQL: {dsql.summary()}")
+    print(f"COM : {len(com.embeddings)} embeddings, coverage {com.coverage}\n")
+
+    print("three DSQL casting teams:")
+    for team in dsql.embeddings[:3]:
+        parts = [f"{graph.label(v)}#{v}" for v in team]
+        print("  " + "  ".join(parts))
+
+    gap = dsql.coverage / com.coverage if com.coverage else float("inf")
+    print(f"\ncoverage gap DSQL/COM: {gap:.2f}x "
+          "(the paper reports 150/97 = 1.55x on real IMDB)")
+
+
+if __name__ == "__main__":
+    main()

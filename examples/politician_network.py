@@ -1,0 +1,45 @@
+"""Appendix B.1 flavour: politicians connected to scientists and physicists.
+
+Runs the paper's DBpedia case-study query — a politician linked to a
+scientist and a physicist who are also linked to each other — on an
+occupation-labeled synthetic person graph, and shows how the diversified
+answer spreads across the graph instead of re-using the same hub people.
+
+Run: ``python examples/politician_network.py``
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import diversified_search
+from repro.baselines import first_k_baseline
+from repro.datasets import dbpedia_flavor
+
+
+def main() -> None:
+    graph, query = dbpedia_flavor(num_people=4000, seed=11)
+    print(f"graph: {graph.num_vertices} people, {graph.num_edges} links")
+    print("query: Politician - Scientist - Physicist triangle\n")
+
+    k = 40
+    dsql = diversified_search(graph, query, k=k)
+    firstk = first_k_baseline(graph, query, k=k)
+
+    print(f"DSQL   : {dsql.summary()}")
+    print(f"first-k: {len(firstk.embeddings)} embeddings, coverage {firstk.coverage}\n")
+
+    # How often is each person reused across the answers?
+    def reuse(embeddings) -> float:
+        counts = Counter(v for emb in embeddings for v in emb)
+        return max(counts.values()) if counts else 0
+
+    print(f"max person reuse — DSQL: {reuse(dsql.embeddings)}, "
+          f"first-k: {reuse(firstk.embeddings)}")
+    print("\nfive diversified triangles:")
+    for emb in dsql.embeddings[:5]:
+        print("  " + "  ".join(f"{graph.label(v)}#{v}" for v in emb))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — Diversified Top-k Subgraph Querying in a Large Graph.
+
+A production-quality reproduction of Yang, Fu & Liu (SIGMOD 2016): the DSQL
+two-phase, level-wise algorithm for diversified top-k subgraph querying,
+together with every substrate the paper's evaluation depends on — a labeled
+graph store, a subgraph-isomorphism engine, the maximum k-coverage
+algorithm family (Greedy, SWAP0/1/2/A/α), baselines (first-k, COM,
+random-start), synthetic stand-ins for the paper's nine datasets, and an
+experiment harness regenerating every table and figure.
+
+Quick start::
+
+    from repro import diversified_search
+    from repro.datasets import figure1
+
+    graph, query = figure1()
+    result = diversified_search(graph, query, k=2)
+    print(result.summary())
+"""
+
+from repro.core.config import DSQLConfig, variant_config
+from repro.core.dsql import DSQL, diversified_search
+from repro.core.result import DSQResult
+from repro.exceptions import (
+    BudgetExceeded,
+    ConfigError,
+    DatasetError,
+    GraphError,
+    QueryError,
+    ReproError,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledGraph",
+    "QueryGraph",
+    "GraphBuilder",
+    "DSQL",
+    "DSQLConfig",
+    "DSQResult",
+    "diversified_search",
+    "variant_config",
+    "ReproError",
+    "GraphError",
+    "QueryError",
+    "ConfigError",
+    "DatasetError",
+    "BudgetExceeded",
+    "__version__",
+]

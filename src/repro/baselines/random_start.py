@@ -1,0 +1,128 @@
+"""The naive random-start adaptation of Algorithm 1 (Section 2.2).
+
+"A simple adaptation of this framework for DSQ is to consider all the
+candidate vertices for the first query node ... and to try to retrieve
+embeddings in a random manner from these starting points." One embedding is
+taken per (shuffled) root candidate, hoping dispersed roots imply dispersed
+embeddings. The paper observes — and our benchmarks confirm — that the
+remaining search paths converge onto common vertices, so coverage stays low.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.coverage.core import coverage as coverage_of
+from repro.exceptions import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+from repro.isomorphism.joinable import UNMATCHED
+from repro.isomorphism.match import Mapping
+from repro.queries.ordering import selectivity_order
+from repro.queries.qflist import NO_FATHER, resort
+
+
+@dataclass
+class RandomStartResult:
+    """Outcome of the random-start baseline."""
+
+    embeddings: List[Mapping]
+    coverage: int
+    k: int
+    q: int
+
+    def approx_ratio_lower_bound(self) -> float:
+        """``|C(A)| / (kq)``."""
+        return self.coverage / (self.k * self.q)
+
+
+def random_start_search(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    k: int,
+    seed: Optional[int] = 0,
+    node_budget: Optional[int] = 2_000_000,
+) -> RandomStartResult:
+    """Collect up to ``k`` embeddings, one per shuffled root candidate."""
+    candidates = CandidateIndex(graph, query)
+    out = RandomStartResult(embeddings=[], coverage=0, k=k, q=query.size)
+    if candidates.any_empty():
+        return out
+    qlist = selectivity_order(query, candidates)
+    qf = resort(query, qlist)
+    root = qf.entries[0].node
+
+    rng = random.Random(seed)
+    roots = list(candidates.candidates(root))
+    rng.shuffle(roots)
+
+    spent = 0
+    seen: Set[frozenset] = set()
+    for root_vertex in roots:
+        if len(out.embeddings) >= k:
+            break
+        assignment = [UNMATCHED] * query.size
+        used: Set[int] = {root_vertex}
+        assignment[root] = root_vertex
+        try:
+            found = _one_embedding(
+                graph, query, candidates, qf, assignment, used, 1, node_budget, [spent]
+            )
+        except BudgetExceeded:
+            break
+        if found is not None:
+            key = frozenset(found)
+            if key not in seen:
+                seen.add(key)
+                out.embeddings.append(found)
+    out.coverage = coverage_of(out.embeddings)
+    return out
+
+
+def _one_embedding(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    candidates: CandidateIndex,
+    qf,
+    assignment: List[int],
+    used: Set[int],
+    depth: int,
+    node_budget: Optional[int],
+    spent_box: List[int],
+) -> Optional[Mapping]:
+    """First embedding completing the current prefix (depth-first)."""
+    if depth == query.size:
+        return tuple(assignment)
+    entry = qf.entries[depth]
+    u, father = entry.node, entry.father
+    if father != NO_FATHER and assignment[father] != UNMATCHED:
+        pool = sorted(
+            w for w in graph.neighbors(assignment[father]) if candidates.is_candidate(u, w)
+        )
+    else:
+        pool = list(candidates.candidates(u))
+    for v in pool:
+        spent_box[0] += 1
+        if node_budget is not None and spent_box[0] > node_budget:
+            raise BudgetExceeded(f"random-start budget {node_budget} exhausted")
+        if v in used:
+            continue
+        neighbors_of_v = graph.neighbors(v)
+        if any(
+            assignment[u2] != UNMATCHED and assignment[u2] not in neighbors_of_v
+            for u2 in query.neighbors(u)
+        ):
+            continue
+        assignment[u] = v
+        used.add(v)
+        found = _one_embedding(
+            graph, query, candidates, qf, assignment, used, depth + 1, node_budget, spent_box
+        )
+        if found is not None:
+            return found
+        used.discard(v)
+        assignment[u] = UNMATCHED
+    return None

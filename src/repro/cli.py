@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro`` / ``repro-dsql``.
+
+Subcommands
+-----------
+``query``    — run DSQL (or a variant/baseline) on a dataset stand-in with a
+               random query workload and print the summary table.
+``datasets`` — list the registered dataset profiles and their statistics.
+``schedule`` — print the SWAPα multi-scan α/γ schedule (Section 6.1.2).
+
+Examples::
+
+    repro-dsql datasets
+    repro-dsql query --dataset dblp --k 40 --edges 5 --queries 20
+    repro-dsql query --dataset youtube --solver COM --queries 10
+    repro-dsql schedule --scans 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import VARIANTS, DSQLConfig, variant_config
+from repro.coverage.bounds import alpha_gamma_schedule
+from repro.datasets.registry import dataset_names, get_profile, make_dataset
+from repro.experiments.report import SUMMARY_HEADERS, render_table, summary_row
+from repro.experiments.runner import (
+    com_solver,
+    dsql_solver,
+    first_k_solver,
+    random_start_solver,
+    run_batch,
+)
+from repro.graph.statistics import compute_statistics
+from repro.queries.generator import query_set
+
+_BASELINES = {"COM", "FIRSTK", "RANDOM"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsql",
+        description="Diversified top-k subgraph querying (DSQL, SIGMOD 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    q = sub.add_parser("query", help="run a query workload on a dataset stand-in")
+    q.add_argument("--dataset", required=True, choices=dataset_names())
+    q.add_argument("--scale", type=float, default=None, help="dataset scale (default: bench scale)")
+    q.add_argument("--k", type=int, default=40)
+    q.add_argument("--edges", type=int, default=5, help="query size |E_Q|")
+    q.add_argument("--queries", type=int, default=20, help="batch size")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--solver",
+        default="DSQL",
+        choices=sorted(VARIANTS) + sorted(_BASELINES),
+        help="DSQL variant or baseline",
+    )
+    q.add_argument("--no-phase2", action="store_true", help="disable DSQL-P2")
+
+    sub.add_parser("datasets", help="list dataset profiles")
+
+    s = sub.add_parser("schedule", help="print the SWAP-alpha multi-scan schedule")
+    s.add_argument("--scans", type=int, default=8)
+
+    e = sub.add_parser("experiment", help="run one paper experiment")
+    e.add_argument(
+        "name",
+        choices=["table2", "table3", "table4", "fig6k", "fig9"],
+        help="experiment id (see DESIGN.md)",
+    )
+    e.add_argument("--dataset", default="dblp", choices=dataset_names())
+    e.add_argument("--scale", type=float, default=None)
+    e.add_argument("--k", type=int, default=40)
+    e.add_argument("--edges", type=int, default=5)
+    e.add_argument("--queries", type=int, default=10)
+    e.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    stats = compute_statistics(graph)
+    print(
+        f"{args.dataset}: |V|={stats.num_vertices} |E|={stats.num_edges} "
+        f"|Sigma|={stats.num_labels} avg_deg={stats.average_degree:.2f}"
+    )
+    queries = query_set(graph, args.edges, args.queries, seed=args.seed)
+
+    if args.solver in VARIANTS:
+        config = variant_config(args.solver, args.k, run_phase2=not args.no_phase2)
+        solver = dsql_solver(config)
+    elif args.solver == "COM":
+        solver = com_solver(args.k, seed=args.seed)
+    elif args.solver == "FIRSTK":
+        solver = first_k_solver(args.k)
+    else:
+        solver = random_start_solver(args.k, seed=args.seed)
+
+    summary = run_batch(graph, queries, solver, label=args.solver)
+    print(render_table(SUMMARY_HEADERS, [summary_row(summary)]))
+    return 0
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name in dataset_names():
+        p = get_profile(name)
+        rows.append(
+            [
+                name,
+                p.num_vertices,
+                p.num_edges,
+                p.num_labels,
+                f"{p.avg_degree:.2f}",
+                p.topology,
+                p.label_scheme,
+                f"{p.bench_scale:g}",
+            ]
+        )
+    print(
+        render_table(
+            ["dataset", "|V|", "|E|", "|Sigma|", "avg_deg", "topology", "labels", "bench_scale"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_schedule(scans: int) -> int:
+    rows = [
+        [t + 1, f"{alpha:.4f}", f"{gamma:.4f}"]
+        for t, (alpha, gamma) in enumerate(alpha_gamma_schedule(scans))
+    ]
+    print(render_table(["scan t", "alpha_t", "gamma_t (guarantee)"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import paper
+    from repro.experiments.report import render_series, render_summaries
+
+    graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    queries = query_set(graph, args.edges, args.queries, seed=args.seed)
+
+    if args.name == "table2":
+        row = paper.table2_counts(graph, queries, dataset=args.dataset)
+        print(
+            f"{args.dataset}: avg {row.average:.1f} embeddings, worst {row.worst}, "
+            f"{row.mean_seconds * 1000:.1f} ms/query "
+            f"({row.completed}/{row.total} completed)"
+        )
+    elif args.name == "table3":
+        firstk = paper.table3_firstk(graph, queries, args.k)
+        dsql = paper.run_dsql(graph, queries, DSQLConfig(k=args.k))
+        print(render_summaries([firstk, dsql], title=f"Table 3 on {args.dataset}"))
+    elif args.name == "table4":
+        result = paper.table4_strategies(graph, queries, args.k)
+        rows = [
+            [o.strategy, f"{o.mean_millis:.2f}" + ("+t" if o.includes_generation else ""),
+             f"{o.mean_coverage:.1f}"]
+            for o in result.outcomes
+        ]
+        print(render_table(["strategy", "ms", "coverage"], rows))
+        print(f"(t = {result.generation_millis:.1f} ms generation)")
+    elif args.name == "fig6k":
+        ks = [10, 20, 30, 40, 50]
+        series = paper.sweep_k(graph, queries, ks)
+        print(render_series("k", ks, series))
+    else:  # fig9
+        out = paper.ablation(graph, queries, args.k)
+        print(render_summaries(out.values(), title=f"Figure 9 ablation on {args.dataset}"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    return _cmd_schedule(args.scans)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

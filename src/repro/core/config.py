@@ -1,0 +1,184 @@
+"""DSQL configuration and the named variants of the paper's ablation study.
+
+The four Section-5 optimization strategies are independently toggleable so
+the Appendix B.4 ablation (Figure 9) can be reproduced:
+
+===========  =====================================================
+``DSQL0``    localized subgraph search only (Section 5.1)
+``DSQL1``    DSQL0 + single-embedding candidate capping (Section 5.2)
+``DSQL2``    DSQL0 + conflict-table node skipping (Section 5.3)
+``DSQL3``    DSQL2 + "bad"-vertex skipping (Section 5.4)
+``DSQL``     all strategies (the paper's default)
+``DSQLh``    all strategies with the relaxed bad-vertex rule (App. B.3)
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class DSQLConfig:
+    """All knobs of the DSQL solver.
+
+    Parameters
+    ----------
+    k:
+        Maximum number of embeddings to return (the "top-k").
+    localized_search:
+        Section 5.1 — restrict each node's candidates to the neighborhood of
+        its ``qfList`` father's matched vertex. Off = the plain Algorithm 3
+        search over full candidate buckets (much slower; kept for testing).
+    single_embedding_mode:
+        Section 5.2 — in single-embedding search, nodes with
+        ``neighborRm == 0`` try at most ``labelRm + 1`` joinable candidates.
+    conflict_skipping:
+        Section 5.3 — conflict-directed skipping of query nodes while
+        backtracking.
+    bad_vertex_skipping:
+        Section 5.4 — mark-and-skip data vertices that provably cannot lead
+        to an embedding under the current prefix.
+    relaxed_bad_vertices:
+        Appendix B.3 (``DSQLh``) — mark bad vertices without the
+        no-conflict precondition. More skipping, possibly lower coverage.
+    run_phase2:
+        Run DSQL-P2 (swapping) when Phase 1's result is not provably good
+        enough (Section 6.2's dispatch rules).
+    alpha:
+        The SWAPα parameter for Phase 2 (Inequality 2); the paper's analysis
+        uses ``alpha = 1`` for the first (and usually only) pass.
+    phase2_ratio_target:
+        Skip/stop Phase 2 once ``coverage / (k*q)`` reaches this value
+        (paper: 0.5, the asymptotic SWAPα bound).
+    exhaustive_level:
+        Re-run each Phase-1 level until it adds nothing, restoring strict
+        Lemma-1 maximality (see DESIGN.md). Slower; off by default as in the
+        paper.
+    node_budget:
+        Upper bound on candidate expansions across the whole query; ``None``
+        disables. A tripped budget yields a valid truncated result with
+        ``stats.budget_exhausted`` set.
+    validate_results:
+        Re-validate every returned embedding against the Section 2
+        definition (cheap; useful in production pipelines).
+    seed:
+        Seed for the random candidate retention of Section 5.2. Fixed by
+        default so runs are reproducible; set ``None`` for entropy.
+    """
+
+    k: int
+    localized_search: bool = True
+    single_embedding_mode: bool = True
+    conflict_skipping: bool = True
+    bad_vertex_skipping: bool = True
+    relaxed_bad_vertices: bool = False
+    run_phase2: bool = True
+    alpha: float = 1.0
+    phase2_ratio_target: float = 0.5
+    exhaustive_level: bool = False
+    node_budget: Optional[int] = 5_000_000
+    validate_results: bool = False
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.alpha < 0:
+            raise ConfigError(f"alpha must be >= 0, got {self.alpha}")
+        if not 0.0 < self.phase2_ratio_target <= 1.0:
+            raise ConfigError(
+                f"phase2_ratio_target must be in (0, 1], got {self.phase2_ratio_target}"
+            )
+        if self.node_budget is not None and self.node_budget < 1:
+            raise ConfigError(f"node_budget must be positive, got {self.node_budget}")
+        if self.relaxed_bad_vertices and not self.bad_vertex_skipping:
+            raise ConfigError(
+                "relaxed_bad_vertices (DSQLh) requires bad_vertex_skipping"
+            )
+
+    # ------------------------------------------------------------------
+    # Named variants (Appendix B.4)
+    # ------------------------------------------------------------------
+    @classmethod
+    def dsql0(cls, k: int, **overrides) -> "DSQLConfig":
+        """Localized search only."""
+        return cls(
+            k=k,
+            single_embedding_mode=False,
+            conflict_skipping=False,
+            bad_vertex_skipping=False,
+            **overrides,
+        )
+
+    @classmethod
+    def dsql1(cls, k: int, **overrides) -> "DSQLConfig":
+        """DSQL0 + single-embedding candidate capping."""
+        return cls(
+            k=k,
+            single_embedding_mode=True,
+            conflict_skipping=False,
+            bad_vertex_skipping=False,
+            **overrides,
+        )
+
+    @classmethod
+    def dsql2(cls, k: int, **overrides) -> "DSQLConfig":
+        """DSQL0 + conflict tables."""
+        return cls(
+            k=k,
+            single_embedding_mode=False,
+            conflict_skipping=True,
+            bad_vertex_skipping=False,
+            **overrides,
+        )
+
+    @classmethod
+    def dsql3(cls, k: int, **overrides) -> "DSQLConfig":
+        """DSQL2 + bad-vertex skipping."""
+        return cls(
+            k=k,
+            single_embedding_mode=False,
+            conflict_skipping=True,
+            bad_vertex_skipping=True,
+            **overrides,
+        )
+
+    @classmethod
+    def full(cls, k: int, **overrides) -> "DSQLConfig":
+        """The paper's default DSQL: all strategies on."""
+        return cls(k=k, **overrides)
+
+    @classmethod
+    def dsqlh(cls, k: int, **overrides) -> "DSQLConfig":
+        """DSQLh: all strategies plus the relaxed bad-vertex rule."""
+        return cls(k=k, relaxed_bad_vertices=True, **overrides)
+
+    def with_k(self, k: int) -> "DSQLConfig":
+        """This configuration with a different ``k``."""
+        return replace(self, k=k)
+
+
+VARIANTS: Dict[str, staticmethod] = {
+    "DSQL0": DSQLConfig.dsql0,
+    "DSQL1": DSQLConfig.dsql1,
+    "DSQL2": DSQLConfig.dsql2,
+    "DSQL3": DSQLConfig.dsql3,
+    "DSQL": DSQLConfig.full,
+    "DSQLh": DSQLConfig.dsqlh,
+}
+"""Variant name -> config factory, as benchmarked in Figure 9."""
+
+
+def variant_config(name: str, k: int, **overrides) -> DSQLConfig:
+    """Build the named ablation variant (raises on unknown names)."""
+    try:
+        factory = VARIANTS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown DSQL variant {name!r}; choose from {sorted(VARIANTS)}"
+        ) from None
+    return factory(k, **overrides)

@@ -1,0 +1,157 @@
+"""Public entry points for diversified top-k subgraph querying.
+
+Typical use::
+
+    from repro import LabeledGraph, QueryGraph, diversified_search
+
+    result = diversified_search(graph, query, k=40)
+    for embedding in result.embeddings:
+        ...  # embedding[u] is the data vertex matched to query node u
+
+:class:`DSQL` is the reusable form: it pins a data graph and configuration
+and answers many queries (candidate indexes are built per query).
+
+The phase dispatch follows Section 6.2 exactly:
+
+1. run DSQL-P1;
+2. if P1 exhausted all levels with ``|T| < k`` — **optimal**, stop;
+3. if the ``k`` embeddings are pairwise disjoint — **optimal**, stop;
+4. if ``|C(T)| / (kq)`` already meets the 0.5 target — good enough
+   (SWAPα cannot certify beyond 0.5), stop;
+5. otherwise run DSQL-P2 (swapping with early termination).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import DSQLConfig
+from repro.core.phase1 import run_phase1
+from repro.core.phase2 import run_phase2
+from repro.core.result import DSQResult
+from repro.core.state import SearchStats
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.validation import validate_embedding
+from repro.indexes.candidates import CandidateIndex
+
+
+class DSQL:
+    """A diversified subgraph query solver bound to one data graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    config:
+        Full configuration; or pass ``k`` alone for the defaults.
+    k:
+        Shorthand for ``DSQLConfig(k=...)`` when ``config`` is omitted.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        config: Optional[DSQLConfig] = None,
+        k: Optional[int] = None,
+    ) -> None:
+        if config is None:
+            if k is None:
+                raise ValueError("provide either a DSQLConfig or k")
+            config = DSQLConfig(k=k)
+        elif k is not None and k != config.k:
+            raise ValueError(f"conflicting k: config.k={config.k}, k={k}")
+        self.graph = graph
+        self.config = config
+
+    def query(self, query: QueryGraph) -> DSQResult:
+        """Answer one diversified top-k query."""
+        config = self.config
+        graph = self.graph
+        stats = SearchStats()
+        candidates = CandidateIndex(graph, query)
+
+        phase1 = run_phase1(graph, query, config, candidates, stats)
+        state = phase1.state
+        k, q = config.k, query.size
+
+        optimal = False
+        reason = ""
+        if (
+            phase1.exhausted
+            and len(state) < k
+            and not config.relaxed_bad_vertices
+            and not stats.budget_exhausted
+        ):
+            # Theorem 3's |A| < k case. The DSQLh relaxation skips vertices
+            # that may still extend to embeddings, so it forfeits this claim.
+            optimal, reason = True, "exhausted"
+        elif len(state) == k and state.is_disjoint():
+            optimal, reason = True, "disjoint"
+
+        embeddings = list(state.embeddings)
+        coverage = state.coverage
+        level = phase1.level
+
+        ratio = coverage / (k * q)
+        if (
+            not optimal
+            and config.run_phase2
+            and len(state) == k
+            and ratio < config.phase2_ratio_target
+            and not stats.budget_exhausted
+        ):
+            phase2 = run_phase2(graph, query, config, candidates, phase1, stats)
+            embeddings = phase2.embeddings
+            coverage = phase2.coverage
+
+        result = DSQResult(
+            embeddings=embeddings,
+            k=k,
+            q=q,
+            coverage=coverage,
+            level=level,
+            optimal=optimal,
+            optimal_reason=reason,
+            stats=stats,
+        )
+        if config.validate_results:
+            for emb in result.embeddings:
+                validate_embedding(graph, query, emb)
+        return result
+
+
+    def query_many(self, queries) -> list:
+        """Answer a sequence of queries, memoizing repeated query objects.
+
+        Queries are memoized by :meth:`QueryGraph.canonical_key` — identical
+        labeled structure returns the same (deterministic) result object
+        without re-searching. Useful for workload batches with duplicates.
+        """
+        cache: dict = {}
+        results = []
+        for query in queries:
+            key = query.canonical_key()
+            if key not in cache:
+                cache[key] = self.query(query)
+            results.append(cache[key])
+        return results
+
+
+def diversified_search(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    k: int,
+    config: Optional[DSQLConfig] = None,
+    **overrides,
+) -> DSQResult:
+    """One-shot convenience wrapper around :class:`DSQL`.
+
+    Keyword overrides are forwarded to :class:`DSQLConfig`, e.g.
+    ``diversified_search(g, q, k=40, run_phase2=False)``.
+    """
+    if config is None:
+        config = DSQLConfig(k=k, **overrides)
+    elif overrides:
+        raise ValueError("pass either a config object or keyword overrides, not both")
+    return DSQL(graph, config=config).query(query)

@@ -1,0 +1,107 @@
+"""DSQL Phase 1 — the non-swapping, level-wise collection (Algorithm 3).
+
+Starting from an empty solution ``T``, level ``i`` (for ``i = 0 .. q-1``)
+admits embeddings overlapping ``V(T)`` at exactly ``i`` vertices; the phase
+stops the moment ``|T| = k`` (early termination) or when all levels are
+exhausted. Stopping at level ``i`` guarantees the Theorem 3 ratio
+``(q - i)/q + i/(kq)``; exhausting all levels with ``|T| < k`` yields an
+optimal solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set
+
+from repro.core.config import DSQLConfig
+from repro.core.search import LevelSearchEngine
+from repro.core.state import SearchStats, SolutionState
+from repro.exceptions import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+from repro.isomorphism.match import Mapping
+from repro.queries.ordering import selectivity_order
+
+
+@dataclass
+class Phase1Output:
+    """Result of DSQL-P1.
+
+    Attributes
+    ----------
+    state:
+        Solution state holding ``T`` and ``V(T)``; Phase 2 continues from it.
+    level:
+        The level at which the phase stopped (``q - 1`` when exhausted).
+    exhausted:
+        ``True`` when every level completed without reaching ``k`` — the
+        Theorem 3 optimality case.
+    qlist:
+        The selectivity ranking, reused by Phase 2.
+    """
+
+    state: SolutionState
+    level: int
+    exhausted: bool
+    qlist: List[int]
+
+
+def tcand_snapshot(
+    candidates: CandidateIndex, covered: Set[int], q: int
+) -> Dict[int, Set[int]]:
+    """``TcandS[u] = candS(u) ∩ V(T)`` for every query node (Alg. 3 line 9)."""
+    return {u: candidates.candidate_set(u) & covered for u in range(q)}
+
+
+def run_phase1(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    config: DSQLConfig,
+    candidates: CandidateIndex,
+    stats: SearchStats,
+) -> Phase1Output:
+    """Execute DSQL-P1 and return the collected solution.
+
+    The engine's ``matched`` set is aliased with the solution's so that
+    accepted embeddings immediately consume their vertices (Q1Search
+    difference (3)).
+    """
+    qlist = selectivity_order(query, candidates)
+    state = SolutionState()
+    engine = LevelSearchEngine(graph, query, candidates, config, stats, state.matched)
+    q = query.size
+
+    if candidates.any_empty():
+        # No embedding can exist; the empty solution is trivially optimal.
+        stats.phase1_levels = 0
+        return Phase1Output(state=state, level=q - 1, exhausted=True, qlist=qlist)
+
+    current_level = 0
+
+    def on_embedding(mapping: Mapping) -> bool:
+        state.add(mapping)
+        stats.record_added(current_level)
+        return len(state) < config.k
+
+    try:
+        for level in range(q):
+            current_level = level
+            stats.phase1_levels = level + 1
+            while True:
+                before = len(state)
+                tcand = tcand_snapshot(candidates, state.covered, q)
+                keep = engine.run_level(level, qlist, tcand, on_embedding)
+                if not keep:
+                    return Phase1Output(
+                        state=state, level=level, exhausted=False, qlist=qlist
+                    )
+                # One sweep suffices unless strict maximality is requested;
+                # re-sweep only while a sweep keeps adding embeddings.
+                if not config.exhaustive_level or len(state) == before:
+                    break
+    except BudgetExceeded:
+        return Phase1Output(
+            state=state, level=current_level, exhausted=False, qlist=qlist
+        )
+    return Phase1Output(state=state, level=q - 1, exhausted=True, qlist=qlist)

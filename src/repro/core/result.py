@@ -1,0 +1,109 @@
+"""Result type of a diversified subgraph query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set
+
+from repro.core.state import SearchStats
+from repro.isomorphism.match import Mapping
+
+
+@dataclass
+class DSQResult:
+    """Outcome of one DSQL run.
+
+    Attributes
+    ----------
+    embeddings:
+        The selected embeddings, each a tuple indexed by query node.
+    k, q:
+        The query parameters (capacity and query-node count).
+    coverage:
+        ``|C(A)|`` — number of distinct data vertices covered.
+    level:
+        The DSQL level at which the search concluded.
+    optimal:
+        Whether the result is *provably* optimal (see ``optimal_reason``).
+    optimal_reason:
+        ``"disjoint"`` — ``k`` pairwise-disjoint embeddings (ratio 1);
+        ``"exhausted"`` — all levels completed with fewer than ``k``
+        embeddings (Theorem 3's ``|A| < k`` case); ``""`` otherwise.
+    stats:
+        Search counters for both phases.
+    """
+
+    embeddings: List[Mapping]
+    k: int
+    q: int
+    coverage: int
+    level: int
+    optimal: bool = False
+    optimal_reason: str = ""
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    def __len__(self) -> int:
+        return len(self.embeddings)
+
+    def cover_set(self) -> Set[int]:
+        """``C(A)``: the union of the selected embeddings' vertices."""
+        covered: Set[int] = set()
+        for emb in self.embeddings:
+            covered.update(emb)
+        return covered
+
+    def vertex_sets(self) -> List[FrozenSet[int]]:
+        """The embeddings as vertex sets (the coverage view)."""
+        return [frozenset(emb) for emb in self.embeddings]
+
+    def max_value(self) -> int:
+        """The ``MAX`` reference value of Section 7.3.
+
+        ``|C(A)|`` when the solution is provably optimal, else the ``k*q``
+        upper bound on any solution's coverage.
+        """
+        return self.coverage if self.optimal else self.k * self.q
+
+    def approx_ratio_lower_bound(self) -> float:
+        """``|C(A)| / MAX`` — a lower bound on the true approximation ratio.
+
+        Equals 1.0 for provably optimal solutions; matches the paper's
+        reported "approximation ratio" measurements otherwise.
+        """
+        max_value = self.max_value()
+        return self.coverage / max_value if max_value else 1.0
+
+    def is_disjoint(self) -> bool:
+        """Whether the selected embeddings are pairwise vertex-disjoint."""
+        return sum(len(set(e)) for e in self.embeddings) == self.coverage
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        flag = f" optimal({self.optimal_reason})" if self.optimal else ""
+        return (
+            f"{len(self.embeddings)}/{self.k} embeddings, coverage {self.coverage}"
+            f" (ratio >= {self.approx_ratio_lower_bound():.3f}), level {self.level}"
+            f"{flag}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (embeddings, metrics, key stats)."""
+        return {
+            "embeddings": [list(e) for e in self.embeddings],
+            "k": self.k,
+            "q": self.q,
+            "coverage": self.coverage,
+            "level": self.level,
+            "optimal": self.optimal,
+            "optimal_reason": self.optimal_reason,
+            "ratio_lower_bound": self.approx_ratio_lower_bound(),
+            "stats": {
+                "nodes_expanded": self.stats.nodes_expanded,
+                "embeddings_found": self.stats.embeddings_found,
+                "phase1_levels": self.stats.phase1_levels,
+                "phase2_ran": self.stats.phase2_ran,
+                "phase2_swaps": self.stats.phase2_swaps,
+                "phase2_early_termination": self.stats.phase2_early_termination,
+                "budget_exhausted": self.stats.budget_exhausted,
+            },
+        }

@@ -1,0 +1,364 @@
+"""The level-wise embedding search of DSQL (Algorithms 3 and 4 + Section 5).
+
+One :class:`LevelSearchEngine` instance drives the embedding generation of
+both DSQL phases. For a given *level* ``i`` it enumerates, for every
+``i``-subset ``Qovp`` of query nodes, embeddings that
+
+* match the ``Qovp`` nodes to vertices of ``TcandS`` (the solution cover as
+  of the start of the level), and
+* match every other node to a *fresh* vertex — one not yet consumed by any
+  accepted embedding (the ``matched`` marking of Q1Search difference (3)).
+
+The recursion has two regimes, mirroring Algorithm 4:
+
+* **multi-embedding frames** (``Q1iSearch``) cover the ``qfList`` prefix up
+  to and including the first non-overlap node; every candidate of that node
+  may seed one accepted embedding;
+* **single-embedding frames** (``QSearchD``) complete exactly one embedding
+  per prefix and report failure with a *conflict set* used for
+  conflict-directed node skipping (Section 5.3) and bad-vertex marking
+  (Section 5.4).
+
+All four Section-5 strategies are toggled by :class:`DSQLConfig`; the engine
+never holds solution policy — acceptance is delegated to an
+``on_embedding`` callback so Phase 1 (collect) and Phase 2 (swap) share the
+generator.
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import DSQLConfig
+from repro.core.state import SearchStats
+from repro.exceptions import BudgetExceeded
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+from repro.isomorphism.joinable import UNMATCHED
+from repro.isomorphism.match import Mapping
+from repro.queries.qflist import NO_FATHER, QFList, resort
+
+OnEmbedding = Callable[[Mapping], bool]
+"""Acceptance callback: receives a full embedding, returns False to stop."""
+
+
+class LevelSearchEngine:
+    """Level-wise embedding generator shared by DSQL-P1 and DSQL-P2.
+
+    Parameters
+    ----------
+    graph, query:
+        The data and query graphs.
+    candidates:
+        Pre-built candidate index (``candS``).
+    config:
+        Strategy toggles and budgets.
+    stats:
+        Mutable counters, shared with the calling phase.
+    matched:
+        The global consumed-vertex set. The engine both reads (fresh-vertex
+        exclusion) and writes (marks accepted embeddings) this set; Phase 1
+        aliases it with ``V(T)``, Phase 2 lets it grow past the swapped
+        solution.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        query: QueryGraph,
+        candidates: CandidateIndex,
+        config: DSQLConfig,
+        stats: SearchStats,
+        matched: Set[int],
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.candidates = candidates
+        self.config = config
+        self.stats = stats
+        self.matched = matched
+        self.rng = random.Random(config.seed)
+        q = query.size
+        self._assignment: List[int] = [UNMATCHED] * q
+        self._used: Set[int] = set()
+        self._bad: List[Set[int]] = [set() for _ in range(q + 1)]
+        # Per-Qovp state, installed by run_level.
+        self._qf: Optional[QFList] = None
+        self._qovp: FrozenSet[int] = frozenset()
+        self._tcand: Dict[int, Set[int]] = {}
+        self._on_embedding: Optional[OnEmbedding] = None
+
+    # ------------------------------------------------------------------
+    # Level driver (Algorithm 3 lines 7-14 / Algorithm 5 lines 3-9)
+    # ------------------------------------------------------------------
+    def run_level(
+        self,
+        level: int,
+        qlist: Sequence[int],
+        tcand: Dict[int, Set[int]],
+        on_embedding: OnEmbedding,
+    ) -> bool:
+        """Generate all level-``level`` embeddings, feeding ``on_embedding``.
+
+        ``tcand`` maps each query node to ``candS(u) ∩ V(T)`` for the
+        relevant solution snapshot. Returns ``False`` when the callback asked
+        to stop (k reached / early termination), ``True`` when the level was
+        exhausted. Raises :class:`BudgetExceeded` if the node budget trips.
+        """
+        self._tcand = tcand
+        self._on_embedding = on_embedding
+        q = self.query.size
+        for qovp_tuple in combinations(qlist, level):
+            if any(not tcand[u] for u in qovp_tuple):
+                continue  # some overlap node has no cover-restricted candidate
+            self._qovp = frozenset(qovp_tuple)
+            self._qf = resort(self.query, list(qlist), set(qovp_tuple))
+            self._assignment = [UNMATCHED] * q
+            self._used = set()
+            self._bad = [set() for _ in range(q + 1)]
+            stop, _carry = self._multi_frame(0)
+            if stop:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Candidate generation (setCandidates, Section 5.1)
+    # ------------------------------------------------------------------
+    def _rcand(self, u: int, father: int, is_overlap: bool) -> List[int]:
+        """``Rcand`` for node ``u``: localized, then overlap-restricted."""
+        if (
+            self.config.localized_search
+            and father != NO_FATHER
+            and self._assignment[father] != UNMATCHED
+        ):
+            vf = self._assignment[father]
+            is_candidate = self.candidates.is_candidate
+            base: List[int] = sorted(
+                w for w in self.graph.neighbors(vf) if is_candidate(u, w)
+            )
+        else:
+            base = list(self.candidates.candidates(u))
+        if is_overlap:
+            allowed = self._tcand[u]
+            return [v for v in base if v in allowed]
+        return base
+
+    def _charge(self) -> None:
+        self.stats.nodes_expanded += 1
+        budget = self.config.node_budget
+        if budget is not None and self.stats.nodes_expanded > budget:
+            self.stats.budget_exhausted = True
+            raise BudgetExceeded(f"node budget {budget} exhausted")
+
+    def _joinable(self, u: int, v: int) -> bool:
+        """Injectivity + edge-consistency of matching ``u -> v``."""
+        if v in self._used:
+            return False
+        assignment = self._assignment
+        neighbors_of_v = self.graph.neighbors(v)
+        for u2 in self.query.neighbors(u):
+            v2 = assignment[u2]
+            if v2 != UNMATCHED and v2 not in neighbors_of_v:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Conflict tables (Section 5.3)
+    # ------------------------------------------------------------------
+    def _conflict_set(self, u: int) -> Set[int]:
+        """``CT(u, *) ∪ CT(u, beta)`` for a failure at node ``u``.
+
+        Static part: query neighbors of ``u``. Dynamic part: assigned nodes
+        whose matched vertex would pass ``u``'s label/degree/signature
+        filters (it may be exactly the vertex ``u`` needed).
+        """
+        conflicts: Set[int] = set(self.query.neighbors(u))
+        full_check = self.candidates.full_check
+        for u2, v2 in enumerate(self._assignment):
+            if u2 != u and v2 != UNMATCHED and u2 not in conflicts:
+                if full_check(u, v2):
+                    conflicts.add(u2)
+        return conflicts
+
+    def _handle_child_failure(
+        self, depth: int, u: int, v: int, conflict: Set[int]
+    ) -> bool:
+        """Shared failure bookkeeping; returns ``True`` to backjump past ``u``.
+
+        Implements the Section 5.3 skip test and the Section 5.4 bad-vertex
+        marking (with the Appendix B.3 relaxation when configured). Call with
+        ``(u, v)`` still assigned; the caller unassigns afterwards.
+        """
+        cfg = self.config
+        if cfg.conflict_skipping and u not in conflict:
+            self.stats.conflict_skips += 1
+            return True
+        if cfg.bad_vertex_skipping:
+            prev_ok = cfg.relaxed_bad_vertices
+            if not prev_ok and depth > 0:
+                prev_node = self._qf.entries[depth - 1].node
+                prev_ok = prev_node not in conflict
+            if prev_ok:
+                self._bad[depth].add(v)
+                self.stats.bad_vertices_marked += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Multi-embedding frames (Q1iSearch)
+    # ------------------------------------------------------------------
+    def _multi_frame(self, depth: int) -> Tuple[bool, Optional[Set[int]]]:
+        """Enumerate over the overlap prefix; returns ``(stop, carry)``.
+
+        ``stop`` propagates a global stop requested by the acceptance
+        callback. ``carry`` propagates a conflict set upward when
+        conflict-directed skipping abandons this frame.
+        """
+        qf = self._qf
+        entry = qf.entries[depth]
+        u, father = entry.node, entry.father
+        self._bad[depth + 1].clear()
+
+        if u in self._qovp:
+            return self._multi_overlap(depth, u, father)
+        return self._multi_anchor(depth, u, father)
+
+    def _multi_overlap(
+        self, depth: int, u: int, father: int
+    ) -> Tuple[bool, Optional[Set[int]]]:
+        """Overlap node inside the multi regime: recurse per candidate."""
+        assignment, used = self._assignment, self._used
+        bad = self._bad[depth]
+        for v in self._rcand(u, father, is_overlap=True):
+            self._charge()
+            if v in bad:
+                self.stats.bad_vertex_skips += 1
+                continue
+            if not self._joinable(u, v):
+                continue
+            assignment[u] = v
+            used.add(v)
+            stop, carry = self._multi_frame(depth + 1)
+            if stop:
+                return True, None
+            if carry is not None:
+                skip = self._handle_child_failure(depth, u, v, carry)
+                assignment[u] = UNMATCHED
+                used.discard(v)
+                if skip:
+                    return False, carry
+                continue
+            assignment[u] = UNMATCHED
+            used.discard(v)
+        return False, None
+
+    def _multi_anchor(
+        self, depth: int, u: int, father: int
+    ) -> Tuple[bool, Optional[Set[int]]]:
+        """The first non-overlap node: each candidate may seed one embedding."""
+        assignment, used = self._assignment, self._used
+        matched = self.matched
+        bad = self._bad[depth]
+        for v in self._rcand(u, father, is_overlap=False):
+            self._charge()
+            if v in matched:
+                continue
+            if v in bad:
+                self.stats.bad_vertex_skips += 1
+                continue
+            if not self._joinable(u, v):
+                continue
+            assignment[u] = v
+            used.add(v)
+            conflict = self._single_frame(depth + 1)
+            if conflict is None:
+                embedding = tuple(assignment)
+                self._clear_suffix(depth + 1)
+                matched.update(embedding)
+                assignment[u] = UNMATCHED
+                used.discard(v)
+                keep = self._on_embedding(embedding)
+                if not keep:
+                    return True, None
+                continue
+            skip = self._handle_child_failure(depth, u, v, conflict)
+            assignment[u] = UNMATCHED
+            used.discard(v)
+            if skip:
+                return False, conflict
+        return False, None
+
+    def _clear_suffix(self, start_depth: int) -> None:
+        """Unassign every node from ``start_depth`` onward (post-acceptance)."""
+        assignment, used = self._assignment, self._used
+        for entry in self._qf.entries[start_depth:]:
+            v = assignment[entry.node]
+            if v != UNMATCHED:
+                used.discard(v)
+                assignment[entry.node] = UNMATCHED
+
+    # ------------------------------------------------------------------
+    # Single-embedding frames (QSearchD, Section 5.2)
+    # ------------------------------------------------------------------
+    def _single_frame(self, depth: int) -> Optional[Set[int]]:
+        """Complete one embedding; ``None`` on success, conflict set on failure.
+
+        On success the suffix assignments are left in place for the caller to
+        read; on failure everything at or below ``depth`` is unassigned.
+        """
+        if depth == self.query.size:
+            return None
+        qf = self._qf
+        entry = qf.entries[depth]
+        u, father = entry.node, entry.father
+        self._bad[depth + 1].clear()
+        is_overlap = u in self._qovp
+
+        rcand = self._rcand(u, father, is_overlap=is_overlap)
+        cap: Optional[int] = None
+        if (
+            self.config.single_embedding_mode
+            and not is_overlap
+            and qf.neighbor_rm[u] == 0
+        ):
+            cap = qf.label_rm[u] + 1
+            self.rng.shuffle(rcand)
+
+        assignment, used = self._assignment, self._used
+        matched = self.matched
+        bad = self._bad[depth]
+        tried_valid = 0
+        inherited: Set[int] = set()
+        for v in rcand:
+            self._charge()
+            if not is_overlap and v in matched:
+                continue
+            if v in bad:
+                self.stats.bad_vertex_skips += 1
+                continue
+            if not self._joinable(u, v):
+                continue
+            tried_valid += 1
+            assignment[u] = v
+            used.add(v)
+            conflict = self._single_frame(depth + 1)
+            if conflict is None:
+                return None
+            skip = self._handle_child_failure(depth, u, v, conflict)
+            assignment[u] = UNMATCHED
+            used.discard(v)
+            if skip:
+                return conflict
+            # Conflict-directed backjumping soundness: a node that exhausts
+            # its candidates must carry its children's conflicts upward too,
+            # otherwise an ancestor responsible for a deeper failure could be
+            # skipped and its alternatives never explored.
+            inherited |= conflict
+            if cap is not None and tried_valid >= cap:
+                self.stats.candidate_cap_hits += 1
+                break
+        failure = self._conflict_set(u) | inherited
+        failure.discard(u)
+        return failure

@@ -1,0 +1,66 @@
+"""Maximum k-coverage suite: primitives, greedy, streaming swaps, exact."""
+
+from repro.coverage.bounds import (
+    GAMMA_FIXED_POINT,
+    alpha_gamma_schedule,
+    coverage_upper_bound,
+    greedy_ratio_bound,
+    next_alpha,
+    next_gamma,
+    overall_ratio_bound,
+    phase1_ratio_bound,
+    single_scan_ratio,
+)
+from repro.coverage.core import (
+    CoverageTracker,
+    EmbeddingSet,
+    as_vertex_set,
+    benefit,
+    cover_set,
+    coverage,
+    loss,
+)
+from repro.coverage.exact import exact_ratio, optimal_coverage
+from repro.coverage.greedy import greedy_max_coverage
+from repro.coverage.multiscan import MultiScanResult, dsq_ns, swap_alpha_multiscan
+from repro.coverage.swap import (
+    Swap0,
+    Swap1,
+    Swap2,
+    SwapA,
+    SwapAlpha,
+    SwapRun,
+    swap_stream,
+)
+
+__all__ = [
+    "CoverageTracker",
+    "EmbeddingSet",
+    "as_vertex_set",
+    "coverage",
+    "cover_set",
+    "benefit",
+    "loss",
+    "greedy_max_coverage",
+    "Swap0",
+    "Swap1",
+    "Swap2",
+    "SwapA",
+    "SwapAlpha",
+    "SwapRun",
+    "swap_stream",
+    "MultiScanResult",
+    "dsq_ns",
+    "swap_alpha_multiscan",
+    "optimal_coverage",
+    "exact_ratio",
+    "GAMMA_FIXED_POINT",
+    "next_alpha",
+    "next_gamma",
+    "alpha_gamma_schedule",
+    "single_scan_ratio",
+    "phase1_ratio_bound",
+    "overall_ratio_bound",
+    "greedy_ratio_bound",
+    "coverage_upper_bound",
+]

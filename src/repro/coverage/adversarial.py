@@ -1,0 +1,115 @@
+"""The Lemma 5 adversarial stream (Appendix A.5).
+
+The paper proves no deterministic *greedy online* algorithm (one that only
+ever increases coverage while holding at most ``k`` embeddings) can
+guarantee better than 0.5 of the optimum — which makes SWAPα's asymptotic
+0.5 bound tight. The construction:
+
+1. present ``k''`` embeddings ``R ∪ X_i`` sharing a common core ``R`` of
+   size ``Δ - 1`` with distinct singletons ``X_i``;
+2. once the algorithm has committed to ``k' <= k`` of them (discarding
+   ``j >= k - ceil(k'/Δ)``), present embeddings made of Δ-groups of the
+   *kept* singletons ``A_1 ∪ ... ∪ A_Δ`` — worthless to the algorithm
+   (their elements are already covered) but combinable by the optimum.
+
+The optimum covers ``Δ - 1 + k'(1 - 1/Δ) + k``; the algorithm covers
+``Δ - 1 + k'``; the ratio tends to 1/2 as ``k`` grows.
+
+:func:`lemma5_stream` materializes the instance for a *specific* greedy
+algorithm by simulating phase 1 first; :func:`lemma5_ratio_bound` gives the
+closed-form ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+from repro.coverage.core import EmbeddingSet, coverage
+from repro.exceptions import ConfigError
+
+
+def lemma5_ratio_bound(k: int, delta: int) -> float:
+    """The closed-form ratio ceiling ``(Δ-1+k) / (Δ-1+k(2-1/Δ))``.
+
+    This is the ``k' = k`` (best) case of the proof; it approaches 0.5 from
+    above as ``k`` grows.
+    """
+    if k < 1 or delta < 2:
+        raise ConfigError(f"need k >= 1 and delta >= 2, got k={k}, delta={delta}")
+    return (delta - 1 + k) / (delta - 1 + k * (2 - 1 / delta))
+
+
+def lemma5_core_embeddings(
+    k: int, delta: int, extra: int = 0
+) -> Tuple[List[EmbeddingSet], FrozenSet[int]]:
+    """Phase-1 embeddings ``R ∪ X_i`` and the shared core ``R``.
+
+    ``k + extra`` embeddings are produced (the adversary needs more than the
+    algorithm can keep). Elements are integers: ``0 .. delta-2`` form ``R``;
+    singleton ``X_i`` is ``delta - 1 + i``.
+    """
+    if k < 1 or delta < 2:
+        raise ConfigError(f"need k >= 1 and delta >= 2, got k={k}, delta={delta}")
+    core = frozenset(range(delta - 1))
+    total = k + extra
+    embeddings = [core | {delta - 1 + i} for i in range(total)]
+    return embeddings, core
+
+
+def lemma5_phase2_embeddings(
+    kept_singletons: Sequence[int], delta: int
+) -> List[EmbeddingSet]:
+    """Phase-2 embeddings: Δ-groups of the singletons the algorithm kept.
+
+    These add nothing for the algorithm (all elements already covered) but
+    let the optimum spend one slot per Δ singletons, freeing slots for the
+    discarded ``R ∪ B_j`` embeddings.
+    """
+    groups: List[EmbeddingSet] = []
+    singles = list(kept_singletons)
+    for start in range(0, len(singles) - delta + 1, delta):
+        groups.append(frozenset(singles[start : start + delta]))
+    return groups
+
+
+def adversarial_run(
+    algorithm: Callable[[Sequence[EmbeddingSet]], Sequence[EmbeddingSet]],
+    k: int,
+    delta: int,
+    extra: int = 0,
+) -> Tuple[int, int]:
+    """Drive ``algorithm`` through the two-phase adversary.
+
+    ``algorithm`` maps a stream to its final collection (size <= k). Returns
+    ``(algorithm_coverage, optimal_coverage)`` for the combined stream. The
+    optimum is computed from the construction directly (not brute force):
+    it keeps the phase-2 groups plus discarded core embeddings plus one core
+    embedding.
+    """
+    phase1, core = lemma5_core_embeddings(k, delta, extra=extra)
+    held = list(algorithm(phase1))
+    held_singletons = sorted(
+        next(iter(h - core)) for h in held if h - core and core <= h
+    )
+    phase2 = lemma5_phase2_embeddings(held_singletons, delta)
+    full_stream = phase1 + phase2
+    final = list(algorithm(full_stream))
+    algo_cover = coverage(final)
+
+    # Optimum: all phase-2 groups (covering the kept singletons), then fill
+    # remaining slots with phase-1 embeddings — preferring the ones the
+    # algorithm *discarded* (their singletons are not in any group, so each
+    # contributes a fresh element; the first also contributes the core).
+    grouped = set().union(*phase2) if phase2 else set()
+    ordered = sorted(
+        phase1, key=lambda emb: bool((emb - core) <= grouped)
+    )
+    slots_left = k - len(phase2)
+    opt_sets: List[EmbeddingSet] = list(phase2)
+    for emb in ordered:
+        if slots_left <= 0:
+            break
+        opt_sets.append(emb)
+        slots_left -= 1
+    opt_cover = coverage(opt_sets)
+    return algo_cover, max(opt_cover, algo_cover)

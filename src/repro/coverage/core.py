@@ -1,0 +1,187 @@
+"""Coverage algebra: ``C``, benefit ``B``, and loss ``L`` (Sections 2 and 6).
+
+For a collection ``F`` of embeddings (vertex sets):
+
+* coverage      ``|C(F)|``  — number of distinct vertices covered;
+* benefit       ``B(h, F) = |C(h) \\ C(F)|`` — new vertices ``h`` would add;
+* loss          ``L(f, F) = |C(f) \\ C(F \\ f)|`` — vertices lost if ``f``
+  is removed (Equation 1). These are exactly the vertices *privately*
+  covered by ``f``;
+* loss-plus     ``L+(f, h, F) = |C(f) \\ C(F ∪ h \\ f)|`` — the [25] loss
+  used by SWAP1, which additionally credits vertices that ``h`` would keep
+  covered.
+
+:class:`CoverageTracker` maintains per-vertex multiplicity counts so all four
+quantities are O(q) per call instead of O(k·q); this is our adaptation of the
+PNP ("private-neighbor") index of the diversified clique work [33] that the
+paper says it adapts for the swapping phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+EmbeddingSet = FrozenSet[int]
+
+
+def as_vertex_set(embedding: Iterable[int]) -> EmbeddingSet:
+    """Normalize an embedding (tuple or set) to a frozen vertex set."""
+    return embedding if isinstance(embedding, frozenset) else frozenset(embedding)
+
+
+def coverage(collection: Iterable[Iterable[int]]) -> int:
+    """``|C(F)|`` for an arbitrary iterable of embeddings."""
+    covered: Set[int] = set()
+    for emb in collection:
+        covered.update(emb)
+    return len(covered)
+
+
+def cover_set(collection: Iterable[Iterable[int]]) -> Set[int]:
+    """``C(F)`` as a set."""
+    covered: Set[int] = set()
+    for emb in collection:
+        covered.update(emb)
+    return covered
+
+
+def benefit(h: Iterable[int], collection: Iterable[Iterable[int]]) -> int:
+    """``B(h, F)`` computed from scratch (prefer :class:`CoverageTracker`)."""
+    covered = cover_set(collection)
+    return sum(1 for v in set(h) if v not in covered)
+
+
+def loss(f: Iterable[int], collection: Sequence[Iterable[int]]) -> int:
+    """``L(f, F)`` computed from scratch; ``f`` must be a member of ``F``."""
+    f_set = set(f)
+    others: Set[int] = set()
+    matched = False
+    for emb in collection:
+        if not matched and set(emb) == f_set:
+            matched = True
+            continue
+        others.update(emb)
+    if not matched:
+        raise ValueError("loss(f, F) requires f to be an element of F")
+    return sum(1 for v in f_set if v not in others)
+
+
+class CoverageTracker:
+    """Incremental coverage/benefit/loss over a mutable embedding collection.
+
+    The tracker stores each member embedding with a unique slot id (so
+    duplicate vertex sets, which SWAP algorithms may transiently hold, are
+    handled correctly) and a global ``vertex -> multiplicity`` counter.
+
+    All of :meth:`benefit`, :meth:`loss`, and :meth:`loss_plus` run in
+    O(|embedding|); :meth:`add` / :meth:`remove` are O(|embedding|) too.
+    """
+
+    def __init__(self, members: Iterable[Iterable[int]] = ()) -> None:
+        self._counts: Dict[int, int] = {}
+        self._members: Dict[int, EmbeddingSet] = {}
+        self._next_slot = 0
+        # Losses only change when the collection changes, so the min-loss
+        # member is cached between mutations (the PNP-index effect of [33]):
+        # streaming scans pay O(1) per non-swapping embedding.
+        self._min_loss_cache: Tuple[int, int] | None = None
+        for emb in members:
+            self.add(emb)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def members(self) -> List[EmbeddingSet]:
+        """Current member embeddings in insertion order of their slots."""
+        return [self._members[slot] for slot in sorted(self._members)]
+
+    def slots(self) -> List[int]:
+        """Slot ids of the current members (stable handles for removal)."""
+        return sorted(self._members)
+
+    def member(self, slot: int) -> EmbeddingSet:
+        """The embedding stored under ``slot``."""
+        return self._members[slot]
+
+    @property
+    def coverage(self) -> int:
+        """``|C(F)|`` in O(1)."""
+        return len(self._counts)
+
+    def covers(self, v: int) -> bool:
+        """Whether vertex ``v`` is covered by some member."""
+        return v in self._counts
+
+    def cover_set(self) -> Set[int]:
+        """A copy of ``C(F)``."""
+        return set(self._counts)
+
+    def add(self, embedding: Iterable[int]) -> int:
+        """Insert an embedding; returns its slot id."""
+        emb = as_vertex_set(embedding)
+        slot = self._next_slot
+        self._next_slot += 1
+        self._members[slot] = emb
+        counts = self._counts
+        for v in emb:
+            counts[v] = counts.get(v, 0) + 1
+        self._min_loss_cache = None
+        return slot
+
+    def remove(self, slot: int) -> EmbeddingSet:
+        """Remove the embedding at ``slot``; returns it."""
+        emb = self._members.pop(slot)
+        counts = self._counts
+        for v in emb:
+            c = counts[v] - 1
+            if c:
+                counts[v] = c
+            else:
+                del counts[v]
+        self._min_loss_cache = None
+        return emb
+
+    def multiplicity(self, v: int) -> int:
+        """How many members cover vertex ``v`` (0 when uncovered)."""
+        return self._counts.get(v, 0)
+
+    def benefit(self, h: Iterable[int]) -> int:
+        """``B(h, F)``."""
+        counts = self._counts
+        return sum(1 for v in as_vertex_set(h) if v not in counts)
+
+    def loss(self, slot: int) -> int:
+        """``L(f, F)`` for the member at ``slot`` (Equation 1)."""
+        counts = self._counts
+        return sum(1 for v in self._members[slot] if counts[v] == 1)
+
+    def loss_plus(self, slot: int, h: Iterable[int]) -> int:
+        """``L+(f, h, F)``: loss of ``f`` w.r.t. ``F ∪ {h} \\ {f}`` ([25])."""
+        h_set = as_vertex_set(h)
+        counts = self._counts
+        return sum(
+            1 for v in self._members[slot] if counts[v] == 1 and v not in h_set
+        )
+
+    def min_loss_member(self) -> Tuple[int, int]:
+        """``(slot, loss)`` of the member with the smallest ``L(f, F)``.
+
+        O(1) between mutations thanks to the cached answer; O(k*q) to
+        recompute after an add/remove.
+        """
+        if not self._members:
+            raise ValueError("empty collection has no minimum-loss member")
+        if self._min_loss_cache is None:
+            best_slot = min(self._members, key=lambda s: (self.loss(s), s))
+            self._min_loss_cache = (best_slot, self.loss(best_slot))
+        return self._min_loss_cache
+
+    def min_loss_plus_member(self, h: Iterable[int]) -> Tuple[int, int]:
+        """``(slot, loss_plus)`` minimizing ``L+(f, h, F)`` over members."""
+        if not self._members:
+            raise ValueError("empty collection has no minimum-loss member")
+        h_set = as_vertex_set(h)
+        best_slot = min(
+            self._members, key=lambda s: (self.loss_plus(s, h_set), s)
+        )
+        return best_slot, self.loss_plus(best_slot, h_set)

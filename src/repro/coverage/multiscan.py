@@ -1,0 +1,144 @@
+"""Multi-scan algorithms over stored embedding sets (Sections 3 and 6.1.2).
+
+Two algorithms that assume the embeddings can be scanned repeatedly:
+
+* :func:`dsq_ns` — ``DSQ_NS`` ("DSQ with No Swapping", Section 3): up to
+  ``q`` scans; the scan with index ``i`` admits embeddings that still
+  contribute at least ``q - i`` new vertices. Stops as soon as ``k``
+  embeddings are collected. This is the conceptual ancestor of DSQL-P1.
+* :func:`swap_alpha_multiscan` — SWAPα run for multiple passes with the
+  Theorem 5 schedule ``alpha_t = 1 - 2*gamma_{t-1}``; the guarantee
+  ``gamma_t`` improves toward 0.5. Each pass starts from the previous pass's
+  collection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.coverage.bounds import next_alpha, next_gamma
+from repro.coverage.core import EmbeddingSet, as_vertex_set, coverage
+from repro.coverage.swap import SwapAlpha, SwapRun, swap_stream
+from repro.exceptions import ConfigError
+
+
+@dataclass
+class MultiScanResult:
+    """Result of a multi-scan run.
+
+    Attributes
+    ----------
+    members:
+        Final collection of embeddings (vertex sets).
+    coverage:
+        ``|C(F)|`` of the final collection.
+    scans:
+        Number of passes actually performed.
+    stop_level:
+        For :func:`dsq_ns`: the scan index at which ``k`` was reached, or the
+        last scan index when fewer than ``k`` embeddings exist.
+    per_scan_coverage:
+        Coverage after each pass (monotone non-decreasing for SWAPα with the
+        schedule; strictly informative for convergence plots).
+    """
+
+    members: List[EmbeddingSet]
+    coverage: int
+    scans: int
+    stop_level: int = -1
+    per_scan_coverage: List[int] = field(default_factory=list)
+
+
+def dsq_ns(
+    embeddings: Sequence[Iterable[int]],
+    k: int,
+    q: int,
+) -> MultiScanResult:
+    """``DSQ_NS``: level-relaxing multi-scan selection (Section 3).
+
+    Scan ``i`` (0-based) admits an embedding if it contributes at least
+    ``q - i`` new vertices given everything selected so far. Early-terminates
+    when ``|T| = k``. If the final scan (``i = q - 1``, i.e. "any new vertex")
+    completes with ``|T| < k``, the result is *optimal* (every unselected
+    embedding lies entirely inside the cover).
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if q < 1:
+        raise ConfigError(f"q must be >= 1, got {q}")
+    pool = [as_vertex_set(e) for e in embeddings]
+    selected: List[EmbeddingSet] = []
+    covered: set[int] = set()
+    per_scan: List[int] = []
+    level = 0
+    for i in range(q):
+        level = i
+        for emb in pool:
+            gain = sum(1 for v in emb if v not in covered)
+            if gain >= q - i:
+                selected.append(emb)
+                covered.update(emb)
+                if len(selected) >= k:
+                    per_scan.append(len(covered))
+                    return MultiScanResult(
+                        members=selected,
+                        coverage=len(covered),
+                        scans=i + 1,
+                        stop_level=i,
+                        per_scan_coverage=per_scan,
+                    )
+        per_scan.append(len(covered))
+    return MultiScanResult(
+        members=selected,
+        coverage=len(covered),
+        scans=q,
+        stop_level=level,
+        per_scan_coverage=per_scan,
+    )
+
+
+def swap_alpha_multiscan(
+    embeddings: Sequence[Iterable[int]],
+    k: int,
+    num_scans: int = 3,
+    gamma0: float = 0.0,
+    progressive_init: bool = True,
+) -> MultiScanResult:
+    """Multi-pass SWAPα with the Theorem 5 α schedule.
+
+    Pass ``t`` uses ``alpha_t = 1 - 2*gamma_{t-1}``; after the pass the
+    guarantee bookkeeping advances ``gamma_t = 0.25 / (1 - gamma_{t-1})``.
+    Passes stop early when γ reaches 0.5 (no further provable gain) or when a
+    pass performs no swap (the collection is stable, so later identical
+    passes cannot change it either).
+    """
+    if num_scans < 1:
+        raise ConfigError(f"num_scans must be >= 1, got {num_scans}")
+    gamma = gamma0
+    members: List[EmbeddingSet] = []
+    per_scan: List[int] = []
+    scans_done = 0
+    for t in range(num_scans):
+        if gamma >= 0.5:
+            break
+        alpha = next_alpha(gamma)
+        run: SwapRun = swap_stream(
+            embeddings,
+            k,
+            SwapAlpha(alpha=alpha),
+            initial=members if t else None,
+            progressive_init=progressive_init,
+        )
+        scans_done += 1
+        members = run.members
+        per_scan.append(run.coverage)
+        gamma = next_gamma(gamma)
+        if t > 0 and run.swaps == 0:
+            break
+    return MultiScanResult(
+        members=members,
+        coverage=coverage(members),
+        scans=scans_done,
+        per_scan_coverage=per_scan,
+    )

@@ -1,0 +1,248 @@
+"""Streaming maximum k-coverage: SWAP0, SWAP1, SWAP2, SWAP_A, SWAPα (§2.3, §6.1).
+
+Each algorithm keeps a collection of at most ``k`` embeddings and scans an
+embedding stream once, swapping a member out when its condition fires:
+
+* **SWAP0** — swap whenever coverage strictly increases (no guarantee; the
+  paper mentions it as the naive policy);
+* **SWAP1** — [25] Saha & Getoor: swap ``f`` for ``h`` when the benefit is at
+  least *twice* the [25]-loss ``L+(f, h, F)``; 0.25-approximate;
+* **SWAP2** — [3] Ausiello et al.: swap when post-swap coverage is at least
+  ``(1 + 1/k)`` times current coverage; 0.25-approximate;
+* **SWAP_A** — [32]: a weighted hybrid of the SWAP1 and SWAP2 conditions
+  (the paper gives no closed form, so we combine the two margins with weight
+  ``hybrid_weight``; 0.5 recovers an even blend, 1.0 degenerates to SWAP1,
+  0.0 to SWAP2);
+* **SWAPα** — this paper's condition (Inequality 2):
+  ``B(h, F) >= (1 + alpha) * L(f, F)`` with the *h-independent* loss of
+  Equation (1), which is what enables DSQL-P2's early termination.
+
+All algorithms support the **progressive initialization** of Section 6.1.3:
+start from an empty collection and admit embeddings with non-zero benefit
+(the fictitious swapped-out embedding has zero loss) until ``k`` members are
+held. Theorem 6 lifts the one-pass guarantee to
+``0.25 * max(1 + 1/k, 1 + 1/q)`` under this initialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Protocol
+
+from repro.coverage.core import CoverageTracker, EmbeddingSet, as_vertex_set
+from repro.exceptions import ConfigError
+
+
+class SwapCondition(Protocol):
+    """Strategy interface: propose a member to evict for a scanned embedding."""
+
+    name: str
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        """Slot id of the member to swap out for ``h``, or ``None`` to skip."""
+
+
+@dataclass
+class Swap0:
+    """Swap whenever it strictly increases coverage (naive baseline).
+
+    Evaluates the exact post-swap coverage for every member (crediting
+    private vertices that ``h`` re-covers) and evicts the member giving the
+    largest strict improvement.
+    """
+
+    name: str = "SWAP0"
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        b = tracker.benefit(h)
+        if b <= 0:
+            return None
+        h_set = as_vertex_set(h)
+        best_slot, best_after = None, tracker.coverage
+        for slot in tracker.slots():
+            after = (
+                tracker.coverage
+                - tracker.loss(slot)
+                + b
+                + _recovered_privates(tracker, slot, h_set)
+            )
+            if after > best_after:
+                best_slot, best_after = slot, after
+        return best_slot
+
+
+@dataclass
+class Swap1:
+    """[25]: benefit at least twice the ``L+`` loss of the evicted member."""
+
+    name: str = "SWAP1"
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        b = tracker.benefit(h)
+        if b <= 0:
+            return None
+        # Fast path: L+(f, h) <= L(f), so if the benefit already doubles the
+        # (cached) minimum plain loss, that member satisfies the criterion
+        # without the O(k*q) L+ scan.
+        min_slot, min_loss = tracker.min_loss_member()
+        if b >= 2 * min_loss:
+            return min_slot
+        slot, f_loss = tracker.min_loss_plus_member(h)
+        if b >= 2 * f_loss:
+            return slot
+        return None
+
+
+@dataclass
+class Swap2:
+    """[3]: post-swap coverage at least ``(1 + 1/k)`` times current coverage."""
+
+    name: str = "SWAP2"
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        if tracker.benefit(h) <= 0:
+            return None
+        current = tracker.coverage
+        slot, f_loss = tracker.min_loss_member()
+        # Coverage after swapping out the min-loss f and adding h: the
+        # private vertices of f leave unless h re-covers them.
+        h_set = as_vertex_set(h)
+        after = current - f_loss + tracker.benefit(h) + _recovered_privates(tracker, slot, h_set)
+        if after * k >= (k + 1) * current:
+            return slot
+        return None
+
+
+def _recovered_privates(tracker: CoverageTracker, slot: int, h_set: EmbeddingSet) -> int:
+    """Private vertices of member ``slot`` that ``h`` would keep covered."""
+    return sum(
+        1
+        for v in tracker.member(slot)
+        if v in h_set and tracker.multiplicity(v) == 1
+    )
+
+
+@dataclass
+class SwapA:
+    """[32]-style hybrid: weighted blend of the SWAP1 and SWAP2 margins.
+
+    With weight ``w`` the condition accepts when
+    ``w * (B - 2*L+) + (1 - w) * (k*after - (k+1)*current) / k >= 0``.
+    """
+
+    hybrid_weight: float = 0.5
+    name: str = "SWAP_A"
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        b = tracker.benefit(h)
+        if b <= 0:
+            return None
+        h_set = as_vertex_set(h)
+        slot, lplus = tracker.min_loss_plus_member(h_set)
+        margin1 = b - 2 * lplus
+        current = tracker.coverage
+        after = current - tracker.loss(slot) + b + _recovered_privates(tracker, slot, h_set)
+        margin2 = (k * after - (k + 1) * current) / k
+        w = self.hybrid_weight
+        if w * margin1 + (1.0 - w) * margin2 >= 0:
+            return slot
+        return None
+
+
+@dataclass
+class SwapAlpha:
+    """This paper's condition: ``B(h, F) >= (1 + alpha) * L(f, F)`` (Ineq. 2).
+
+    The loss is Equation (1)'s ``L(f, F)`` — independent of ``h`` — which is
+    what allows the early-stopping test of DSQL-P2 (Lemma 4).
+    """
+
+    alpha: float = 1.0
+    name: str = field(default="SWAPalpha")
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ConfigError(f"alpha must be >= 0, got {self.alpha}")
+
+    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+        b = tracker.benefit(h)
+        if b <= 0:
+            return None
+        slot, f_loss = tracker.min_loss_member()
+        if b >= (1.0 + self.alpha) * f_loss:
+            return slot
+        return None
+
+
+@dataclass
+class SwapRun:
+    """Outcome of one streaming pass.
+
+    Attributes
+    ----------
+    members:
+        Final collection as vertex sets.
+    coverage:
+        ``|C(F_final)|``.
+    examined, admitted, swaps:
+        Stream statistics: embeddings scanned, admitted during progressive
+        initialization, and swapped in after the collection filled.
+    """
+
+    members: List[EmbeddingSet]
+    coverage: int
+    examined: int = 0
+    admitted: int = 0
+    swaps: int = 0
+
+
+def swap_stream(
+    stream: Iterable[Iterable[int]],
+    k: int,
+    condition: SwapCondition,
+    initial: Optional[Iterable[Iterable[int]]] = None,
+    progressive_init: bool = True,
+) -> SwapRun:
+    """Run one streaming pass of ``condition`` over ``stream``.
+
+    Parameters
+    ----------
+    stream:
+        Embeddings (vertex iterables) in arrival order.
+    k:
+        Collection capacity.
+    condition:
+        One of the condition strategies above.
+    initial:
+        Optional pre-filled collection (used by multi-pass scans, where pass
+        ``t`` starts from pass ``t-1``'s result, and by DSQL-P2 which starts
+        from the Phase-1 collection).
+    progressive_init:
+        When the collection is not yet full: if ``True`` (Section 6.1.3),
+        admit embeddings with positive benefit; if ``False``, admit the first
+        ``k`` embeddings unconditionally (the plain [25]/[3] initialization).
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    tracker = CoverageTracker(initial or ())
+    if len(tracker) > k:
+        raise ConfigError(f"initial collection has {len(tracker)} > k = {k} members")
+    run = SwapRun(members=[], coverage=0)
+
+    for raw in stream:
+        h = as_vertex_set(raw)
+        run.examined += 1
+        if len(tracker) < k:
+            if not progressive_init or tracker.benefit(h) > 0:
+                tracker.add(h)
+                run.admitted += 1
+            continue
+        slot = condition.propose(tracker, h, k)
+        if slot is not None:
+            tracker.remove(slot)
+            tracker.add(h)
+            run.swaps += 1
+
+    run.members = tracker.members()
+    run.coverage = tracker.coverage
+    return run

@@ -1,0 +1,187 @@
+"""Hand-built example graphs from the paper's figures and case studies.
+
+These fixtures pin the worked examples of the paper, used by the test suite
+to check DSQL's behaviour against the paper's own traces and by the example
+scripts for readable demos:
+
+* :func:`figure1` — the motivating collaboration network and team query
+  (project manager / programmer / DB developer / software tester);
+* :func:`figure2` — the Example 2 walk-through of DSQL-P1 levels;
+* :func:`imdb_flavor` — a movie/person affiliation graph with the Section
+  7.2 query shape (people co-appearing in two series);
+* :func:`dbpedia_flavor` — an occupation-labeled person graph with the
+  Appendix B.1 politician/scientist/physicist query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+def figure1() -> Tuple[LabeledGraph, QueryGraph]:
+    """The Figure 1 collaboration network ``G'`` and team query ``Q``.
+
+    Labels: ``a`` project manager, ``b`` programmer, ``c`` database
+    developer, ``d`` software tester. Vertex ``vN`` of the paper is id
+    ``N - 1``. The graph hosts (among others) the paper's embeddings
+    ``(v1, v5, v4, v10)``, ``(v2, v6, v7, v12)``, ``(v3, v8, v7, v12)`` and
+    ``(v3, v8, v9, v12)``.
+    """
+    labels = [
+        "a",  # v1
+        "a",  # v2
+        "a",  # v3
+        "c",  # v4
+        "b",  # v5
+        "b",  # v6
+        "c",  # v7
+        "b",  # v8
+        "c",  # v9
+        "d",  # v10
+        "d",  # v11
+        "d",  # v12
+    ]
+
+    def e(i: int, j: int) -> Tuple[int, int]:
+        return (i - 1, j - 1)
+
+    edges = [
+        # embedding (v1, v5, v4, v10)
+        e(1, 5), e(1, 4), e(5, 4), e(5, 10), e(4, 10),
+        # embedding (v2, v6, v7, v12)
+        e(2, 6), e(2, 7), e(6, 7), e(6, 12), e(7, 12),
+        # embeddings (v3, v8, v7, v12) and (v3, v8, v9, v12)
+        e(3, 8), e(3, 7), e(8, 7), e(8, 12),
+        e(3, 9), e(8, 9), e(9, 12),
+        # v11 (the graph-simulation extra of [10])
+        e(6, 11), e(7, 11),
+    ]
+    graph = LabeledGraph(labels, edges, name="figure1")
+    query = QueryGraph(
+        ["a", "b", "c", "d"],
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+        name="team-query",
+    )
+    return graph, query
+
+
+def figure2() -> Tuple[LabeledGraph, QueryGraph]:
+    """The Example 2 graph and its path query ``a - b - c``.
+
+    Hosts exactly the embeddings traced in the paper: ``(v1, v2, v3)``,
+    ``(v7, v8, v9)``, ``(v1, v5, v6)``, ``(v14, v2, v15)``,
+    ``(v16, v17, v3)`` and — at level 2 — ``(v1, v8, v13)``.
+    """
+    labels = [""] * 17
+    for v in (1, 7, 14, 16):
+        labels[v - 1] = "a"
+    for v in (2, 5, 8, 17):
+        labels[v - 1] = "b"
+    for v in (3, 6, 9, 13, 15):
+        labels[v - 1] = "c"
+
+    def e(i: int, j: int) -> Tuple[int, int]:
+        return (i - 1, j - 1)
+
+    edges = [
+        e(1, 2), e(2, 3),      # (v1, v2, v3)
+        e(7, 8), e(8, 9),      # (v7, v8, v9)
+        e(1, 5), e(5, 6),      # (v1, v5, v6)
+        e(14, 2), e(2, 15),    # (v14, v2, v15)
+        e(16, 17), e(17, 3),   # (v16, v17, v3)
+        e(1, 8), e(8, 13),     # (v1, v8, v13)
+    ]
+    graph = LabeledGraph(labels, edges, name="figure2")
+    query = QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)], name="path-abc")
+    return graph, query
+
+
+def imdb_flavor(
+    num_people: int = 600,
+    num_series: int = 120,
+    seed: int = 7,
+) -> Tuple[LabeledGraph, QueryGraph]:
+    """A small movie/person affiliation graph plus the Section 7.2 query.
+
+    People carry ``Actor``/``Actress``/``Director`` labels (the 90% skew of
+    IMDB); series carry genre-quality labels like ``Drama2``. The query asks
+    for an actor, an actress and a director who all appear in the *same two*
+    drama series — the team-like pattern of the paper's Prison Break / Lost
+    case study.
+    """
+    rng = random.Random(seed)
+    person_labels = ["Actor", "Actress", "Director"]
+    genre_labels = [f"{g}{r}" for g in ("Drama", "Crime", "Adventure") for r in (1, 2, 3)]
+    labels: List[str] = []
+    for _ in range(num_people):
+        labels.append(person_labels[rng.randrange(3)])
+    for _ in range(num_series):
+        labels.append(genre_labels[rng.randrange(len(genre_labels))])
+
+    edges = set()
+    for person in range(num_people):
+        appearances = 1 + min(rng.randrange(6), rng.randrange(6))
+        for _ in range(appearances):
+            series = num_people + rng.randrange(num_series)
+            edges.add((person, series))
+    # Seed guaranteed matches: small casts sharing two Drama2 series.
+    drama2 = [v for v in range(num_people, num_people + num_series) if labels[v] == "Drama2"]
+    for i in range(0, max(0, len(drama2) - 1), 2):
+        s1, s2 = drama2[i], drama2[i + 1]
+        cast = rng.sample(range(num_people), 6)
+        for person in cast:
+            edges.add((person, s1))
+            edges.add((person, s2))
+
+    graph = LabeledGraph(labels, sorted(edges), name="imdb-flavor")
+    query = QueryGraph(
+        ["Actor", "Actress", "Director", "Drama2", "Drama2"],
+        [(0, 3), (1, 3), (2, 3), (0, 4), (1, 4), (2, 4)],
+        name="two-series-team",
+    )
+    return graph, query
+
+
+def dbpedia_flavor(
+    num_people: int = 800,
+    seed: int = 11,
+) -> Tuple[LabeledGraph, QueryGraph]:
+    """An occupation-labeled person graph plus the Appendix B.1 query.
+
+    Occupations skew toward ``Other`` as in the paper's 196-label extraction;
+    the query asks for a politician connected to a scientist and a physicist
+    who are also connected to each other.
+    """
+    rng = random.Random(seed)
+    occupations = ["Politician", "Scientist", "Physicist", "Engineer", "Writer"]
+    labels = [
+        occupations[rng.randrange(len(occupations))] if rng.random() < 0.45 else "Other"
+        for _ in range(num_people)
+    ]
+    edges = set()
+    target_edges = num_people * 4
+    while len(edges) < target_edges:
+        u = rng.randrange(num_people)
+        v = rng.randrange(num_people)
+        if u != v:
+            edges.add((u, v) if u < v else (v, u))
+    # Seed triangles matching the query so results exist at every seed.
+    politicians = [v for v in range(num_people) if labels[v] == "Politician"]
+    scientists = [v for v in range(num_people) if labels[v] == "Scientist"]
+    physicists = [v for v in range(num_people) if labels[v] == "Physicist"]
+    for p, s, ph in zip(politicians[:80], scientists[:80], physicists[:80]):
+        edges.add((min(p, s), max(p, s)))
+        edges.add((min(p, ph), max(p, ph)))
+        edges.add((min(s, ph), max(s, ph)))
+
+    graph = LabeledGraph(labels, sorted(edges), name="dbpedia-flavor")
+    query = QueryGraph(
+        ["Politician", "Scientist", "Physicist"],
+        [(0, 1), (0, 2), (1, 2)],
+        name="politician-triangle",
+    )
+    return graph, query

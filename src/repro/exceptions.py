@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graph operations.
+
+    Examples: referencing a vertex id outside ``[0, n)``, adding a self-loop
+    to a simple graph, or constructing a graph whose label table does not
+    cover every vertex.
+    """
+
+
+class QueryError(ReproError):
+    """Raised when a query graph is unusable for subgraph search.
+
+    A query must be non-empty and connected; DSQL's level-wise search and the
+    ``qfList`` father-node construction both rely on connectivity.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised for invalid algorithm configuration values.
+
+    Examples: ``k < 1``, a negative swap parameter ``alpha``, or enabling the
+    bad-vertex strategy without the conflict-table strategy it builds on.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset profile or generator receives bad parameters."""
+
+
+class BudgetExceeded(ReproError):
+    """Raised internally when a search exceeds its node-visit budget.
+
+    The public API converts this into a truncated-but-valid result; it only
+    escapes to callers that explicitly request ``raise_on_budget=True``.
+    """

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmarks print the same rows/series the paper tabulates or plots;
+these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.experiments.measurement import BatchSummary
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table with right-aligned numeric-looking cells."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(widths[i]) if _numeric(cell) else cell.ljust(widths[i])
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def summary_row(summary: BatchSummary) -> List[object]:
+    """The standard columns for one batch: label, time, coverage, MAX, ratio."""
+    return [
+        summary.label,
+        f"{summary.mean_millis:.2f}",
+        f"{summary.mean_coverage:.1f}",
+        f"{summary.mean_max:.1f}",
+        f"{summary.mean_ratio:.3f}",
+        f"{summary.optimal_fraction:.2f}",
+    ]
+
+
+SUMMARY_HEADERS = ["config", "ms/query", "coverage", "MAX", "ratio", "optimal%"]
+"""Headers matching :func:`summary_row`."""
+
+
+def render_summaries(summaries: Iterable[BatchSummary], title: str = "") -> str:
+    """A full comparison table for several batches."""
+    body = render_table(SUMMARY_HEADERS, (summary_row(s) for s in summaries))
+    return f"{title}\n{body}" if title else body
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict,
+    value_format: str = "{:.1f}",
+) -> str:
+    """A figure-style block: one row per named series across x values.
+
+    ``series`` maps name -> list of values aligned with ``xs``.
+    """
+    headers = [x_label] + [str(x) for x in xs]
+    rows = [
+        [name] + [value_format.format(v) if isinstance(v, float) else str(v) for v in values]
+        for name, values in series.items()
+    ]
+    return render_table(headers, rows)

@@ -1,0 +1,139 @@
+"""Query-batch execution for the paper's experiments.
+
+A *solver* here is any callable ``(graph, query) -> SolverOutcome``;
+adapters wrap DSQL, COM, and the other baselines into that interface so one
+runner produces comparable :class:`BatchSummary` rows for every figure.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.baselines.com import com_search
+from repro.baselines.firstk import first_k_baseline
+from repro.baselines.random_start import random_start_search
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.experiments.measurement import BatchSummary, QueryRecord
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+@dataclass(frozen=True)
+class SolverOutcome:
+    """Normalized solver output for measurement."""
+
+    coverage: int
+    max_value: int
+    num_embeddings: int
+    optimal: bool = False
+    budget_exhausted: bool = False
+
+
+Solver = Callable[[LabeledGraph, QueryGraph], SolverOutcome]
+
+
+def dsql_solver(config: DSQLConfig) -> Solver:
+    """Adapter: DSQL with ``config``.
+
+    ``MAX`` follows Section 7.3: the solution's own coverage when provably
+    optimal, else ``k * q``.
+    """
+
+    def solve(graph: LabeledGraph, query: QueryGraph) -> SolverOutcome:
+        result = DSQL(graph, config=config).query(query)
+        return SolverOutcome(
+            coverage=result.coverage,
+            max_value=result.max_value(),
+            num_embeddings=len(result),
+            optimal=result.optimal,
+            budget_exhausted=result.stats.budget_exhausted,
+        )
+
+    return solve
+
+
+def com_solver(
+    k: int, seed: Optional[int] = 0, node_budget: Optional[int] = 2_000_000
+) -> Solver:
+    """Adapter: the COM interleaving baseline."""
+
+    def solve(graph: LabeledGraph, query: QueryGraph) -> SolverOutcome:
+        result = com_search(graph, query, k, seed=seed, node_budget=node_budget)
+        return SolverOutcome(
+            coverage=result.coverage,
+            max_value=k * query.size,
+            num_embeddings=len(result.embeddings),
+            budget_exhausted=result.budget_exhausted,
+        )
+
+    return solve
+
+
+def first_k_solver(k: int, node_budget: Optional[int] = 2_000_000) -> Solver:
+    """Adapter: the first-k baseline of Table 3."""
+
+    def solve(graph: LabeledGraph, query: QueryGraph) -> SolverOutcome:
+        result = first_k_baseline(graph, query, k, node_budget=node_budget)
+        return SolverOutcome(
+            coverage=result.coverage,
+            max_value=k * query.size,
+            num_embeddings=len(result.embeddings),
+        )
+
+    return solve
+
+
+def random_start_solver(
+    k: int, seed: Optional[int] = 0, node_budget: Optional[int] = 2_000_000
+) -> Solver:
+    """Adapter: the random-start baseline of Section 2.2."""
+
+    def solve(graph: LabeledGraph, query: QueryGraph) -> SolverOutcome:
+        result = random_start_search(graph, query, k, seed=seed, node_budget=node_budget)
+        return SolverOutcome(
+            coverage=result.coverage,
+            max_value=k * query.size,
+            num_embeddings=len(result.embeddings),
+        )
+
+    return solve
+
+
+def run_batch(
+    graph: LabeledGraph,
+    queries: Iterable[QueryGraph],
+    solver: Solver,
+    label: str = "",
+) -> BatchSummary:
+    """Run ``solver`` over a query batch, timing each query individually."""
+    summary = BatchSummary(label=label)
+    for query in queries:
+        start = time.perf_counter()
+        outcome = solver(graph, query)
+        elapsed = time.perf_counter() - start
+        summary.add(
+            QueryRecord(
+                seconds=elapsed,
+                coverage=outcome.coverage,
+                max_value=outcome.max_value,
+                num_embeddings=outcome.num_embeddings,
+                optimal=outcome.optimal,
+                budget_exhausted=outcome.budget_exhausted,
+            )
+        )
+    return summary
+
+
+def compare_solvers(
+    graph: LabeledGraph,
+    queries: List[QueryGraph],
+    solvers: dict,
+) -> dict:
+    """Run several named solvers over the same batch; returns name->summary."""
+    return {
+        name: run_batch(graph, queries, solver, label=name)
+        for name, solver in solvers.items()
+    }

@@ -1,0 +1,261 @@
+"""Undirected, vertex-labeled data graphs.
+
+This module provides :class:`LabeledGraph`, the data-graph substrate of the
+paper (Section 2): ``G = (V, E, Sigma, L)`` with
+
+* ``V`` — vertices identified by dense integer ids ``0 .. n-1``;
+* ``E`` — undirected simple edges (no self-loops, no multi-edges);
+* ``Sigma`` — a set of hashable vertex labels;
+* ``L`` — a total labeling function ``V -> Sigma``.
+
+The representation is adjacency sets, which gives O(1) expected
+``has_edge`` — the hot operation inside the backtracking join test — and
+O(deg) neighbor iteration. Degrees and per-vertex neighborhood signatures
+(the set of labels adjacent to a vertex, Section 4.2) are computed lazily and
+cached because DSQL's candidate filters consult them for every candidate.
+
+Instances are logically immutable after construction: mutate via
+:class:`repro.graph.builder.GraphBuilder` and build a fresh graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exceptions import GraphError
+
+Label = Hashable
+Edge = Tuple[int, int]
+
+
+class LabeledGraph:
+    """An undirected, vertex-labeled simple graph.
+
+    Parameters
+    ----------
+    labels:
+        Sequence assigning a label to every vertex; ``labels[v]`` is ``L(v)``.
+        The vertex count is ``len(labels)``.
+    edges:
+        Iterable of ``(u, v)`` pairs. Order within a pair and duplicate pairs
+        are normalized away; self-loops are rejected.
+
+    Examples
+    --------
+    >>> g = LabeledGraph(["a", "b", "b"], [(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> sorted(g.neighbors(1))
+    [0, 2]
+    >>> g.label(0)
+    'a'
+    """
+
+    __slots__ = (
+        "_labels",
+        "_adjacency",
+        "_num_edges",
+        "_label_index",
+        "_signatures",
+        "name",
+    )
+
+    def __init__(
+        self,
+        labels: Sequence[Label],
+        edges: Iterable[Edge] = (),
+        name: str = "",
+    ) -> None:
+        self._labels: List[Label] = list(labels)
+        n = len(self._labels)
+        self._adjacency: List[Set[int]] = [set() for _ in range(n)]
+        self._num_edges = 0
+        self.name = name
+        for u, v in edges:
+            self._add_edge_unchecked(u, v)
+        self._label_index: Dict[Label, Tuple[int, ...]] | None = None
+        self._signatures: List[FrozenSet[Label]] | None = None
+
+    def _add_edge_unchecked(self, u: int, v: int) -> None:
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references a vertex outside [0, {n})")
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {u}) not allowed in a simple graph")
+        if v not in self._adjacency[u]:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+            self._num_edges += 1
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E|``."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """All vertex ids, as a ``range`` (cheap, re-iterable)."""
+        return range(len(self._labels))
+
+    def edges(self) -> Iterator[Edge]:
+        """Yield every undirected edge exactly once, as ``(u, v)`` with u < v."""
+        for u, nbrs in enumerate(self._adjacency):
+            for v in nbrs:
+                if u < v:
+                    yield (u, v)
+
+    def label(self, v: int) -> Label:
+        """The label ``L(v)`` of vertex ``v``."""
+        return self._labels[v]
+
+    @property
+    def labels(self) -> Sequence[Label]:
+        """The full label table (read-only view by convention)."""
+        return self._labels
+
+    def neighbors(self, v: int) -> Set[int]:
+        """The adjacency set of ``v``. Treat the returned set as read-only."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """The degree of ``v``."""
+        return len(self._adjacency[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``(u, v)`` exists (O(1) expected)."""
+        return v in self._adjacency[u]
+
+    def __contains__(self, v: object) -> bool:
+        return isinstance(v, int) and 0 <= v < len(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.name!r}" if self.name else ""
+        return (
+            f"<LabeledGraph{tag} |V|={self.num_vertices} |E|={self.num_edges}"
+            f" |Sigma|={len(self.label_set())}>"
+        )
+
+    # ------------------------------------------------------------------
+    # Label machinery
+    # ------------------------------------------------------------------
+    def label_set(self) -> Set[Label]:
+        """The set of distinct labels ``Sigma`` actually used."""
+        return set(self._labels)
+
+    def label_index(self) -> Dict[Label, Tuple[int, ...]]:
+        """Inverted index ``label -> sorted tuple of vertices with that label``.
+
+        Built once on first use and cached; this is the pre-computed index the
+        paper requires "for looking up the set of vertices with a given
+        label" (Section 4).
+        """
+        if self._label_index is None:
+            buckets: Dict[Label, List[int]] = {}
+            for v, lab in enumerate(self._labels):
+                buckets.setdefault(lab, []).append(v)
+            self._label_index = {lab: tuple(vs) for lab, vs in buckets.items()}
+        return self._label_index
+
+    def vertices_with_label(self, label: Label) -> Tuple[int, ...]:
+        """All vertices carrying ``label`` (empty tuple if unused)."""
+        return self.label_index().get(label, ())
+
+    # ------------------------------------------------------------------
+    # Neighborhood signatures (Section 4.2)
+    # ------------------------------------------------------------------
+    def neighborhood_signature(self, v: int) -> FrozenSet[Label]:
+        """``NS(v)``: the set of labels appearing among the neighbors of ``v``.
+
+        Used by the neighborhood-signature filter: a data vertex ``v`` can
+        match query node ``u`` only if ``NS_Q(u) <= NS(v)``. Signatures for
+        the whole graph are materialized on first call (O(|V| + |E|) storage,
+        matching the paper's stated index budget).
+        """
+        if self._signatures is None:
+            self._signatures = [
+                frozenset(self._labels[w] for w in nbrs) for nbrs in self._adjacency
+            ]
+        return self._signatures[v]
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    def average_degree(self) -> float:
+        """Average vertex degree ``2|E| / |V|`` (0.0 for the empty graph)."""
+        if not self._labels:
+            return 0.0
+        return 2.0 * self._num_edges / len(self._labels)
+
+    def degree_sequence(self) -> List[int]:
+        """Degrees of all vertices, indexed by vertex id."""
+        return [len(nbrs) for nbrs in self._adjacency]
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph counts as connected)."""
+        n = len(self._labels)
+        if n == 0:
+            return True
+        seen = bytearray(n)
+        stack = [0]
+        seen[0] = 1
+        count = 1
+        while stack:
+            u = stack.pop()
+            for w in self._adjacency[u]:
+                if not seen[w]:
+                    seen[w] = 1
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    def connected_components(self) -> List[List[int]]:
+        """All connected components as sorted vertex lists."""
+        n = len(self._labels)
+        seen = bytearray(n)
+        components: List[List[int]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            comp = [start]
+            seen[start] = 1
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in self._adjacency[u]:
+                    if not seen[w]:
+                        seen[w] = 1
+                        comp.append(w)
+                        stack.append(w)
+            comp.sort()
+            components.append(comp)
+        return components
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "LabeledGraph":
+        """The subgraph induced by ``vertices``, with ids re-densified.
+
+        The mapping from old to new ids follows the sorted order of the given
+        vertex set; useful for extracting query graphs from a data graph.
+        """
+        vs = sorted(set(vertices))
+        remap = {old: new for new, old in enumerate(vs)}
+        labels = [self._labels[v] for v in vs]
+        edges = [
+            (remap[u], remap[v])
+            for u in vs
+            for v in self._adjacency[u]
+            if u < v and v in remap
+        ]
+        return LabeledGraph(labels, edges)

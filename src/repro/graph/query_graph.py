@@ -1,0 +1,80 @@
+"""Query graphs for (diversified) subgraph querying.
+
+A query graph (Section 2) is a small, connected, undirected, vertex-labeled
+graph ``Q``. :class:`QueryGraph` reuses the :class:`LabeledGraph`
+representation and adds the validation DSQL depends on:
+
+* non-empty — an empty query has no embeddings and no well-defined level loop;
+* connected — the ``qfList`` father-node construction (Section 5.1) assigns
+  every node a father reachable through earlier nodes, which requires a
+  connected query.
+
+Following the paper's terminology, vertices of ``Q`` are called **nodes** and
+vertices of the data graph are called **vertices**.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import Edge, Label, LabeledGraph
+
+
+class QueryGraph(LabeledGraph):
+    """A connected, non-empty, vertex-labeled query graph.
+
+    Parameters mirror :class:`LabeledGraph`. ``q = |Q|`` is exposed as
+    :attr:`size` since the paper's bounds are stated in terms of ``q``.
+
+    Examples
+    --------
+    The motivating team query of Figure 1(a): a project manager linked to a
+    programmer and a database developer, who are linked to each other and
+    both to a software tester.
+
+    >>> q = QueryGraph(
+    ...     ["a", "b", "c", "d"],
+    ...     [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)],
+    ... )
+    >>> q.size
+    4
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[Label],
+        edges: Iterable[Edge] = (),
+        name: str = "",
+    ) -> None:
+        super().__init__(labels, edges, name=name)
+        if self.num_vertices == 0:
+            raise QueryError("query graph must have at least one node")
+        if not self.is_connected():
+            raise QueryError(
+                "query graph must be connected "
+                f"(found {len(self.connected_components())} components)"
+            )
+
+    @property
+    def size(self) -> int:
+        """``q = |V_Q|``, the number of query nodes."""
+        return self.num_vertices
+
+    @classmethod
+    def from_graph(cls, graph: LabeledGraph, name: str = "") -> "QueryGraph":
+        """Promote a plain :class:`LabeledGraph` to a validated query graph."""
+        return cls(list(graph.labels), list(graph.edges()), name=name or graph.name)
+
+    def edge_tuples(self) -> Tuple[Edge, ...]:
+        """All edges as a deterministic sorted tuple (useful as a cache key)."""
+        return tuple(sorted(self.edges()))
+
+    def canonical_key(self) -> Tuple:
+        """A hashable key identifying this query's labeled structure.
+
+        Two queries with the same node count, label table, and edge set get
+        equal keys. This is *not* a canonical form under isomorphism; it is a
+        cheap identity for caching candidate sets per query object.
+        """
+        return (tuple(self.labels), self.edge_tuples())

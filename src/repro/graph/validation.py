@@ -1,0 +1,97 @@
+"""Validation helpers for embeddings and graph invariants.
+
+These functions are the library's ground truth for "is this answer actually
+correct": every search algorithm's output is checked against them in the test
+suite, and :func:`validate_embedding` is cheap enough to enable in production
+via ``DSQLConfig(validate_results=True)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+def validate_embedding(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    mapping: Sequence[int],
+) -> None:
+    """Assert that ``mapping`` is a subgraph-isomorphism embedding.
+
+    ``mapping[u]`` is the data vertex matched to query node ``u``. The checks
+    follow the Section 2 definition exactly:
+
+    1. the mapping is total — one data vertex per query node;
+    2. the mapping is injective;
+    3. labels agree: ``L_Q(u) == L(mapping[u])``;
+    4. every query edge ``(u, u')`` has a data edge
+       ``(mapping[u], mapping[u'])``.
+
+    Raises :class:`~repro.exceptions.GraphError` describing the first
+    violation found; returns ``None`` on success.
+    """
+    if len(mapping) != query.size:
+        raise GraphError(
+            f"embedding has {len(mapping)} entries for a query of {query.size} nodes"
+        )
+    seen: Dict[int, int] = {}
+    for u, v in enumerate(mapping):
+        if v not in graph:
+            raise GraphError(f"node {u} mapped to nonexistent vertex {v}")
+        if v in seen:
+            raise GraphError(f"nodes {seen[v]} and {u} both mapped to vertex {v}")
+        seen[v] = u
+        if graph.label(v) != query.label(u):
+            raise GraphError(
+                f"label mismatch at node {u}: query label {query.label(u)!r}, "
+                f"vertex {v} has {graph.label(v)!r}"
+            )
+    for u1, u2 in query.edges():
+        if not graph.has_edge(mapping[u1], mapping[u2]):
+            raise GraphError(
+                f"query edge ({u1}, {u2}) has no data edge "
+                f"({mapping[u1]}, {mapping[u2]})"
+            )
+
+
+def is_valid_embedding(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    mapping: Sequence[int],
+) -> bool:
+    """Boolean form of :func:`validate_embedding`."""
+    try:
+        validate_embedding(graph, query, mapping)
+    except GraphError:
+        return False
+    return True
+
+
+def embeddings_distinct(embeddings: Iterable[Sequence[int]]) -> bool:
+    """Whether all embeddings have pairwise-distinct *vertex sets*.
+
+    The paper only keeps embeddings with distinct vertex sets — duplicated
+    vertex sets cannot increase coverage (Section 2).
+    """
+    seen: set[Tuple[int, ...]] = set()
+    for emb in embeddings:
+        key = tuple(sorted(emb))
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def embeddings_pairwise_disjoint(embeddings: Iterable[Sequence[int]]) -> bool:
+    """Whether no vertex appears in two embeddings (level-0 invariant)."""
+    seen: set[int] = set()
+    for emb in embeddings:
+        for v in emb:
+            if v in seen:
+                return False
+            seen.add(v)
+    return True

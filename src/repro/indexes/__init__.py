@@ -1,0 +1,20 @@
+"""Filtering indexes: label index, degree/NS filters, candidate sets."""
+
+from repro.indexes.candidates import CandidateIndex, build_candidate_index
+from repro.indexes.signature import (
+    passes_all_filters,
+    passes_degree_filter,
+    passes_label_filter,
+    passes_signature_filter,
+    query_signature,
+)
+
+__all__ = [
+    "CandidateIndex",
+    "build_candidate_index",
+    "passes_all_filters",
+    "passes_degree_filter",
+    "passes_label_filter",
+    "passes_signature_filter",
+    "query_signature",
+]

@@ -1,0 +1,130 @@
+"""Initial candidate sets ``candS(u)`` (Section 4).
+
+"Before running DSQL, we first generate a candidate set candS(u) for each
+u in V_Q based on these filters" — label, degree and neighborhood signature.
+:class:`CandidateIndex` materializes the sets once per query and offers the
+derived views the search phases need:
+
+* ``candS[u]`` as an ordered list (iteration order is deterministic);
+* membership tests (set form) for dynamic validity checks;
+* ``TcandS[u] = candS[u] & V(T)`` restriction used at each DSQL level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.signature import passes_all_filters
+
+
+class CandidateIndex:
+    """Per-query candidate sets with set and list views.
+
+    Parameters
+    ----------
+    graph, query:
+        The data and query graphs.
+    use_degree_filter, use_signature_filter:
+        Individual filters can be disabled to study their pruning power
+        (the label filter is always on — without it nothing is a candidate
+        model of the paper's ``cand(u)``).
+    """
+
+    def __init__(
+        self,
+        graph: LabeledGraph,
+        query: QueryGraph,
+        use_degree_filter: bool = True,
+        use_signature_filter: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.use_degree_filter = use_degree_filter
+        self.use_signature_filter = use_signature_filter
+        self._lists: List[Tuple[int, ...]] = []
+        self._sets: List[Set[int]] = []
+        for u in range(query.size):
+            cands = [
+                v
+                for v in graph.vertices_with_label(query.label(u))
+                if self._passes(u, v)
+            ]
+            self._lists.append(tuple(cands))
+            self._sets.append(set(cands))
+
+    def _passes(self, u: int, v: int) -> bool:
+        if self.use_degree_filter and self.graph.degree(v) < self.query.degree(u):
+            return False
+        if self.use_signature_filter and not (
+            self.query.neighborhood_signature(u)
+            <= self.graph.neighborhood_signature(v)
+        ):
+            return False
+        return True
+
+    def candidates(self, u: int) -> Tuple[int, ...]:
+        """``candS(u)`` in deterministic (label-index) order."""
+        return self._lists[u]
+
+    def candidate_set(self, u: int) -> Set[int]:
+        """``candS(u)`` as a set for O(1) membership tests."""
+        return self._sets[u]
+
+    def size(self, u: int) -> int:
+        """``|candS(u)|`` — used by the qList selectivity ranking."""
+        return len(self._lists[u])
+
+    def sizes(self) -> List[int]:
+        """All candidate-set sizes, indexed by query node."""
+        return [len(c) for c in self._lists]
+
+    def is_candidate(self, u: int, v: int) -> bool:
+        """Whether ``v`` is in ``candS(u)``.
+
+        This is the *static* filter view; a vertex dropped by in-search
+        refinement (Algorithm 4 line 10) is removed from the set too.
+        """
+        return v in self._sets[u]
+
+    def discard(self, u: int, v: int) -> None:
+        """Remove a vertex that failed a dynamic re-check (Algorithm 4 l.10).
+
+        Only the set view is updated — the frozen list view preserves the
+        original iteration order; the search consults :meth:`is_candidate`
+        before using a listed vertex.
+        """
+        self._sets[u].discard(v)
+
+    def restricted(self, u: int, allowed: Set[int]) -> List[int]:
+        """``candS(u)`` intersected with ``allowed`` (builds ``TcandS[u]``)."""
+        return [v for v in self._lists[u] if v in allowed]
+
+    def any_empty(self) -> bool:
+        """Whether some query node has no candidates (query is unsatisfiable)."""
+        return any(not c for c in self._lists)
+
+    def full_check(self, u: int, v: int) -> bool:
+        """Complete filter predicate, independent of the materialized sets.
+
+        Used to build *dynamic conflict tables* (Section 5.3), where we must
+        ask "would ``v`` have been a valid candidate for ``u_i``?" even for
+        vertices currently excluded by matching state.
+        """
+        return passes_all_filters(self.graph, self.query, u, v)
+
+
+def build_candidate_index(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    use_degree_filter: bool = True,
+    use_signature_filter: bool = True,
+) -> CandidateIndex:
+    """Convenience constructor mirroring the paper's pre-processing step."""
+    return CandidateIndex(
+        graph,
+        query,
+        use_degree_filter=use_degree_filter,
+        use_signature_filter=use_signature_filter,
+    )

@@ -1,0 +1,54 @@
+"""Degree and neighborhood-signature filters (Section 4.2).
+
+A data vertex ``v`` is a *plausible* match for query node ``u`` only if
+
+* ``L(v) == L_Q(u)``                    (label filter),
+* ``degree(v) >= degree_Q(u)``          (degree filter),
+* ``NS_Q(u) <= NS(v)``                  (neighborhood-signature filter),
+
+where ``NS(v)`` is the set of labels among ``v``'s neighbors. The paper
+adopts exactly this filter stack ("we adopt the best indexing strategy as
+noted in [21], which is that of the neighborhood signatures"), with
+O(|V| + |E|) storage — here the signatures are cached on the graph itself.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.graph.labeled_graph import Label, LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+def query_signature(query: QueryGraph, u: int) -> FrozenSet[Label]:
+    """``NS_Q(u)``: labels adjacent to node ``u`` in the query graph."""
+    return query.neighborhood_signature(u)
+
+
+def passes_label_filter(graph: LabeledGraph, query: QueryGraph, u: int, v: int) -> bool:
+    """Label equality check ``L(v) == L_Q(u)``."""
+    return graph.label(v) == query.label(u)
+
+
+def passes_degree_filter(graph: LabeledGraph, query: QueryGraph, u: int, v: int) -> bool:
+    """Degree dominance check ``degree(v) >= degree_Q(u)``."""
+    return graph.degree(v) >= query.degree(u)
+
+
+def passes_signature_filter(graph: LabeledGraph, query: QueryGraph, u: int, v: int) -> bool:
+    """Neighborhood-signature containment ``NS_Q(u) <= NS(v)``."""
+    return query.neighborhood_signature(u) <= graph.neighborhood_signature(v)
+
+
+def passes_all_filters(graph: LabeledGraph, query: QueryGraph, u: int, v: int) -> bool:
+    """Conjunction of the label, degree, and signature filters.
+
+    This is the ``refineCandidates`` predicate of Algorithm 1 and the
+    "degree and neighborhood filters" re-check at line 9 of Algorithm 4.
+    Ordered cheapest-first so the common rejection exits early.
+    """
+    return (
+        graph.label(v) == query.label(u)
+        and graph.degree(v) >= query.degree(u)
+        and query.neighborhood_signature(u) <= graph.neighborhood_signature(v)
+    )

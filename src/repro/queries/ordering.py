@@ -1,0 +1,45 @@
+"""Query-node ranking (the ``qList`` of Section 4).
+
+DSQL ranks query nodes by selectivity: the score of node ``u`` is
+``|candS(u)| / degree(u)`` — few candidates and high degree both make a node
+a good early anchor. The most selective node is searched first; ties break by
+node id so results are deterministic for a fixed graph and query.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+
+
+def selectivity_scores(query: QueryGraph, candidates: CandidateIndex) -> List[float]:
+    """Per-node scores ``|candS(u)| / degree(u)``.
+
+    Isolated nodes cannot occur (queries are connected with >= 1 node; a
+    single-node query has degree 0 and gets score ``|candS(u)|``).
+    """
+    scores: List[float] = []
+    for u in range(query.size):
+        deg = query.degree(u)
+        size = candidates.size(u)
+        scores.append(size / deg if deg else float(size))
+    return scores
+
+
+def selectivity_order(query: QueryGraph, candidates: CandidateIndex) -> List[int]:
+    """``qList``: query nodes sorted ascending by selectivity score.
+
+    Lower score = more selective = searched earlier.
+    """
+    scores = selectivity_scores(query, candidates)
+    return sorted(range(query.size), key=lambda u: (scores[u], u))
+
+
+def rank_of(qlist: Sequence[int]) -> List[int]:
+    """Inverse permutation: ``rank_of(qlist)[u]`` is the rank of node ``u``."""
+    ranks = [0] * len(qlist)
+    for r, u in enumerate(qlist):
+        ranks[u] = r
+    return ranks

@@ -1,0 +1,162 @@
+"""Father-ordered query lists (``qfList``) and the Rm statistics (Section 5).
+
+The localized-search optimization (Section 5.1) replaces the flat ``qList``
+with ``qfList``: a list of ``(node, father)`` pairs in which every node except
+the first has a **father** — a query node processed earlier and adjacent in
+``Q``. Matching then proceeds father-first, so the candidates of a node can be
+restricted to the neighborhood of its father's matched vertex.
+
+This module also computes the two per-node statistics of Section 5.2 that
+drive the single-embedding search mode:
+
+* ``labelRm(u)``    — number of nodes ranked *after* ``u`` sharing its label;
+* ``neighborRm(u)`` — number of nodes ranked *after* ``u`` adjacent to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.query_graph import QueryGraph
+from repro.queries.ordering import rank_of
+
+NO_FATHER = -1
+
+
+@dataclass(frozen=True)
+class QFEntry:
+    """One ``qfList`` element: a query node and its designated father.
+
+    ``father`` is :data:`NO_FATHER` (-1) for the root entry.
+    """
+
+    node: int
+    father: int
+
+
+@dataclass(frozen=True)
+class QFList:
+    """An ordered father list plus the derived per-node statistics.
+
+    Attributes
+    ----------
+    entries:
+        ``qfList`` in search order.
+    rank:
+        ``rank[u]`` is the position of node ``u`` in :attr:`entries`.
+    label_rm, neighbor_rm:
+        The Section 5.2 statistics, indexed by *query node id* (not rank).
+    """
+
+    entries: Tuple[QFEntry, ...]
+    rank: Tuple[int, ...]
+    label_rm: Tuple[int, ...]
+    neighbor_rm: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def node_order(self) -> List[int]:
+        """Just the node ids, in search order."""
+        return [e.node for e in self.entries]
+
+
+def resort(
+    query: QueryGraph,
+    qlist: Sequence[int],
+    qovp: Set[int] = frozenset(),
+) -> QFList:
+    """Build a :class:`QFList` per the ``reSort`` subroutine (Section 5.1).
+
+    The root is the first node of ``qlist`` that belongs to ``qovp`` (the
+    overlap nodes, which are matched before the search starts), or simply the
+    first node of ``qlist`` when ``qovp`` is empty. From the root we expand
+    breadth-first: each unplaced neighbor of the current node gets the
+    current node as father. Neighbors in ``qovp`` are placed before other
+    neighbors (matched nodes deserve higher ranks), then by ``qlist`` rank.
+
+    Finally, entries whose node has degree 1 in ``Q`` are shifted to the end
+    of the list; a degree-1 node's only neighbor is its father, so the shift
+    cannot orphan anyone, and deferring forced leaves lets the conflict and
+    single-embedding machinery cut the search earlier.
+    """
+    ranks = rank_of(qlist)
+    root = next((u for u in qlist if u in qovp), qlist[0])
+
+    entries: List[QFEntry] = [QFEntry(root, NO_FATHER)]
+    placed: Set[int] = {root}
+    cursor = 0
+    while len(entries) < query.size:
+        u = entries[cursor].node
+        neighbors = sorted(
+            (w for w in query.neighbors(u) if w not in placed),
+            key=lambda w: (w not in qovp, ranks[w], w),
+        )
+        for w in neighbors:
+            entries.append(QFEntry(w, u))
+            placed.add(w)
+        cursor += 1
+
+    # The root must stay first even when it has degree 1 — its children's
+    # localization depends on the father being matched before them.
+    trunk = [e for e in entries if e.father == NO_FATHER or query.degree(e.node) != 1]
+    leaves = [e for e in entries if e.father != NO_FATHER and query.degree(e.node) == 1]
+    ordered = tuple(trunk + leaves)
+
+    return _with_statistics(query, ordered)
+
+
+def _with_statistics(query: QueryGraph, entries: Tuple[QFEntry, ...]) -> QFList:
+    """Attach rank, labelRm and neighborRm tables to an entry order."""
+    q = query.size
+    rank = [0] * q
+    for r, entry in enumerate(entries):
+        rank[entry.node] = r
+
+    label_rm = [0] * q
+    neighbor_rm = [0] * q
+    for entry in entries:
+        u = entry.node
+        label_rm[u] = sum(
+            1
+            for other in range(q)
+            if rank[other] > rank[u] and query.label(other) == query.label(u)
+        )
+        neighbor_rm[u] = sum(1 for w in query.neighbors(u) if rank[w] > rank[u])
+
+    return QFList(
+        entries=entries,
+        rank=tuple(rank),
+        label_rm=tuple(label_rm),
+        neighbor_rm=tuple(neighbor_rm),
+    )
+
+
+def validate_qflist(query: QueryGraph, qf: QFList) -> None:
+    """Assert structural invariants of a :class:`QFList` (used in tests).
+
+    * every query node appears exactly once;
+    * the first entry has no father; every other father precedes its child
+      and is adjacent to it in ``Q``.
+    """
+    nodes = [e.node for e in qf.entries]
+    if sorted(nodes) != list(range(query.size)):
+        raise ValueError(f"qfList covers nodes {sorted(nodes)}, expected 0..{query.size - 1}")
+    seen: Set[int] = set()
+    for i, entry in enumerate(qf.entries):
+        if i == 0:
+            if entry.father != NO_FATHER:
+                raise ValueError("first qfList entry must have father -1")
+        else:
+            if entry.father == NO_FATHER:
+                raise ValueError(f"non-first entry {entry.node} lacks a father")
+            if entry.father not in seen:
+                raise ValueError(
+                    f"father {entry.father} of node {entry.node} not processed earlier"
+                )
+            if not query.has_edge(entry.node, entry.father):
+                raise ValueError(
+                    f"father {entry.father} not adjacent to node {entry.node} in Q"
+                )
+        seen.add(entry.node)

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.baselines.com` (the COM interleaving baseline)."""
+
+from __future__ import annotations
+
+from repro.baselines.com import com_search
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.validation import embeddings_distinct, validate_embedding
+
+from tests.conftest import (
+    brute_force_distinct_vertex_sets,
+    connected_query_from,
+    random_labeled_graph,
+)
+
+
+class TestComBasics:
+    def test_returns_at_most_k(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=5)
+        query = connected_query_from(graph, 2, seed=5)
+        r = com_search(graph, query, 5)
+        assert len(r.embeddings) <= 5
+
+    def test_embeddings_valid_and_distinct(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=6)
+        query = connected_query_from(graph, 3, seed=6)
+        r = com_search(graph, query, 8)
+        assert embeddings_distinct(r.embeddings)
+        for emb in r.embeddings:
+            validate_embedding(graph, query, emb)
+
+    def test_no_candidates(self):
+        graph = LabeledGraph(["a", "a"], [(0, 1)])
+        r = com_search(graph, QueryGraph(["a", "z"], [(0, 1)]), 3)
+        assert r.embeddings == []
+        assert r.regions_opened == 0
+
+    def test_finds_all_when_fewer_than_k(self):
+        """With k above the embedding count COM must exhaust every region."""
+        for seed in range(5):
+            graph = random_labeled_graph(20, 3, 0.2, seed=seed)
+            query = connected_query_from(graph, 2, seed=seed + 71)
+            expected = brute_force_distinct_vertex_sets(graph, query)
+            r = com_search(graph, query, k=10 * max(1, len(expected)))
+            assert {frozenset(e) for e in r.embeddings} == expected, seed
+
+    def test_deterministic_for_seed(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=7)
+        query = connected_query_from(graph, 2, seed=7)
+        a = com_search(graph, query, 5, seed=3)
+        b = com_search(graph, query, 5, seed=3)
+        assert a.embeddings == b.embeddings
+
+    def test_interleaving_spreads_roots(self):
+        """Different regions contribute when enough roots exist."""
+        graph = random_labeled_graph(50, 2, 0.2, seed=8)
+        query = connected_query_from(graph, 2, seed=8)
+        r = com_search(graph, query, 10, seed=1)
+        if len(r.embeddings) >= 5:
+            qf_roots = {emb[0] for emb in r.embeddings} | {
+                v for emb in r.embeddings for v in emb
+            }
+            assert len(qf_roots) > 1
+
+    def test_budget_flag(self):
+        graph = random_labeled_graph(40, 2, 0.35, seed=9)
+        query = connected_query_from(graph, 4, seed=9)
+        r = com_search(graph, query, 1000, node_budget=100)
+        assert r.budget_exhausted
+
+    def test_region_accounting(self):
+        graph = random_labeled_graph(25, 2, 0.2, seed=10)
+        query = connected_query_from(graph, 2, seed=10)
+        r = com_search(graph, query, 10_000)
+        assert r.regions_exhausted <= r.regions_opened

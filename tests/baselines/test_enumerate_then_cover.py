@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.baselines.enumerate_then_cover`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.enumerate_then_cover import (
+    STRATEGIES,
+    generate_all,
+    run_all_strategies,
+    run_pipeline,
+    select_top_k,
+)
+from repro.coverage.core import coverage
+from repro.exceptions import ConfigError
+
+from tests.conftest import (
+    brute_force_distinct_vertex_sets,
+    connected_query_from,
+    random_labeled_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = random_labeled_graph(30, 2, 0.25, seed=21)
+    query = connected_query_from(graph, 2, seed=21)
+    return graph, query
+
+
+class TestGenerateAll:
+    def test_matches_brute_force(self, setting):
+        graph, query = setting
+        got = {frozenset(m) for m in generate_all(graph, query)}
+        assert got == brute_force_distinct_vertex_sets(graph, query)
+
+
+class TestSelectTopK:
+    def test_every_strategy_runs(self, setting):
+        graph, query = setting
+        embeddings = generate_all(graph, query)
+        for strategy in STRATEGIES:
+            members = select_top_k(embeddings, 4, strategy)
+            assert len(members) <= 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            select_top_k([], 3, "SWAP9")
+
+    def test_greedy_at_least_swaps(self, setting):
+        """Greedy's (1-1/e) guarantee should beat/match 0.25-swaps here."""
+        graph, query = setting
+        embeddings = generate_all(graph, query)
+        if not embeddings:
+            pytest.skip("no embeddings on this seed")
+        greedy_cov = coverage(select_top_k(embeddings, 4, "Greedy"))
+        for strategy in ("SWAP1", "SWAP2"):
+            assert greedy_cov >= 0.5 * coverage(select_top_k(embeddings, 4, strategy))
+
+
+class TestPipeline:
+    def test_run_pipeline_fields(self, setting):
+        graph, query = setting
+        result = run_pipeline(graph, query, 4, "SWAPalpha")
+        assert result.strategy == "SWAPalpha"
+        assert result.coverage == coverage(result.members)
+        assert result.generation_seconds >= 0
+        assert result.num_embeddings >= len(result.members)
+
+    def test_shared_generation(self, setting):
+        graph, query = setting
+        results = run_all_strategies(graph, query, 4)
+        assert set(results) == set(STRATEGIES)
+        gens = {r.generation_seconds for r in results.values()}
+        assert len(gens) == 1  # one shared stage-1 timing
+        nums = {r.num_embeddings for r in results.values()}
+        assert len(nums) == 1

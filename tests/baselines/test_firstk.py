@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.baselines.firstk`."""
+
+from __future__ import annotations
+
+from repro.baselines.firstk import first_k_baseline
+from repro.graph.validation import embeddings_distinct, validate_embedding
+
+from tests.conftest import connected_query_from, random_labeled_graph
+
+
+class TestFirstK:
+    def test_returns_at_most_k(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=1)
+        query = connected_query_from(graph, 2, seed=1)
+        r = first_k_baseline(graph, query, 5)
+        assert len(r.embeddings) <= 5
+
+    def test_embeddings_valid_and_distinct(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=2)
+        query = connected_query_from(graph, 3, seed=2)
+        r = first_k_baseline(graph, query, 6)
+        assert embeddings_distinct(r.embeddings)
+        for emb in r.embeddings:
+            validate_embedding(graph, query, emb)
+
+    def test_coverage_and_ratio(self):
+        graph = random_labeled_graph(30, 2, 0.25, seed=3)
+        query = connected_query_from(graph, 2, seed=3)
+        k = 4
+        r = first_k_baseline(graph, query, k)
+        assert r.coverage == len(set().union(*map(set, r.embeddings)))
+        assert r.approx_ratio_lower_bound() == r.coverage / (k * query.size)
+
+    def test_no_matches(self):
+        from repro.graph.labeled_graph import LabeledGraph
+        from repro.graph.query_graph import QueryGraph
+
+        graph = LabeledGraph(["a", "a"], [(0, 1)])
+        r = first_k_baseline(graph, QueryGraph(["a", "z"], [(0, 1)]), 3)
+        assert r.embeddings == [] and r.coverage == 0
+
+    def test_first_k_is_localized_hence_overlapping(self):
+        """The motivating defect: depth-first matches overlap heavily.
+
+        On a graph with many embeddings, the first k coverage should fall
+        well short of k*q (DSQL's whole reason to exist).
+        """
+        graph = random_labeled_graph(60, 2, 0.25, seed=4)
+        query = connected_query_from(graph, 3, seed=4)
+        k = 10
+        r = first_k_baseline(graph, query, k)
+        if len(r.embeddings) == k:
+            assert r.coverage < k * query.size

@@ -1,0 +1,86 @@
+"""Unit tests for :mod:`repro.core.result` and the batch API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.dsql import DSQL
+from repro.core.result import DSQResult
+from repro.core.state import SearchStats
+
+
+def make_result(**overrides) -> DSQResult:
+    base = dict(
+        embeddings=[(0, 1), (2, 3)],
+        k=3,
+        q=2,
+        coverage=4,
+        level=0,
+        optimal=False,
+        optimal_reason="",
+        stats=SearchStats(),
+    )
+    base.update(overrides)
+    return DSQResult(**base)
+
+
+class TestDSQResult:
+    def test_len(self):
+        assert len(make_result()) == 2
+
+    def test_cover_set(self):
+        assert make_result().cover_set() == {0, 1, 2, 3}
+
+    def test_vertex_sets(self):
+        assert make_result().vertex_sets() == [frozenset({0, 1}), frozenset({2, 3})]
+
+    def test_max_value_optimal(self):
+        r = make_result(optimal=True, optimal_reason="disjoint")
+        assert r.max_value() == 4
+
+    def test_max_value_not_optimal(self):
+        assert make_result().max_value() == 6
+
+    def test_ratio_bounds(self):
+        assert make_result().approx_ratio_lower_bound() == pytest.approx(4 / 6)
+        assert make_result(optimal=True).approx_ratio_lower_bound() == 1.0
+
+    def test_ratio_empty(self):
+        r = make_result(embeddings=[], coverage=0, k=1, q=1)
+        assert 0.0 <= r.approx_ratio_lower_bound() <= 1.0
+
+    def test_is_disjoint(self):
+        assert make_result().is_disjoint()
+        assert not make_result(embeddings=[(0, 1), (1, 2)], coverage=3).is_disjoint()
+
+    def test_summary_format(self):
+        text = make_result(optimal=True, optimal_reason="disjoint").summary()
+        assert "2/3" in text and "optimal(disjoint)" in text
+
+    def test_to_dict_json_roundtrip(self):
+        payload = make_result().to_dict()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["coverage"] == 4
+        assert back["embeddings"] == [[0, 1], [2, 3]]
+        assert "nodes_expanded" in back["stats"]
+
+
+class TestQueryMany:
+    def test_memoizes_duplicates(self, fig1):
+        graph, query = fig1
+        solver = DSQL(graph, k=2)
+        results = solver.query_many([query, query, query])
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+
+    def test_distinct_queries_distinct_results(self, fig1, fig2):
+        graph, query = fig1
+        from repro.graph.query_graph import QueryGraph
+
+        other = QueryGraph(["a", "b"], [(0, 1)])
+        solver = DSQL(graph, k=2)
+        r1, r2 = solver.query_many([query, other])
+        assert r1 is not r2

@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.core.state`."""
+
+from __future__ import annotations
+
+from repro.core.state import SearchStats, SolutionState
+
+
+class TestSearchStats:
+    def test_record_added(self):
+        s = SearchStats()
+        s.record_added(0)
+        s.record_added(0)
+        s.record_added(2)
+        assert s.embeddings_found == 3
+        assert s.per_level_added == {0: 2, 2: 1}
+
+    def test_defaults(self):
+        s = SearchStats()
+        assert s.nodes_expanded == 0
+        assert not s.phase2_ran
+        assert not s.budget_exhausted
+
+
+class TestSolutionState:
+    def test_add_updates_all_views(self):
+        st = SolutionState()
+        st.add((1, 2, 3))
+        assert len(st) == 1
+        assert st.covered == {1, 2, 3}
+        assert st.matched == {1, 2, 3}
+        assert st.coverage == 3
+
+    def test_overlapping_adds(self):
+        st = SolutionState()
+        st.add((1, 2))
+        st.add((2, 3))
+        assert st.coverage == 3
+        assert not st.is_disjoint()
+
+    def test_disjoint(self):
+        st = SolutionState()
+        st.add((1, 2))
+        st.add((3, 4))
+        assert st.is_disjoint()
+
+    def test_empty_is_disjoint(self):
+        assert SolutionState().is_disjoint()
+
+    def test_matched_can_outgrow_covered(self):
+        """Phase 2 marks generated-but-rejected embeddings in matched only."""
+        st = SolutionState()
+        st.add((1, 2))
+        st.matched.update((8, 9))
+        assert st.covered == {1, 2}
+        assert st.matched == {1, 2, 8, 9}

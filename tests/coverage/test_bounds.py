@@ -1,0 +1,128 @@
+"""Unit tests for :mod:`repro.coverage.bounds` — the paper's closed forms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.bounds import (
+    GAMMA_FIXED_POINT,
+    alpha_gamma_schedule,
+    coverage_upper_bound,
+    greedy_ratio_bound,
+    next_alpha,
+    next_gamma,
+    overall_ratio_bound,
+    phase1_ratio_bound,
+    single_scan_ratio,
+)
+from repro.exceptions import ConfigError
+
+
+class TestSchedule:
+    def test_paper_progression(self):
+        """Section 6.1.2: α/γ = (1, .25), (.5, 1/3), (1/3, 3/8), (.25, .4), (.2, ~.4167)."""
+        schedule = alpha_gamma_schedule(7)
+        expected = [
+            (1.0, 0.25),
+            (0.5, 1 / 3),
+            (1 / 3, 0.375),
+            (0.25, 0.4),
+            (0.2, 5 / 12),
+        ]
+        for (alpha, gamma), (ea, eg) in zip(schedule, expected):
+            assert alpha == pytest.approx(ea)
+            assert gamma == pytest.approx(eg)
+
+    def test_gamma_monotone_to_half(self):
+        schedule = alpha_gamma_schedule(40)
+        gammas = [g for _, g in schedule]
+        assert gammas == sorted(gammas)
+        assert gammas[-1] < GAMMA_FIXED_POINT
+        assert gammas[-1] == pytest.approx(0.5, abs=0.02)
+
+    def test_next_alpha_formula(self):
+        assert next_alpha(0.0) == 1.0
+        assert next_alpha(0.25) == 0.5
+
+    def test_next_gamma_formula(self):
+        assert next_gamma(0.0) == 0.25
+        assert next_gamma(0.25) == pytest.approx(1 / 3)
+
+    def test_next_alpha_domain(self):
+        with pytest.raises(ConfigError):
+            next_alpha(0.5)
+        with pytest.raises(ConfigError):
+            next_alpha(-0.1)
+
+    def test_schedule_stops_at_half(self):
+        assert alpha_gamma_schedule(5, gamma0=0.5) == []
+
+    def test_negative_scans_rejected(self):
+        with pytest.raises(ConfigError):
+            alpha_gamma_schedule(-1)
+
+    def test_fixed_point(self):
+        assert next_gamma(GAMMA_FIXED_POINT) == pytest.approx(GAMMA_FIXED_POINT)
+
+
+class TestSingleScanRatio:
+    def test_inequality6_form(self):
+        # alpha=1, gamma0=0 -> 1/4.
+        assert single_scan_ratio(1.0, 0.0) == pytest.approx(0.25)
+
+    def test_alpha_from_schedule_maximizes(self):
+        gamma0 = 0.2
+        best_alpha = next_alpha(gamma0)
+        best = single_scan_ratio(best_alpha, gamma0)
+        for alpha in (0.1, 0.3, 0.8, 1.5):
+            assert best >= single_scan_ratio(alpha, gamma0) - 1e-12
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ConfigError):
+            single_scan_ratio(-1.0, 0.0)
+
+
+class TestPhase1Bound:
+    def test_level0_optimal(self):
+        assert phase1_ratio_bound(5, 0, 10) == pytest.approx(1.0)
+
+    def test_theorem3_form(self):
+        q, i, k = 6, 2, 10
+        assert phase1_ratio_bound(q, i, k) == pytest.approx((q - i) / q + i / (k * q))
+
+    def test_decreasing_in_level(self):
+        vals = [phase1_ratio_bound(6, i, 10) for i in range(6)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_domain(self):
+        with pytest.raises(ConfigError):
+            phase1_ratio_bound(5, 5, 10)
+        with pytest.raises(ConfigError):
+            phase1_ratio_bound(0, 0, 10)
+
+
+class TestOverallBound:
+    def test_theorem4_form(self):
+        assert overall_ratio_bound(2, 5) == pytest.approx(0.25 * 1.5)  # k=2 dominates
+        assert overall_ratio_bound(10, 5) == pytest.approx(0.25 * 1.2)  # q=5 dominates
+
+    def test_paper_examples(self):
+        # "if k = 2, gamma_1 = 0.375; if q = 5, then gamma_1 = 0.3".
+        assert overall_ratio_bound(2, 100) == pytest.approx(0.375)
+        assert overall_ratio_bound(100, 5) == pytest.approx(0.3)
+
+    def test_domain(self):
+        with pytest.raises(ConfigError):
+            overall_ratio_bound(0, 5)
+
+
+class TestMisc:
+    def test_greedy_bound(self):
+        assert greedy_ratio_bound() == pytest.approx(0.632, abs=1e-3)
+
+    def test_coverage_upper_bound(self):
+        assert coverage_upper_bound(40, 5) == 200
+
+    def test_coverage_upper_bound_domain(self):
+        with pytest.raises(ConfigError):
+            coverage_upper_bound(0, 5)

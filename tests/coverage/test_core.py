@@ -1,0 +1,153 @@
+"""Unit tests for :mod:`repro.coverage.core`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coverage.core import (
+    CoverageTracker,
+    as_vertex_set,
+    benefit,
+    cover_set,
+    coverage,
+    loss,
+)
+
+
+class TestFreeFunctions:
+    def test_coverage(self):
+        assert coverage([{1, 2}, {2, 3}]) == 3
+
+    def test_coverage_empty(self):
+        assert coverage([]) == 0
+
+    def test_cover_set(self):
+        assert cover_set([(1, 2), (3,)]) == {1, 2, 3}
+
+    def test_benefit(self):
+        assert benefit({3, 4}, [{1, 2}, {2, 3}]) == 1
+
+    def test_benefit_all_new(self):
+        assert benefit({9}, []) == 1
+
+    def test_loss_private_vertices(self):
+        assert loss({1, 2}, [{1, 2}, {2, 3}]) == 1  # vertex 1 is private
+
+    def test_loss_requires_membership(self):
+        with pytest.raises(ValueError, match="element"):
+            loss({9}, [{1, 2}])
+
+    def test_as_vertex_set_idempotent(self):
+        s = frozenset({1})
+        assert as_vertex_set(s) is s
+
+
+class TestTrackerBasics:
+    def test_empty(self):
+        t = CoverageTracker()
+        assert len(t) == 0
+        assert t.coverage == 0
+
+    def test_add_and_coverage(self):
+        t = CoverageTracker([{1, 2}, {2, 3}])
+        assert len(t) == 2
+        assert t.coverage == 3
+
+    def test_members_in_slot_order(self):
+        t = CoverageTracker()
+        t.add({1})
+        t.add({2})
+        assert t.members() == [frozenset({1}), frozenset({2})]
+
+    def test_remove(self):
+        t = CoverageTracker()
+        s = t.add({1, 2})
+        t.add({2, 3})
+        removed = t.remove(s)
+        assert removed == frozenset({1, 2})
+        assert t.coverage == 2
+        assert len(t) == 1
+
+    def test_multiplicity(self):
+        t = CoverageTracker([{1, 2}, {2, 3}])
+        assert t.multiplicity(2) == 2
+        assert t.multiplicity(1) == 1
+        assert t.multiplicity(99) == 0
+
+    def test_covers(self):
+        t = CoverageTracker([{5}])
+        assert t.covers(5)
+        assert not t.covers(6)
+
+    def test_duplicate_vertex_sets_handled(self):
+        t = CoverageTracker()
+        a = t.add({1, 2})
+        b = t.add({1, 2})
+        assert t.coverage == 2
+        t.remove(a)
+        assert t.coverage == 2  # second copy still covers
+        t.remove(b)
+        assert t.coverage == 0
+
+
+class TestTrackerQuantities:
+    def test_benefit(self):
+        t = CoverageTracker([{1, 2}])
+        assert t.benefit({2, 3, 4}) == 2
+
+    def test_loss_is_private_count(self):
+        t = CoverageTracker()
+        a = t.add({1, 2})
+        t.add({2, 3})
+        assert t.loss(a) == 1
+
+    def test_loss_plus_discounts_h(self):
+        t = CoverageTracker()
+        a = t.add({1, 2})
+        t.add({2, 3})
+        # L(a) = 1 (vertex 1); L+(a, h={1,9}) = 0 since h re-covers 1.
+        assert t.loss_plus(a, {1, 9}) == 0
+        assert t.loss_plus(a, {9}) == 1
+
+    def test_min_loss_member(self):
+        t = CoverageTracker()
+        t.add({1, 2, 3})
+        b = t.add({3, 4})
+        slot, val = t.min_loss_member()
+        assert slot == b and val == 1
+
+    def test_min_loss_member_empty_raises(self):
+        with pytest.raises(ValueError):
+            CoverageTracker().min_loss_member()
+
+    def test_min_loss_plus_member(self):
+        t = CoverageTracker()
+        a = t.add({1, 2})
+        t.add({3, 4})
+        slot, val = t.min_loss_plus_member({1, 2})
+        assert slot == a and val == 0
+
+    def test_quantities_match_free_functions(self):
+        members = [{1, 2, 3}, {3, 4}, {5}]
+        t = CoverageTracker(members)
+        assert t.coverage == coverage(members)
+        assert t.benefit({4, 5, 6}) == benefit({4, 5, 6}, members)
+        for slot, m in zip(t.slots(), members):
+            assert t.loss(slot) == loss(set(m), members)
+
+    def test_incremental_consistency_random(self):
+        """Tracker quantities stay consistent under add/remove churn."""
+        import random
+
+        rng = random.Random(0)
+        t = CoverageTracker()
+        live = []
+        for step in range(200):
+            if live and rng.random() < 0.4:
+                slot = live.pop(rng.randrange(len(live)))
+                t.remove(slot)
+            else:
+                emb = frozenset(rng.randrange(20) for _ in range(3))
+                live.append(t.add(emb))
+            members = t.members()
+            assert t.coverage == coverage(members)

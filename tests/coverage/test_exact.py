@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.coverage.exact`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coverage.core import coverage
+from repro.coverage.exact import exact_ratio, optimal_coverage
+from repro.exceptions import ConfigError
+
+from tests.conftest import brute_force_optimal_coverage
+
+
+class TestOptimalCoverage:
+    def test_trivial(self):
+        cover, sel = optimal_coverage([{1, 2}, {3}], 2)
+        assert cover == 3
+        assert len(sel) <= 2
+
+    def test_k_zero(self):
+        assert optimal_coverage([{1}], 0) == (0, [])
+
+    def test_empty_input(self):
+        assert optimal_coverage([], 3) == (0, [])
+
+    def test_matches_brute_force_random(self):
+        rng = random.Random(11)
+        for trial in range(15):
+            sets = [frozenset(rng.sample(range(14), 3)) for _ in range(10)]
+            for k in (1, 2, 3):
+                got, sel = optimal_coverage(sets, k)
+                expected = brute_force_optimal_coverage(sets, k)
+                assert got == expected, (trial, k)
+                assert coverage(sel) == got
+                assert len(sel) <= k
+
+    def test_duplicates_and_subsets_pruned(self):
+        sets = [{1, 2, 3}, {1, 2, 3}, {1, 2}, {4}]
+        cover, sel = optimal_coverage(sets, 2)
+        assert cover == 4
+
+    def test_size_guard(self):
+        sets = [frozenset({i}) for i in range(50)]
+        with pytest.raises(ConfigError, match="raise max_embeddings"):
+            optimal_coverage(sets, 3, max_embeddings=10)
+
+    def test_size_guard_can_be_raised(self):
+        sets = [frozenset({i}) for i in range(50)]
+        cover, _ = optimal_coverage(sets, 3, max_embeddings=100)
+        assert cover == 3
+
+
+class TestExactRatio:
+    def test_optimal_solution_ratio_one(self):
+        sets = [{1, 2}, {3, 4}]
+        assert exact_ratio(sets, sets, 2) == pytest.approx(1.0)
+
+    def test_partial_solution(self):
+        sets = [{1, 2}, {3, 4}]
+        assert exact_ratio([{1, 2}], sets, 2) == pytest.approx(0.5)
+
+    def test_empty_solution(self):
+        assert exact_ratio([], [{1}], 1) == 0.0
+
+    def test_empty_universe(self):
+        assert exact_ratio([], [], 1) == 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.coverage.greedy`."""
+
+from __future__ import annotations
+
+import math
+
+from repro.coverage.core import coverage
+from repro.coverage.greedy import greedy_max_coverage
+
+from tests.conftest import brute_force_optimal_coverage
+
+
+class TestGreedy:
+    def test_selects_best_first(self):
+        sets = [{1, 2}, {1, 2, 3, 4}, {5}]
+        out = greedy_max_coverage(sets, 1)
+        assert out == [frozenset({1, 2, 3, 4})]
+
+    def test_marginal_gain_drives_second_pick(self):
+        sets = [{1, 2, 3}, {3, 4}, {1, 2, 4}]
+        out = greedy_max_coverage(sets, 2)
+        assert out[0] == frozenset({1, 2, 3})
+        assert out[1] == frozenset({3, 4})  # gain 1 vs gain 1; earlier wins
+        assert coverage(out) == 4
+
+    def test_stops_when_no_gain(self):
+        sets = [{1, 2}, {1}, {2}]
+        out = greedy_max_coverage(sets, 3)
+        assert len(out) == 1
+
+    def test_k_zero(self):
+        assert greedy_max_coverage([{1}], 0) == []
+
+    def test_empty_input(self):
+        assert greedy_max_coverage([], 5) == []
+
+    def test_deterministic_tie_break(self):
+        sets = [{1, 2}, {3, 4}]
+        assert greedy_max_coverage(sets, 1) == [frozenset({1, 2})]
+
+    def test_respects_k(self):
+        sets = [{i} for i in range(10)]
+        assert len(greedy_max_coverage(sets, 4)) == 4
+
+    def test_guarantee_against_exact_optimum(self):
+        """Greedy achieves >= (1 - 1/e) of optimal on random instances."""
+        import random
+
+        rng = random.Random(7)
+        for trial in range(20):
+            sets = [frozenset(rng.sample(range(15), 4)) for _ in range(12)]
+            k = 3
+            got = coverage(greedy_max_coverage(sets, k))
+            opt = brute_force_optimal_coverage(sets, k)
+            assert got >= math.floor((1 - 1 / math.e) * opt), (trial, got, opt)

@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.coverage.multiscan`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.coverage.core import coverage
+from repro.coverage.multiscan import dsq_ns, swap_alpha_multiscan
+from repro.exceptions import ConfigError
+
+from tests.conftest import brute_force_optimal_coverage
+
+
+def random_stream(seed: int, n: int = 25, universe: int = 20, size: int = 4):
+    rng = random.Random(seed)
+    return [frozenset(rng.sample(range(universe), size)) for _ in range(n)]
+
+
+class TestDsqNs:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            dsq_ns([], 0, 3)
+        with pytest.raises(ConfigError):
+            dsq_ns([], 3, 0)
+
+    def test_disjoint_first_scan(self):
+        sets = [{1, 2}, {3, 4}, {1, 3}]
+        res = dsq_ns(sets, 2, 2)
+        assert res.stop_level == 0
+        assert res.members == [frozenset({1, 2}), frozenset({3, 4})]
+
+    def test_terminates_at_k(self):
+        sets = [{i, i + 100} for i in range(10)]
+        res = dsq_ns(sets, 4, 2)
+        assert len(res.members) == 4
+
+    def test_relaxes_levels(self):
+        # Only overlapping sets: the second scan must admit them.
+        sets = [{1, 2}, {2, 3}, {3, 4}]
+        res = dsq_ns(sets, 3, 2)
+        assert res.coverage == 4
+        assert res.stop_level >= 1
+
+    def test_optimal_when_under_k(self):
+        """|T| < k after all scans -> coverage equals the true optimum."""
+        for seed in range(8):
+            sets = random_stream(seed, n=6, universe=10, size=3)
+            res = dsq_ns(sets, 10, 3)
+            if len(res.members) < 10:
+                opt = brute_force_optimal_coverage(sets, 10)
+                assert res.coverage == opt, seed
+
+    def test_per_scan_coverage_monotone(self):
+        sets = random_stream(3)
+        res = dsq_ns(sets, 5, 4)
+        assert res.per_scan_coverage == sorted(res.per_scan_coverage)
+
+
+class TestSwapAlphaMultiscan:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            swap_alpha_multiscan([], 3, num_scans=0)
+
+    def test_multiscan_never_worse_than_single(self):
+        for seed in range(6):
+            stream = random_stream(seed)
+            single = swap_alpha_multiscan(stream, 4, num_scans=1)
+            multi = swap_alpha_multiscan(stream, 4, num_scans=4)
+            assert multi.coverage >= single.coverage, seed
+
+    def test_stops_at_gamma_half(self):
+        stream = random_stream(1)
+        res = swap_alpha_multiscan(stream, 4, num_scans=50)
+        # The schedule can only run while gamma < 0.5; gamma_t grows fast,
+        # and stable passes stop early, so far fewer than 50 scans happen.
+        assert res.scans < 50
+
+    def test_stable_pass_short_circuits(self):
+        stream = [frozenset({i, i + 50}) for i in range(4)]
+        res = swap_alpha_multiscan(stream, 4, num_scans=5)
+        assert res.scans <= 2
+
+    def test_coverage_matches_members(self):
+        stream = random_stream(2)
+        res = swap_alpha_multiscan(stream, 4, num_scans=3)
+        assert res.coverage == coverage(res.members)
+
+    def test_respects_k(self):
+        stream = random_stream(4)
+        res = swap_alpha_multiscan(stream, 3, num_scans=3)
+        assert len(res.members) <= 3

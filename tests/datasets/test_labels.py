@@ -1,0 +1,88 @@
+"""Unit tests for :mod:`repro.datasets.labels`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.labels import (
+    label_names,
+    relabel_to_density,
+    skewed_labels,
+    uniform_labels,
+    zipf_labels,
+)
+from repro.exceptions import DatasetError
+
+
+class TestLabelNames:
+    def test_names(self):
+        assert label_names(3) == ["L0", "L1", "L2"]
+
+    def test_prefix(self):
+        assert label_names(2, prefix="X") == ["X0", "X1"]
+
+    def test_zero_rejected(self):
+        with pytest.raises(DatasetError):
+            label_names(0)
+
+
+class TestUniform:
+    def test_length_and_alphabet(self):
+        labels = uniform_labels(500, 7, seed=1)
+        assert len(labels) == 500
+        assert set(labels) <= set(label_names(7))
+
+    def test_roughly_uniform(self):
+        labels = uniform_labels(7000, 7, seed=2)
+        counts = Counter(labels)
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_seeded_determinism(self):
+        assert uniform_labels(100, 5, seed=3) == uniform_labels(100, 5, seed=3)
+
+
+class TestZipf:
+    def test_skew_direction(self):
+        labels = zipf_labels(5000, 10, exponent=1.2, seed=1)
+        counts = Counter(labels)
+        assert counts["L0"] > counts.get("L9", 0)
+
+    def test_exponent_zero_is_uniformish(self):
+        labels = zipf_labels(5000, 5, exponent=0.0, seed=1)
+        counts = Counter(labels)
+        assert max(counts.values()) < 1.5 * min(counts.values())
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(DatasetError):
+            zipf_labels(10, 5, exponent=-1)
+
+
+class TestSkewed:
+    def test_top_fraction_respected(self):
+        labels = skewed_labels(10000, 20, top_fraction=0.9, top_count=3, seed=1)
+        counts = Counter(labels)
+        top = sum(counts.get(f"L{i}", 0) for i in range(3))
+        assert 0.85 <= top / 10000 <= 0.95
+
+    def test_parameter_validation(self):
+        with pytest.raises(DatasetError):
+            skewed_labels(10, 5, top_fraction=1.5)
+        with pytest.raises(DatasetError):
+            skewed_labels(10, 5, top_count=5)
+
+
+class TestDensity:
+    def test_density_achieved(self):
+        labels = relabel_to_density(10000, 0.002, seed=1)
+        assert len(set(labels)) <= 20
+        assert len(labels) == 10000
+
+    def test_minimum_one_label(self):
+        labels = relabel_to_density(100, 1e-9, seed=1)
+        assert len(set(labels)) == 1
+
+    def test_invalid_density(self):
+        with pytest.raises(DatasetError):
+            relabel_to_density(100, 0.0)

@@ -1,0 +1,68 @@
+"""Unit tests for :mod:`repro.experiments.measurement`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.measurement import BatchSummary, QueryRecord
+
+
+def record(seconds=0.01, coverage=10, max_value=20, optimal=False, budget=False):
+    return QueryRecord(
+        seconds=seconds,
+        coverage=coverage,
+        max_value=max_value,
+        num_embeddings=4,
+        optimal=optimal,
+        budget_exhausted=budget,
+    )
+
+
+class TestQueryRecord:
+    def test_ratio(self):
+        assert record(coverage=5, max_value=20).ratio == 0.25
+
+    def test_ratio_zero_max(self):
+        assert record(coverage=0, max_value=0).ratio == 1.0
+
+
+class TestBatchSummary:
+    def test_empty_defaults(self):
+        s = BatchSummary(label="x")
+        assert s.mean_seconds == 0.0
+        assert s.mean_coverage == 0.0
+        assert s.mean_ratio == 1.0
+        assert s.optimal_fraction == 0.0
+        assert len(s) == 0
+
+    def test_means(self):
+        s = BatchSummary(label="x")
+        s.add(record(seconds=0.01, coverage=10))
+        s.add(record(seconds=0.03, coverage=30))
+        assert s.mean_seconds == pytest.approx(0.02)
+        assert s.mean_millis == pytest.approx(20.0)
+        assert s.mean_coverage == pytest.approx(20.0)
+
+    def test_mean_ratio(self):
+        s = BatchSummary(label="x")
+        s.add(record(coverage=10, max_value=20))
+        s.add(record(coverage=20, max_value=20))
+        assert s.mean_ratio == pytest.approx(0.75)
+
+    def test_optimal_fraction(self):
+        s = BatchSummary(label="x")
+        s.add(record(optimal=True))
+        s.add(record(optimal=False))
+        assert s.optimal_fraction == 0.5
+
+    def test_budget_flag(self):
+        s = BatchSummary(label="x")
+        s.add(record())
+        assert not s.any_budget_exhausted
+        s.add(record(budget=True))
+        assert s.any_budget_exhausted
+
+    def test_mean_embeddings(self):
+        s = BatchSummary(label="x")
+        s.add(record())
+        assert s.mean_embeddings == 4.0

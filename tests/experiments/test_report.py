@@ -1,0 +1,66 @@
+"""Unit tests for :mod:`repro.experiments.report`."""
+
+from __future__ import annotations
+
+from repro.experiments.measurement import BatchSummary, QueryRecord
+from repro.experiments.report import (
+    SUMMARY_HEADERS,
+    render_series,
+    render_summaries,
+    render_table,
+    summary_row,
+)
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        text = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["col"], [["5"], ["55555"]])
+        lines = text.splitlines()
+        assert lines[2].endswith("5")
+        assert lines[2].startswith(" ")
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestSummaryRendering:
+    def _summary(self):
+        s = BatchSummary(label="dsql")
+        s.add(QueryRecord(seconds=0.002, coverage=10, max_value=20, num_embeddings=3))
+        return s
+
+    def test_summary_row_width(self):
+        assert len(summary_row(self._summary())) == len(SUMMARY_HEADERS)
+
+    def test_render_summaries_title(self):
+        text = render_summaries([self._summary()], title="Table X")
+        assert text.startswith("Table X\n")
+        assert "dsql" in text
+
+    def test_render_summaries_no_title(self):
+        assert not render_summaries([self._summary()]).startswith("\n")
+
+
+class TestRenderSeries:
+    def test_series_block(self):
+        text = render_series("k", [10, 20], {"DSQL": [1.0, 2.0], "COM": [3.0, 4.0]})
+        lines = text.splitlines()
+        assert lines[0].split() == ["k", "10", "20"]
+        assert any(line.startswith("DSQL") for line in lines)
+        assert any(line.startswith("COM") for line in lines)
+
+    def test_series_value_format(self):
+        text = render_series("x", [1], {"s": [0.123456]}, value_format="{:.4f}")
+        assert "0.1235" in text

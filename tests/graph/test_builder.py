@@ -1,0 +1,119 @@
+"""Unit tests for :mod:`repro.graph.builder`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.builder import GraphBuilder, merge_vertex_maps, relabel
+from repro.graph.labeled_graph import LabeledGraph
+
+
+class TestGraphBuilder:
+    def test_add_vertex_returns_sequential_ids(self):
+        b = GraphBuilder()
+        assert b.add_vertex("a") == 0
+        assert b.add_vertex("b") == 1
+        assert b.num_vertices == 2
+
+    def test_add_vertices_bulk(self):
+        b = GraphBuilder()
+        ids = b.add_vertices(["a", "b", "c"])
+        assert ids == [0, 1, 2]
+
+    def test_add_edge_and_build(self):
+        b = GraphBuilder()
+        b.add_vertices(["a", "b"])
+        b.add_edge(0, 1)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.has_edge(0, 1)
+
+    def test_add_edge_idempotent(self):
+        b = GraphBuilder()
+        b.add_vertices(["a", "b"])
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        assert b.num_edges == 1
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_vertices(["a", "b", "c"])
+        b.add_edges([(0, 1), (1, 2)])
+        assert b.num_edges == 2
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_vertices(["a", "b"])
+        b.add_edge(0, 1)
+        assert b.has_edge(1, 0)
+        assert not b.has_edge(0, 0)
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex("a")
+        with pytest.raises(GraphError):
+            b.add_edge(0, 0)
+
+    def test_unknown_vertex_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex("a")
+        with pytest.raises(GraphError):
+            b.add_edge(0, 7)
+
+    def test_set_label(self):
+        b = GraphBuilder()
+        b.add_vertex("a")
+        b.set_label(0, "z")
+        assert b.build().label(0) == "z"
+
+    def test_set_label_unknown_vertex(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError):
+            b.set_label(0, "z")
+
+    def test_build_name(self):
+        b = GraphBuilder()
+        b.add_vertex("a")
+        assert b.build(name="mine").name == "mine"
+
+    def test_build_is_independent_of_builder(self):
+        b = GraphBuilder()
+        b.add_vertices(["a", "b"])
+        g = b.build()
+        b.add_vertex("c")
+        b.add_edge(0, 1)
+        assert g.num_vertices == 2
+        assert g.num_edges == 0
+
+
+class TestRelabel:
+    def test_relabel_topology_preserved(self):
+        g = LabeledGraph(["a", "b"], [(0, 1)])
+        g2 = relabel(g, ["x", "y"])
+        assert list(g2.labels) == ["x", "y"]
+        assert g2.has_edge(0, 1)
+        assert g2.num_edges == g.num_edges
+
+    def test_relabel_wrong_length(self):
+        g = LabeledGraph(["a", "b"], [(0, 1)])
+        with pytest.raises(GraphError, match="entries"):
+            relabel(g, ["x"])
+
+    def test_relabel_keeps_name(self):
+        g = LabeledGraph(["a"], name="orig")
+        assert relabel(g, ["x"]).name == "orig"
+        assert relabel(g, ["x"], name="new").name == "new"
+
+
+class TestMergeVertexMaps:
+    def test_merge_disjoint(self):
+        merged = merge_vertex_maps([{1: 10}, {2: 20}])
+        assert merged == {1: 10, 2: 20}
+
+    def test_merge_overlap_rejected(self):
+        with pytest.raises(GraphError, match="overlap"):
+            merge_vertex_maps([{1: 10}, {1: 11}])
+
+    def test_merge_empty(self):
+        assert merge_vertex_maps([]) == {}

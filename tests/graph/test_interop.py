@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.graph.interop` (networkx bridge)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.interop import (
+    from_networkx,
+    query_from_networkx,
+    to_networkx,
+    translate_embedding,
+)
+from repro.graph.labeled_graph import LabeledGraph
+
+
+def sample_nx():
+    g = nx.Graph()
+    g.add_node("alice", label="a")
+    g.add_node("bob", label="b")
+    g.add_node("carol", label="b")
+    g.add_edge("alice", "bob")
+    g.add_edge("bob", "carol")
+    return g
+
+
+class TestFromNetworkx:
+    def test_basic_conversion(self):
+        graph, node_to_id = from_networkx(sample_nx())
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert graph.label(node_to_id["alice"]) == "a"
+        assert graph.has_edge(node_to_id["alice"], node_to_id["bob"])
+
+    def test_missing_label_raises(self):
+        g = nx.Graph()
+        g.add_node(1)
+        with pytest.raises(GraphError, match="no 'label' attribute"):
+            from_networkx(g)
+
+    def test_default_label(self):
+        g = nx.Graph()
+        g.add_node(1)
+        graph, _ = from_networkx(g, default_label="x")
+        assert graph.label(0) == "x"
+
+    def test_custom_attribute(self):
+        g = nx.Graph()
+        g.add_node(1, kind="z")
+        graph, _ = from_networkx(g, label_attribute="kind")
+        assert graph.label(0) == "z"
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphError, match="undirected"):
+            from_networkx(nx.DiGraph())
+
+    def test_self_loop_dropped_or_strict(self):
+        g = nx.Graph()
+        g.add_node(1, label="a")
+        g.add_edge(1, 1)
+        graph, _ = from_networkx(g)
+        assert graph.num_edges == 0
+        with pytest.raises(GraphError, match="self-loop"):
+            from_networkx(g, strict=True)
+
+
+class TestQueryFromNetworkx:
+    def test_valid_query(self):
+        query, _ = query_from_networkx(sample_nx())
+        assert query.size == 3
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_node(1, label="a")
+        g.add_node(2, label="b")
+        from repro.exceptions import QueryError
+
+        with pytest.raises(QueryError):
+            query_from_networkx(g)
+
+
+class TestToNetworkx:
+    def test_roundtrip(self):
+        original = LabeledGraph(["a", "b", "b"], [(0, 1), (1, 2)], name="g")
+        nxg = to_networkx(original)
+        back, node_to_id = from_networkx(nxg)
+        assert list(back.labels) == list(original.labels)
+        assert set(back.edges()) == set(original.edges())
+
+    def test_label_attribute(self):
+        nxg = to_networkx(LabeledGraph(["z"]), label_attribute="kind")
+        assert nxg.nodes[0]["kind"] == "z"
+
+
+class TestEndToEnd:
+    def test_diversified_search_through_networkx(self):
+        """A networkx user's full path: convert, query, translate back."""
+        from repro import diversified_search
+
+        g = nx.Graph()
+        people = [("pm1", "a"), ("pm2", "a"), ("dev1", "b"), ("dev2", "b")]
+        for node, label in people:
+            g.add_node(node, label=label)
+        g.add_edge("pm1", "dev1")
+        g.add_edge("pm2", "dev2")
+
+        q = nx.Graph()
+        q.add_node("boss", label="a")
+        q.add_node("worker", label="b")
+        q.add_edge("boss", "worker")
+
+        graph, gmap = from_networkx(g)
+        query, _ = query_from_networkx(q)
+        result = diversified_search(graph, query, k=2)
+        assert result.coverage == 4
+        names = {translate_embedding(emb, gmap) for emb in result.embeddings}
+        assert names == {("pm1", "dev1"), ("pm2", "dev2")}

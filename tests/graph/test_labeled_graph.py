@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.graph.labeled_graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+
+
+@pytest.fixture()
+def small():
+    return LabeledGraph(["a", "b", "b", "c"], [(0, 1), (1, 2), (2, 3), (0, 3)])
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_vertices == 4
+        assert small.num_edges == 4
+
+    def test_empty_graph(self):
+        g = LabeledGraph([])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_no_edges(self):
+        g = LabeledGraph(["a", "b"])
+        assert g.num_edges == 0
+        assert g.degree(0) == 0
+
+    def test_duplicate_edges_collapse(self):
+        g = LabeledGraph(["a", "b"], [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self-loop"):
+            LabeledGraph(["a"], [(0, 0)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(GraphError, match="outside"):
+            LabeledGraph(["a", "b"], [(0, 5)])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledGraph(["a", "b"], [(-1, 0)])
+
+    def test_name(self):
+        assert LabeledGraph(["a"], name="g").name == "g"
+
+
+class TestAccessors:
+    def test_vertices_range(self, small):
+        assert list(small.vertices()) == [0, 1, 2, 3]
+
+    def test_edges_each_once_ordered(self, small):
+        edges = list(small.edges())
+        assert len(edges) == 4
+        assert all(u < v for u, v in edges)
+        assert set(edges) == {(0, 1), (1, 2), (2, 3), (0, 3)}
+
+    def test_label(self, small):
+        assert small.label(0) == "a"
+        assert small.label(2) == "b"
+
+    def test_neighbors(self, small):
+        assert small.neighbors(1) == {0, 2}
+
+    def test_degree(self, small):
+        assert [small.degree(v) for v in small.vertices()] == [2, 2, 2, 2]
+
+    def test_has_edge_symmetric(self, small):
+        assert small.has_edge(0, 1)
+        assert small.has_edge(1, 0)
+        assert not small.has_edge(0, 2)
+
+    def test_contains(self, small):
+        assert 0 in small
+        assert 3 in small
+        assert 4 not in small
+        assert "x" not in small
+
+    def test_len(self, small):
+        assert len(small) == 4
+
+
+class TestLabelIndex:
+    def test_label_set(self, small):
+        assert small.label_set() == {"a", "b", "c"}
+
+    def test_label_index_buckets(self, small):
+        idx = small.label_index()
+        assert idx["a"] == (0,)
+        assert idx["b"] == (1, 2)
+        assert idx["c"] == (3,)
+
+    def test_vertices_with_label_missing(self, small):
+        assert small.vertices_with_label("zzz") == ()
+
+    def test_label_index_cached(self, small):
+        assert small.label_index() is small.label_index()
+
+
+class TestSignatures:
+    def test_signature_contents(self, small):
+        assert small.neighborhood_signature(0) == frozenset({"b", "c"})
+        assert small.neighborhood_signature(1) == frozenset({"a", "b"})
+
+    def test_signature_isolated(self):
+        g = LabeledGraph(["a", "b"], [])
+        assert g.neighborhood_signature(0) == frozenset()
+
+    def test_signature_stable(self, small):
+        assert small.neighborhood_signature(2) == small.neighborhood_signature(2)
+
+
+class TestDerivedStats:
+    def test_average_degree(self, small):
+        assert small.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert LabeledGraph([]).average_degree() == 0.0
+
+    def test_degree_sequence(self, small):
+        assert small.degree_sequence() == [2, 2, 2, 2]
+
+
+class TestStructure:
+    def test_is_connected_true(self, small):
+        assert small.is_connected()
+
+    def test_is_connected_false(self):
+        g = LabeledGraph(["a", "b", "c"], [(0, 1)])
+        assert not g.is_connected()
+
+    def test_empty_is_connected(self):
+        assert LabeledGraph([]).is_connected()
+
+    def test_components(self):
+        g = LabeledGraph(["a"] * 5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_induced_subgraph_labels_and_edges(self, small):
+        sub = small.induced_subgraph([0, 1, 3])
+        assert list(sub.labels) == ["a", "b", "c"]
+        assert set(sub.edges()) == {(0, 1), (0, 2)}
+
+    def test_induced_subgraph_dedups_input(self, small):
+        sub = small.induced_subgraph([1, 1, 2])
+        assert sub.num_vertices == 2
+        assert set(sub.edges()) == {(0, 1)}

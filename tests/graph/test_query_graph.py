@@ -1,0 +1,59 @@
+"""Unit tests for :mod:`repro.graph.query_graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError, match="at least one"):
+            QueryGraph([])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError, match="connected"):
+            QueryGraph(["a", "b", "c"], [(0, 1)])
+
+    def test_single_node_ok(self):
+        q = QueryGraph(["a"])
+        assert q.size == 1
+
+    def test_connected_ok(self):
+        q = QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)])
+        assert q.size == 3
+
+
+class TestHelpers:
+    def test_size_equals_num_vertices(self):
+        q = QueryGraph(["a", "b"], [(0, 1)])
+        assert q.size == q.num_vertices == 2
+
+    def test_from_graph(self):
+        g = LabeledGraph(["a", "b"], [(0, 1)], name="g")
+        q = QueryGraph.from_graph(g)
+        assert isinstance(q, QueryGraph)
+        assert q.size == 2
+        assert q.name == "g"
+
+    def test_from_graph_disconnected_rejected(self):
+        g = LabeledGraph(["a", "b"], [])
+        with pytest.raises(QueryError):
+            QueryGraph.from_graph(g)
+
+    def test_edge_tuples_sorted(self):
+        q = QueryGraph(["a", "b", "c"], [(2, 1), (1, 0)])
+        assert q.edge_tuples() == ((0, 1), (1, 2))
+
+    def test_canonical_key_equal_for_equal_queries(self):
+        q1 = QueryGraph(["a", "b"], [(0, 1)])
+        q2 = QueryGraph(["a", "b"], [(1, 0)])
+        assert q1.canonical_key() == q2.canonical_key()
+
+    def test_canonical_key_differs_on_labels(self):
+        q1 = QueryGraph(["a", "b"], [(0, 1)])
+        q2 = QueryGraph(["a", "c"], [(0, 1)])
+        assert q1.canonical_key() != q2.canonical_key()

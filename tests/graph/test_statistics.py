@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.graph.statistics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.statistics import (
+    compute_statistics,
+    degree_histogram,
+    label_histogram,
+    label_skew,
+)
+
+
+@pytest.fixture()
+def graph():
+    return LabeledGraph(["a", "a", "a", "b", "c"], [(0, 1), (0, 2), (0, 3), (3, 4)])
+
+
+class TestComputeStatistics:
+    def test_counts(self, graph):
+        s = compute_statistics(graph)
+        assert s.num_vertices == 5
+        assert s.num_edges == 4
+        assert s.num_labels == 3
+
+    def test_degrees(self, graph):
+        s = compute_statistics(graph)
+        assert s.average_degree == pytest.approx(8 / 5)
+        assert s.max_degree == 3
+
+    def test_label_density(self, graph):
+        assert compute_statistics(graph).label_density == pytest.approx(3 / 5)
+
+    def test_empty_graph(self):
+        s = compute_statistics(LabeledGraph([]))
+        assert s.num_vertices == 0
+        assert s.max_degree == 0
+        assert s.label_density == 0.0
+
+    def test_row_renders(self, graph):
+        row = compute_statistics(graph).row()
+        assert "5" in row and "4" in row
+
+
+class TestHistograms:
+    def test_label_histogram_sorted_by_frequency(self, graph):
+        hist = label_histogram(graph)
+        assert list(hist) == ["a", "b", "c"]
+        assert hist["a"] == 3
+
+    def test_degree_histogram(self, graph):
+        hist = degree_histogram(graph)
+        assert hist == {1: 3, 2: 1, 3: 1}
+
+    def test_label_skew_full_when_few_labels(self, graph):
+        assert label_skew(graph, top=3) == pytest.approx(1.0)
+
+    def test_label_skew_partial(self, graph):
+        assert label_skew(graph, top=1) == pytest.approx(3 / 5)
+
+    def test_label_skew_empty(self):
+        assert label_skew(LabeledGraph([])) == 0.0

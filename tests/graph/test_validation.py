@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.graph.validation`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.validation import (
+    embeddings_distinct,
+    embeddings_pairwise_disjoint,
+    is_valid_embedding,
+    validate_embedding,
+)
+
+
+@pytest.fixture()
+def setting():
+    graph = LabeledGraph(["a", "b", "c", "b"], [(0, 1), (1, 2), (0, 3)])
+    query = QueryGraph(["a", "b"], [(0, 1)])
+    return graph, query
+
+
+class TestValidateEmbedding:
+    def test_valid(self, setting):
+        graph, query = setting
+        validate_embedding(graph, query, (0, 1))
+        validate_embedding(graph, query, (0, 3))
+
+    def test_wrong_length(self, setting):
+        graph, query = setting
+        with pytest.raises(GraphError, match="entries"):
+            validate_embedding(graph, query, (0,))
+
+    def test_not_injective(self, setting):
+        graph, query = setting
+        q2 = QueryGraph(["b", "b"], [(0, 1)])
+        with pytest.raises(GraphError, match="both mapped"):
+            validate_embedding(graph, q2, (1, 1))
+
+    def test_nonexistent_vertex(self, setting):
+        graph, query = setting
+        with pytest.raises(GraphError, match="nonexistent"):
+            validate_embedding(graph, query, (0, 99))
+
+    def test_label_mismatch(self, setting):
+        graph, query = setting
+        with pytest.raises(GraphError, match="label mismatch"):
+            validate_embedding(graph, query, (0, 2))
+
+    def test_missing_edge(self, setting):
+        graph, query = setting
+        # v1 ("b") and v3 ("b") both carry label b, but (2-"c",3) has no edge.
+        q2 = QueryGraph(["b", "b"], [(0, 1)])
+        with pytest.raises(GraphError, match="no data edge"):
+            validate_embedding(graph, q2, (1, 3))
+
+    def test_is_valid_true_false(self, setting):
+        graph, query = setting
+        assert is_valid_embedding(graph, query, (0, 1))
+        assert not is_valid_embedding(graph, query, (0, 2))
+
+
+class TestCollectionInvariants:
+    def test_distinct_true(self):
+        assert embeddings_distinct([(0, 1), (1, 2)])
+
+    def test_distinct_false_on_same_vertex_set(self):
+        assert not embeddings_distinct([(0, 1), (1, 0)])
+
+    def test_disjoint_true(self):
+        assert embeddings_pairwise_disjoint([(0, 1), (2, 3)])
+
+    def test_disjoint_false(self):
+        assert not embeddings_pairwise_disjoint([(0, 1), (1, 2)])
+
+    def test_empty_collections(self):
+        assert embeddings_distinct([])
+        assert embeddings_pairwise_disjoint([])

@@ -1,0 +1,77 @@
+"""Unit tests for :mod:`repro.indexes.signature`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.signature import (
+    passes_all_filters,
+    passes_degree_filter,
+    passes_label_filter,
+    passes_signature_filter,
+    query_signature,
+)
+
+
+@pytest.fixture()
+def setting():
+    # v0(a)-v1(b), v1-v2(c), v3(a) isolated-ish: v3-v4(b)
+    graph = LabeledGraph(["a", "b", "c", "a", "b"], [(0, 1), (1, 2), (3, 4)])
+    # query: a-b-c path
+    query = QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)])
+    return graph, query
+
+
+class TestIndividualFilters:
+    def test_label_filter(self, setting):
+        graph, query = setting
+        assert passes_label_filter(graph, query, 0, 0)
+        assert not passes_label_filter(graph, query, 0, 1)
+
+    def test_degree_filter(self, setting):
+        graph, query = setting
+        # query node 1 ("b") has degree 2; v4 ("b") has degree 1.
+        assert passes_degree_filter(graph, query, 1, 1)
+        assert not passes_degree_filter(graph, query, 1, 4)
+
+    def test_signature_filter(self, setting):
+        graph, query = setting
+        # NS_Q(1) = {a, c}; NS(v1) = {a, c} ok; NS(v4) = {a} fails.
+        assert passes_signature_filter(graph, query, 1, 1)
+        assert not passes_signature_filter(graph, query, 1, 4)
+
+    def test_query_signature(self, setting):
+        _, query = setting
+        assert query_signature(query, 1) == frozenset({"a", "c"})
+        assert query_signature(query, 0) == frozenset({"b"})
+
+
+class TestCombinedFilter:
+    def test_all_pass(self, setting):
+        graph, query = setting
+        assert passes_all_filters(graph, query, 1, 1)
+
+    def test_label_short_circuits(self, setting):
+        graph, query = setting
+        assert not passes_all_filters(graph, query, 0, 2)
+
+    def test_degree_blocks(self, setting):
+        graph, query = setting
+        assert not passes_all_filters(graph, query, 1, 4)
+
+    def test_signature_blocks(self, setting):
+        graph, query = setting
+        # v3 ("a") neighbors only b; query node 0 needs NS containing {b}: ok.
+        assert passes_all_filters(graph, query, 0, 3)
+        # But for a query whose "a" node needs {b, c}:
+        q2 = QueryGraph(["a", "b", "c"], [(0, 1), (0, 2), (1, 2)])
+        assert not passes_all_filters(graph, q2, 0, 3)
+
+    def test_filters_are_necessary_conditions(self, setting):
+        """Any true embedding vertex must pass all filters for its node."""
+        graph, query = setting
+        # (0, 1, 2) is an embedding of the path query.
+        for u, v in enumerate((0, 1, 2)):
+            assert passes_all_filters(graph, query, u, v)

@@ -1,0 +1,66 @@
+"""End-to-end integration tests over the dataset registry and harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.datasets.registry import make_dataset
+from repro.experiments.runner import com_solver, dsql_solver, run_batch
+from repro.graph.validation import embeddings_distinct, validate_embedding
+from repro.queries.generator import query_set
+
+
+@pytest.fixture(scope="module")
+def yeast():
+    return make_dataset("yeast", scale=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def yeast_queries(yeast):
+    return query_set(yeast, 4, 6, seed=2)
+
+
+class TestDatasetPipeline:
+    def test_dsql_runs_on_registry_graph(self, yeast, yeast_queries):
+        from repro.core.dsql import DSQL
+
+        solver = DSQL(yeast, config=DSQLConfig(k=10))
+        for query in yeast_queries:
+            result = solver.query(query)
+            assert embeddings_distinct(result.embeddings)
+            for emb in result.embeddings:
+                validate_embedding(yeast, query, emb)
+
+    def test_batch_summary_sane(self, yeast, yeast_queries):
+        summary = run_batch(
+            yeast, yeast_queries, dsql_solver(DSQLConfig(k=10)), label="DSQL"
+        )
+        assert len(summary) == len(yeast_queries)
+        assert 0.0 <= summary.mean_ratio <= 1.0
+        assert summary.mean_coverage <= summary.mean_max + 1e-9
+
+    def test_dsql_vs_com_shape(self, yeast, yeast_queries):
+        """The Figure 6 shape on a miniature batch: DSQL covers >= COM."""
+        dsql = run_batch(yeast, yeast_queries, dsql_solver(DSQLConfig(k=10)))
+        com = run_batch(yeast, yeast_queries, com_solver(10))
+        assert dsql.mean_coverage >= com.mean_coverage - 1e-9
+
+    def test_coverage_grows_with_k(self, yeast, yeast_queries):
+        small = run_batch(yeast, yeast_queries, dsql_solver(DSQLConfig(k=5)))
+        large = run_batch(yeast, yeast_queries, dsql_solver(DSQLConfig(k=20)))
+        assert large.mean_coverage >= small.mean_coverage - 1e-9
+
+
+class TestCrossDatasetSmoke:
+    @pytest.mark.parametrize("name", ["wordnet", "epinion", "imdb"])
+    def test_small_scale_dataset_query(self, name):
+        graph = make_dataset(name, scale=0.01 if name != "imdb" else 0.001, seed=3)
+        queries = query_set(graph, 3, 2, seed=4)
+        from repro.core.dsql import DSQL
+
+        solver = DSQL(graph, config=DSQLConfig(k=5, node_budget=500_000))
+        for query in queries:
+            result = solver.query(query)
+            for emb in result.embeddings:
+                validate_embedding(graph, query, emb)

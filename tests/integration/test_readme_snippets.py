@@ -1,0 +1,27 @@
+"""The README's code snippets must keep working."""
+
+from __future__ import annotations
+
+
+class TestQuickstartSnippet:
+    def test_figure1_quickstart(self):
+        from repro import diversified_search
+        from repro.datasets import figure1
+
+        graph, query = figure1()
+        result = diversified_search(graph, query, k=2)
+        assert result.summary().startswith("2/2 embeddings, coverage 8")
+        assert result.optimal
+
+    def test_own_data_snippet(self):
+        from repro import DSQL, DSQLConfig, LabeledGraph, QueryGraph
+
+        graph = LabeledGraph(
+            labels=["a", "b", "c", "b"], edges=[(0, 1), (1, 2), (0, 3)]
+        )
+        query = QueryGraph(["a", "b"], [(0, 1)])
+        solver = DSQL(graph, config=DSQLConfig(k=10))
+        result = solver.query(query)
+        assert result.coverage == 3  # v0 with each of v1/v3: {0, 1, 3}
+        assert 0.0 <= result.approx_ratio_lower_bound() <= 1.0
+        assert isinstance(result.optimal, bool)

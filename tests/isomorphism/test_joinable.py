@@ -1,0 +1,57 @@
+"""Unit tests for :mod:`repro.isomorphism.joinable`."""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.isomorphism.joinable import (
+    UNMATCHED,
+    is_joinable,
+    joinable_ignoring_injectivity,
+)
+
+
+def _setting():
+    graph = LabeledGraph(["a", "b", "c", "b"], [(0, 1), (1, 2), (0, 3)])
+    query = QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)])
+    return graph, query
+
+
+class TestIsJoinable:
+    def test_join_ok(self):
+        graph, query = _setting()
+        assignment = [0, UNMATCHED, UNMATCHED]
+        assert is_joinable(graph, query, assignment, {0}, 1, 1)
+
+    def test_join_fails_missing_edge(self):
+        graph, query = _setting()
+        # v3 ("b") has no edge to v2 if we later need it — here test node 1
+        # against matched node 0 -> v0: (v0, v3) exists, so joinable; but
+        # matching node 2 to v3 against node 1 -> v1 must fail (no edge 1-3).
+        assignment = [UNMATCHED, 1, UNMATCHED]
+        assert not is_joinable(graph, query, assignment, {1}, 2, 3)
+
+    def test_injectivity(self):
+        graph, query = _setting()
+        assignment = [0, UNMATCHED, UNMATCHED]
+        assert not is_joinable(graph, query, assignment, {0}, 1, 0)
+
+    def test_unmatched_neighbors_ignored(self):
+        graph, query = _setting()
+        assignment = [UNMATCHED, UNMATCHED, UNMATCHED]
+        assert is_joinable(graph, query, assignment, set(), 1, 3)
+
+
+class TestJoinableIgnoringInjectivity:
+    def test_reused_vertex_allowed(self):
+        graph, query = _setting()
+        assignment = [0, UNMATCHED, UNMATCHED]
+        # v0 is held by node 0 but edge-consistency for node 1 -> v0 is
+        # what matters here: query edge (0,1) needs data edge (v0, v0): none.
+        assert not joinable_ignoring_injectivity(graph, query, assignment, 1, 0)
+
+    def test_edge_consistency_checked(self):
+        graph, query = _setting()
+        assignment = [UNMATCHED, 1, UNMATCHED]
+        assert joinable_ignoring_injectivity(graph, query, assignment, 2, 2)
+        assert not joinable_ignoring_injectivity(graph, query, assignment, 2, 3)

@@ -1,0 +1,64 @@
+"""Unit tests for :mod:`repro.isomorphism.match`."""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.isomorphism.match import (
+    distinct_by_vertex_set,
+    induced_match_subgraph,
+    matched_edges,
+    vertex_set,
+)
+
+
+def _setting():
+    graph = LabeledGraph(["a", "b", "c"], [(0, 1), (1, 2), (0, 2)])
+    query = QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)])
+    return graph, query
+
+
+class TestVertexSet:
+    def test_basic(self):
+        assert vertex_set((3, 1, 2)) == frozenset({1, 2, 3})
+
+    def test_frozen(self):
+        assert isinstance(vertex_set([1]), frozenset)
+
+
+class TestMatchedEdges:
+    def test_normalized_sorted(self):
+        _, query = _setting()
+        assert matched_edges(query, (2, 1, 0)) == [(0, 1), (1, 2)]
+
+    def test_only_query_edges(self):
+        graph, query = _setting()
+        # The data edge (0, 2) exists but is not a query edge: excluded.
+        edges = matched_edges(query, (0, 1, 2))
+        assert (0, 2) not in edges
+
+
+class TestInducedMatchSubgraph:
+    def test_labels_and_structure(self):
+        graph, query = _setting()
+        sub = induced_match_subgraph(graph, query, (0, 1, 2))
+        assert list(sub.labels) == ["a", "b", "c"]
+        assert sub.num_edges == 2  # not the induced triangle
+
+    def test_is_isomorphic_to_query(self):
+        graph, query = _setting()
+        sub = induced_match_subgraph(graph, query, (0, 1, 2))
+        assert sorted(sub.degree_sequence()) == sorted(query.degree_sequence())
+
+
+class TestDistinctByVertexSet:
+    def test_dedup(self):
+        out = list(distinct_by_vertex_set([(0, 1), (1, 0), (1, 2)]))
+        assert out == [(0, 1), (1, 2)]
+
+    def test_keeps_first_occurrence(self):
+        out = list(distinct_by_vertex_set([(5, 6), (6, 5)]))
+        assert out == [(5, 6)]
+
+    def test_empty(self):
+        assert list(distinct_by_vertex_set([])) == []

@@ -1,0 +1,116 @@
+"""Property-based tests for the coverage algebra and selection algorithms."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.core import CoverageTracker, coverage, cover_set
+from repro.coverage.greedy import greedy_max_coverage
+from repro.coverage.multiscan import dsq_ns
+from repro.coverage.swap import Swap1, Swap2, SwapAlpha, swap_stream
+
+embedding = st.frozensets(st.integers(min_value=0, max_value=30), min_size=1, max_size=5)
+stream = st.lists(embedding, min_size=0, max_size=25)
+ks = st.integers(min_value=1, max_value=6)
+
+
+class TestTrackerAlgebra:
+    @given(stream)
+    def test_coverage_equals_union_size(self, embs):
+        t = CoverageTracker(embs)
+        assert t.coverage == len(cover_set(embs))
+
+    @given(stream, embedding)
+    def test_benefit_bounded_by_size(self, embs, h):
+        t = CoverageTracker(embs)
+        assert 0 <= t.benefit(h) <= len(h)
+
+    @given(st.lists(embedding, min_size=1, max_size=15))
+    def test_loss_sums_below_coverage(self, embs):
+        """Private vertices of distinct members are disjoint."""
+        t = CoverageTracker(embs)
+        assert sum(t.loss(s) for s in t.slots()) <= t.coverage
+
+    @given(st.lists(embedding, min_size=1, max_size=15), embedding)
+    def test_loss_plus_at_most_loss(self, embs, h):
+        t = CoverageTracker(embs)
+        for slot in t.slots():
+            assert t.loss_plus(slot, h) <= t.loss(slot)
+
+    @given(st.lists(embedding, min_size=2, max_size=12))
+    def test_remove_then_readd_roundtrip(self, embs):
+        t = CoverageTracker(embs)
+        before = t.coverage
+        slot = t.slots()[0]
+        member = t.remove(slot)
+        t.add(member)
+        assert t.coverage == before
+
+
+class TestGreedyProperties:
+    @given(stream, ks)
+    def test_capacity_and_distinctness(self, embs, k):
+        out = greedy_max_coverage(embs, k)
+        assert len(out) <= k
+        assert len(set(out)) == len(out)
+
+    @given(stream, ks)
+    def test_monotone_in_k(self, embs, k):
+        small = coverage(greedy_max_coverage(embs, k))
+        large = coverage(greedy_max_coverage(embs, k + 1))
+        assert large >= small
+
+    @given(stream, ks)
+    def test_every_pick_from_input(self, embs, k):
+        pool = {frozenset(e) for e in embs}
+        for picked in greedy_max_coverage(embs, k):
+            assert picked in pool
+
+
+class TestSwapProperties:
+    @given(stream, ks)
+    @settings(max_examples=50)
+    def test_swap_alpha_capacity(self, embs, k):
+        run = swap_stream(embs, k, SwapAlpha(alpha=1.0))
+        assert len(run.members) <= k
+        assert run.coverage == coverage(run.members)
+
+    @given(stream, ks)
+    @settings(max_examples=50)
+    def test_members_come_from_stream(self, embs, k):
+        pool = {frozenset(e) for e in embs}
+        for cond in (Swap1(), Swap2(), SwapAlpha()):
+            run = swap_stream(embs, k, cond)
+            assert all(m in pool for m in run.members)
+
+    @given(stream, ks)
+    @settings(max_examples=50)
+    def test_coverage_at_least_best_single(self, embs, k):
+        """Progressive init admits any positive-benefit first embedding, so
+        the final coverage is at least the largest single embedding."""
+        if not embs:
+            return
+        run = swap_stream(embs, k, SwapAlpha(alpha=1.0))
+        # The first embedding is always admitted, and swaps with alpha >= 0
+        # never decrease coverage, so the first embedding's size is a floor.
+        assert run.coverage >= len(embs[0])
+
+
+class TestDsqNsProperties:
+    @given(stream, ks)
+    @settings(max_examples=50)
+    def test_capacity_and_distinct(self, embs, k):
+        res = dsq_ns(embs, k, 5)
+        assert len(res.members) <= k
+        assert res.coverage == coverage(res.members)
+
+    @given(st.lists(embedding, min_size=1, max_size=15), ks)
+    @settings(max_examples=50)
+    def test_no_zero_gain_members(self, embs, k):
+        """Every selected member contributed at least one fresh vertex."""
+        res = dsq_ns(embs, k, 5)
+        seen: set[int] = set()
+        for m in res.members:
+            assert not (set(m) <= seen)
+            seen |= set(m)

@@ -1,0 +1,136 @@
+"""Property-based tests for the full DSQL solver on random small instances.
+
+Each property drives the complete pipeline (candidates -> Phase 1 -> Phase 2)
+on hypothesis-generated graphs and checks the result contract against naive
+reference implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.coverage.bounds import overall_ratio_bound
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.validation import embeddings_distinct, validate_embedding
+
+from tests.conftest import (
+    brute_force_distinct_vertex_sets,
+    brute_force_optimal_coverage,
+)
+
+
+@st.composite
+def instances(draw):
+    """A (graph, query, k) instance small enough for brute-force checks."""
+    n = draw(st.integers(min_value=4, max_value=16))
+    num_labels = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    labels = [f"L{rng.randrange(num_labels)}" for _ in range(n)]
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.3
+    ]
+    graph = LabeledGraph(labels, edges)
+
+    # Query: a small connected subgraph of the data graph (guaranteed to
+    # have at least one embedding — itself).
+    if graph.num_edges == 0:
+        query = QueryGraph([labels[0]])
+    else:
+        from repro.exceptions import DatasetError
+        from repro.queries.generator import random_query
+
+        z = min(draw(st.integers(min_value=1, max_value=3)), graph.num_edges)
+        query = None
+        while z >= 1:
+            try:
+                query = random_query(graph, z, rng=rng)
+                break
+            except DatasetError:
+                z -= 1  # no connected z-edge subgraph; shrink
+        if query is None:
+            query = QueryGraph([labels[0]])
+    k = draw(st.integers(min_value=1, max_value=5))
+    return graph, query, k
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_result_contract(instance):
+    graph, query, k = instance
+    result = DSQL(graph, config=DSQLConfig(k=k)).query(query)
+    assert len(result) <= k
+    assert embeddings_distinct(result.embeddings)
+    for emb in result.embeddings:
+        validate_embedding(graph, query, emb)
+    assert result.coverage == len(result.cover_set())
+    assert result.coverage <= k * query.size
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_nonempty_whenever_embeddings_exist(instance):
+    graph, query, k = instance
+    result = DSQL(graph, config=DSQLConfig(k=k)).query(query)
+    exists = bool(brute_force_distinct_vertex_sets(graph, query))
+    assert bool(result.embeddings) == exists
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_theorem4_bound_against_brute_force(instance):
+    """DSQL coverage >= the Theorem 4 fraction of the true optimum.
+
+    Uses the strict configuration (no candidate cap, exhaustive levels)
+    under which the paper's maximality argument holds unconditionally.
+    """
+    graph, query, k = instance
+    vertex_sets = list(brute_force_distinct_vertex_sets(graph, query))
+    if not vertex_sets or len(vertex_sets) > 40:
+        return
+    config = DSQLConfig(k=k, exhaustive_level=True, single_embedding_mode=False)
+    result = DSQL(graph, config=config).query(query)
+    opt = brute_force_optimal_coverage(vertex_sets, k)
+    assert result.coverage >= overall_ratio_bound(k, query.size) * opt - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_optimality_claims_verified(instance):
+    """Whenever DSQL (strict mode) claims optimality, brute force agrees."""
+    graph, query, k = instance
+    vertex_sets = list(brute_force_distinct_vertex_sets(graph, query))
+    if len(vertex_sets) > 40:
+        return
+    config = DSQLConfig(k=k, exhaustive_level=True, single_embedding_mode=False)
+    result = DSQL(graph, config=config).query(query)
+    if result.optimal:
+        opt = brute_force_optimal_coverage(vertex_sets, k)
+        assert result.coverage == opt
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_variants_agree_on_validity(instance):
+    graph, query, k = instance
+    for factory in (DSQLConfig.dsql0, DSQLConfig.dsql2, DSQLConfig.dsql3):
+        result = DSQL(graph, config=factory(k)).query(query)
+        for emb in result.embeddings:
+            validate_embedding(graph, query, emb)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances())
+def test_pruning_variants_match_dsql0_coverage(instance):
+    """§5.3/§5.4 are pruning-only: coverage identical to DSQL0."""
+    graph, query, k = instance
+    base = DSQL(graph, config=DSQLConfig.dsql0(k)).query(query)
+    for factory in (DSQLConfig.dsql2, DSQLConfig.dsql3):
+        other = DSQL(graph, config=factory(k)).query(query)
+        assert other.coverage == base.coverage

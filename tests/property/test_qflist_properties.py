@@ -1,0 +1,91 @@
+"""Property-based tests for qfList construction (Section 5.1)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.query_graph import QueryGraph
+from repro.queries.qflist import NO_FATHER, resort, validate_qflist
+
+
+@st.composite
+def queries_and_overlaps(draw):
+    """A random connected query, a random qlist order, a random overlap set."""
+    n = draw(st.integers(min_value=1, max_value=8))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=9999)))
+    labels = [rng.choice("abc") for _ in range(n)]
+    # Random spanning tree + extra edges keeps the query connected.
+    edges = set()
+    for v in range(1, n):
+        edges.add((rng.randrange(v), v))
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    query = QueryGraph(labels, sorted(edges))
+    qlist = list(range(n))
+    rng.shuffle(qlist)
+    overlap_size = draw(st.integers(min_value=0, max_value=n - 1))
+    qovp = set(rng.sample(range(n), overlap_size))
+    return query, qlist, qovp
+
+
+@settings(max_examples=120, deadline=None)
+@given(queries_and_overlaps())
+def test_resort_structural_invariants(case):
+    query, qlist, qovp = case
+    qf = resort(query, qlist, qovp)
+    validate_qflist(query, qf)
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries_and_overlaps())
+def test_root_is_first_overlap_or_qlist_head(case):
+    query, qlist, qovp = case
+    qf = resort(query, qlist, qovp)
+    expected_root = next((u for u in qlist if u in qovp), qlist[0])
+    assert qf.entries[0].node == expected_root
+    assert qf.entries[0].father == NO_FATHER
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries_and_overlaps())
+def test_rm_statistics_match_definitions(case):
+    query, qlist, qovp = case
+    qf = resort(query, qlist, qovp)
+    q = query.size
+    for u in range(q):
+        expected_label = sum(
+            1
+            for w in range(q)
+            if qf.rank[w] > qf.rank[u] and query.label(w) == query.label(u)
+        )
+        expected_neighbor = sum(
+            1 for w in query.neighbors(u) if qf.rank[w] > qf.rank[u]
+        )
+        assert qf.label_rm[u] == expected_label
+        assert qf.neighbor_rm[u] == expected_neighbor
+
+
+@settings(max_examples=80, deadline=None)
+@given(queries_and_overlaps())
+def test_degree_one_nodes_trail(case):
+    """Every degree-1 non-root node ranks after every higher-degree node."""
+    query, qlist, qovp = case
+    qf = resort(query, qlist, qovp)
+    root = qf.entries[0].node
+    leaf_ranks = [
+        qf.rank[u]
+        for u in range(query.size)
+        if query.degree(u) == 1 and u != root
+    ]
+    trunk_ranks = [
+        qf.rank[u]
+        for u in range(query.size)
+        if query.degree(u) != 1 or u == root
+    ]
+    if leaf_ranks and trunk_ranks:
+        assert min(leaf_ranks) > max(trunk_ranks)

@@ -1,0 +1,67 @@
+"""Property-based tests: the SQ engine equals brute force on random inputs."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.isomorphism.qsearch import enumerate_embeddings
+
+from tests.conftest import brute_force_embeddings
+
+
+@st.composite
+def sq_instances(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    labels = [f"L{rng.randrange(3)}" for _ in range(n)]
+    edges = [
+        (u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.35
+    ]
+    graph = LabeledGraph(labels, edges)
+    if graph.num_edges == 0:
+        return graph, QueryGraph([labels[0]])
+    from repro.exceptions import DatasetError
+    from repro.queries.generator import random_query
+
+    z = min(draw(st.integers(min_value=1, max_value=4)), graph.num_edges)
+    while z >= 1:
+        try:
+            return graph, random_query(graph, z, rng=rng)
+        except DatasetError:
+            # No connected z-edge subgraph exists (tiny components); shrink.
+            z -= 1
+    return graph, QueryGraph([labels[0]])
+
+
+@settings(max_examples=80, deadline=None)
+@given(sq_instances())
+def test_engine_equals_brute_force(instance):
+    graph, query = instance
+    assert set(enumerate_embeddings(graph, query)) == set(
+        brute_force_embeddings(graph, query)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(sq_instances())
+def test_distinct_vertex_set_mode_is_projection(instance):
+    graph, query = instance
+    full = enumerate_embeddings(graph, query)
+    distinct = enumerate_embeddings(graph, query, distinct_vertex_sets=True)
+    assert {frozenset(m) for m in distinct} == {frozenset(m) for m in full}
+    assert len({frozenset(m) for m in distinct}) == len(distinct)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sq_instances(), st.integers(min_value=1, max_value=5))
+def test_limit_is_prefix(instance, limit):
+    graph, query = instance
+    full = enumerate_embeddings(graph, query)
+    limited = enumerate_embeddings(graph, query, limit=limit)
+    assert limited == full[:limit]

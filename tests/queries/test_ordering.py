@@ -1,0 +1,55 @@
+"""Unit tests for :mod:`repro.queries.ordering`."""
+
+from __future__ import annotations
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+from repro.queries.ordering import rank_of, selectivity_order, selectivity_scores
+
+
+def _setting():
+    # "a" is rare (1 vertex), "b" is common (3 vertices).
+    graph = LabeledGraph(["a", "b", "b", "b"], [(0, 1), (0, 2), (0, 3), (1, 2)])
+    query = QueryGraph(["a", "b"], [(0, 1)])
+    return graph, query, CandidateIndex(graph, query)
+
+
+class TestScores:
+    def test_score_formula(self):
+        graph, query, idx = _setting()
+        scores = selectivity_scores(query, idx)
+        assert scores[0] == idx.size(0) / query.degree(0)
+        assert scores[1] == idx.size(1) / query.degree(1)
+
+    def test_single_node_query_score(self):
+        graph = LabeledGraph(["a", "a"], [(0, 1)])
+        query = QueryGraph(["a"])
+        idx = CandidateIndex(graph, query)
+        assert selectivity_scores(query, idx) == [2.0]
+
+
+class TestOrder:
+    def test_most_selective_first(self):
+        graph, query, idx = _setting()
+        assert selectivity_order(query, idx)[0] == 0
+
+    def test_order_is_permutation(self):
+        graph, query, idx = _setting()
+        order = selectivity_order(query, idx)
+        assert sorted(order) == list(range(query.size))
+
+    def test_tie_break_by_node_id(self):
+        graph = LabeledGraph(["a", "a"], [(0, 1)])
+        query = QueryGraph(["a", "a"], [(0, 1)])
+        idx = CandidateIndex(graph, query)
+        assert selectivity_order(query, idx) == [0, 1]
+
+
+class TestRankOf:
+    def test_inverse(self):
+        ranks = rank_of([2, 0, 1])
+        assert ranks == [1, 2, 0]
+
+    def test_empty(self):
+        assert rank_of([]) == []

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDatasetsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("yeast", "imdb", "uspatent"):
+            assert name in out
+
+
+class TestScheduleCommand:
+    def test_schedule_values(self, capsys):
+        assert main(["schedule", "--scans", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "1.0000" in out and "0.2500" in out
+
+    def test_schedule_stops_near_half(self, capsys):
+        main(["schedule", "--scans", "50"])
+        out = capsys.readouterr().out
+        assert "0.49" in out
+
+
+class TestQueryCommand:
+    def test_dsql_on_yeast(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--queries",
+                "3",
+                "--edges",
+                "3",
+                "--k",
+                "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ms/query" in out and "DSQL" in out
+
+    def test_com_baseline(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--queries",
+                "2",
+                "--edges",
+                "2",
+                "--k",
+                "5",
+                "--solver",
+                "COM",
+            ]
+        )
+        assert code == 0
+        assert "COM" in capsys.readouterr().out
+
+    def test_variant_solver(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--queries",
+                "2",
+                "--edges",
+                "2",
+                "--k",
+                "5",
+                "--solver",
+                "DSQL1",
+                "--no-phase2",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "nope"])
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "yeast", "--solver", "XX"])
+
+
+class TestExperimentCommand:
+    def _run(self, name, capsys, extra=()):
+        code = main(
+            [
+                "experiment",
+                name,
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--queries",
+                "2",
+                "--edges",
+                "3",
+                "--k",
+                "5",
+                *extra,
+            ]
+        )
+        assert code == 0
+        return capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        out = self._run("table2", capsys)
+        assert "embeddings" in out and "ms/query" in out
+
+    def test_table3(self, capsys):
+        out = self._run("table3", capsys)
+        assert "first-k" in out and "DSQL" in out
+
+    def test_table4(self, capsys):
+        out = self._run("table4", capsys)
+        assert "SWAP1" in out and "Greedy" in out and "generation" in out
+
+    def test_fig6k(self, capsys):
+        out = self._run("fig6k", capsys)
+        assert "DSQL cov" in out and "COM cov" in out
+
+    def test_fig9(self, capsys):
+        out = self._run("fig9", capsys)
+        assert "DSQL0" in out and "DSQLh" in out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.graph.builder
+import repro.graph.labeled_graph
+import repro.graph.query_graph
+
+MODULES = [
+    repro.graph.labeled_graph,
+    repro.graph.builder,
+    repro.graph.query_graph,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

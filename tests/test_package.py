@@ -1,0 +1,70 @@
+"""Package-level tests: exports, version, exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetExceeded,
+    ConfigError,
+    DatasetError,
+    GraphError,
+    QueryError,
+    ReproError,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_types_exported(self):
+        assert repro.LabeledGraph is not None
+        assert repro.QueryGraph is not None
+        assert repro.DSQL is not None
+        assert repro.DSQLConfig is not None
+        assert callable(repro.diversified_search)
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.coverage
+        import repro.datasets
+        import repro.experiments
+        import repro.graph
+        import repro.indexes
+        import repro.isomorphism
+        import repro.queries
+
+        for module in (
+            repro.graph,
+            repro.indexes,
+            repro.queries,
+            repro.isomorphism,
+            repro.coverage,
+            repro.baselines,
+            repro.datasets,
+            repro.experiments,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [GraphError, QueryError, ConfigError, DatasetError, BudgetExceeded]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_one_handler_catches_everything(self):
+        for exc in (GraphError, QueryError, ConfigError, DatasetError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
