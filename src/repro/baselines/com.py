@@ -131,13 +131,14 @@ def _region(
     assignment[root] = root_vertex
     used.add(root_vertex)
 
+    has_edge = graph.has_edge
+
     def joinable(u: int, v: int) -> bool:
         if v in used:
             return False
-        neighbors_of_v = graph.neighbors(v)
         for u2 in query.neighbors(u):
             v2 = assignment[u2]
-            if v2 != UNMATCHED and v2 not in neighbors_of_v:
+            if v2 != UNMATCHED and not has_edge(v, v2):
                 return False
         return True
 
@@ -148,11 +149,12 @@ def _region(
         entry = qf.entries[depth]
         u, father = entry.node, entry.father
         if father != UNMATCHED and father >= 0 and assignment[father] != UNMATCHED:
-            pool = sorted(
+            # Neighbor rows are sorted tuples, so the pool stays sorted.
+            pool = [
                 w
                 for w in graph.neighbors(assignment[father])
                 if candidates.is_candidate(u, w)
-            )
+            ]
         else:
             pool = list(candidates.candidates(u))
         for v in pool:

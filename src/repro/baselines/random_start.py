@@ -99,20 +99,21 @@ def _one_embedding(
     entry = qf.entries[depth]
     u, father = entry.node, entry.father
     if father != NO_FATHER and assignment[father] != UNMATCHED:
-        pool = sorted(
+        # Neighbor rows are sorted tuples, so the pool stays sorted.
+        pool = [
             w for w in graph.neighbors(assignment[father]) if candidates.is_candidate(u, w)
-        )
+        ]
     else:
         pool = list(candidates.candidates(u))
+    has_edge = graph.has_edge
     for v in pool:
         spent_box[0] += 1
         if node_budget is not None and spent_box[0] > node_budget:
             raise BudgetExceeded(f"random-start budget {node_budget} exhausted")
         if v in used:
             continue
-        neighbors_of_v = graph.neighbors(v)
         if any(
-            assignment[u2] != UNMATCHED and assignment[u2] not in neighbors_of_v
+            assignment[u2] != UNMATCHED and not has_edge(v, assignment[u2])
             for u2 in query.neighbors(u)
         ):
             continue

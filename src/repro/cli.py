@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.core.config import VARIANTS, DSQLConfig, variant_config
 from repro.coverage.bounds import alpha_gamma_schedule
 from repro.datasets.registry import dataset_names, get_profile, make_dataset
+from repro.graph.csr import BACKEND_NAMES, set_default_backend
 from repro.experiments.report import SUMMARY_HEADERS, render_table, summary_row
 from repro.experiments.runner import (
     com_solver,
@@ -42,6 +43,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dsql",
         description="Diversified top-k subgraph querying (DSQL, SIGMOD 2016)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default=None,
+        help="graph storage backend (default: csr, or $REPRO_GRAPH_BACKEND)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -178,6 +185,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
+    if args.backend is not None:
+        set_default_backend(args.backend)
     if args.command == "query":
         return _cmd_query(args)
     if args.command == "datasets":

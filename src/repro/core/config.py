@@ -65,6 +65,10 @@ class DSQLConfig:
     validate_results:
         Re-validate every returned embedding against the Section 2
         definition (cheap; useful in production pipelines).
+    query_cache_size:
+        LRU cap on the :meth:`repro.core.dsql.DSQL.query_many` result memo
+        (keyed by :meth:`QueryGraph.canonical_key`). ``None`` means
+        unbounded, ``0`` disables memoization.
     seed:
         Seed for the random candidate retention of Section 5.2. Fixed by
         default so runs are reproducible; set ``None`` for entropy.
@@ -82,6 +86,7 @@ class DSQLConfig:
     exhaustive_level: bool = False
     node_budget: Optional[int] = 5_000_000
     validate_results: bool = False
+    query_cache_size: Optional[int] = 128
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:
@@ -95,6 +100,10 @@ class DSQLConfig:
             )
         if self.node_budget is not None and self.node_budget < 1:
             raise ConfigError(f"node_budget must be positive, got {self.node_budget}")
+        if self.query_cache_size is not None and self.query_cache_size < 0:
+            raise ConfigError(
+                f"query_cache_size must be >= 0 or None, got {self.query_cache_size}"
+            )
         if self.relaxed_bad_vertices and not self.bad_vertex_skipping:
             raise ConfigError(
                 "relaxed_bad_vertices (DSQLh) requires bad_vertex_skipping"

@@ -8,8 +8,13 @@ Typical use::
     for embedding in result.embeddings:
         ...  # embedding[u] is the data vertex matched to query node u
 
-:class:`DSQL` is the reusable form: it pins a data graph and configuration
-and answers many queries (candidate indexes are built per query).
+:class:`DSQL` is the reusable *session* form: it pins a data graph, its
+shared :class:`~repro.indexes.graph_cache.GraphIndexCache` (label inverted
+index, signature table, degree arrays, candidate-pool memo), and a
+configuration, then answers many queries without recomputing any per-graph
+state. ``query_many`` additionally memoizes whole results for repeated
+queries behind a bounded LRU (``config.query_cache_size``); session-level
+hit/miss counters live on :attr:`DSQL.stats`.
 
 The phase dispatch follows Section 6.2 exactly:
 
@@ -23,6 +28,7 @@ The phase dispatch follows Section 6.2 exactly:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional
 
 from repro.core.config import DSQLConfig
@@ -37,7 +43,13 @@ from repro.indexes.candidates import CandidateIndex
 
 
 class DSQL:
-    """A diversified subgraph query solver bound to one data graph.
+    """A diversified subgraph query *session* bound to one data graph.
+
+    Construction pins the graph's shared index cache (label inverted index,
+    neighborhood-signature table, degree arrays, candidate-pool memo) so
+    per-graph state is computed once and reused by every :meth:`query` /
+    :meth:`query_many` call. Sessions are cheap to create for a graph whose
+    cache is already warm; keep one around to answer a query stream.
 
     Parameters
     ----------
@@ -47,6 +59,15 @@ class DSQL:
         Full configuration; or pass ``k`` alone for the defaults.
     k:
         Shorthand for ``DSQLConfig(k=...)`` when ``config`` is omitted.
+
+    Attributes
+    ----------
+    index_cache:
+        The pinned per-graph :class:`~repro.indexes.graph_cache.GraphIndexCache`.
+    stats:
+        Session-level counters: ``query_cache_hits`` / ``query_cache_misses``
+        for the ``query_many`` memo (per-query search counters are on each
+        result's own ``stats``).
     """
 
     def __init__(
@@ -63,13 +84,16 @@ class DSQL:
             raise ValueError(f"conflicting k: config.k={config.k}, k={k}")
         self.graph = graph
         self.config = config
+        self.index_cache = graph.index_cache()
+        self.stats = SearchStats()
+        self._query_cache: "OrderedDict[tuple, DSQResult]" = OrderedDict()
 
     def query(self, query: QueryGraph) -> DSQResult:
         """Answer one diversified top-k query."""
         config = self.config
         graph = self.graph
         stats = SearchStats()
-        candidates = CandidateIndex(graph, query)
+        candidates = CandidateIndex(graph, query, cache=self.index_cache)
 
         phase1 = run_phase1(graph, query, config, candidates, stats)
         state = phase1.state
@@ -122,19 +146,36 @@ class DSQL:
 
 
     def query_many(self, queries) -> list:
-        """Answer a sequence of queries, memoizing repeated query objects.
+        """Answer a sequence of queries, memoizing repeated query structure.
 
         Queries are memoized by :meth:`QueryGraph.canonical_key` — identical
         labeled structure returns the same (deterministic) result object
-        without re-searching. Useful for workload batches with duplicates.
+        without re-searching. The memo persists across ``query_many`` calls
+        on this session and is bounded by ``config.query_cache_size`` with
+        LRU eviction (``None`` = unbounded, ``0`` = disabled). Hits and
+        misses accumulate on :attr:`stats`.
         """
-        cache: dict = {}
+        cache = self._query_cache
+        cap = self.config.query_cache_size
+        stats = self.stats
         results = []
         for query in queries:
             key = query.canonical_key()
-            if key not in cache:
-                cache[key] = self.query(query)
-            results.append(cache[key])
+            if cap == 0:
+                stats.query_cache_misses += 1
+                results.append(self.query(query))
+                continue
+            result = cache.get(key)
+            if result is None:
+                stats.query_cache_misses += 1
+                result = self.query(query)
+                cache[key] = result
+                if cap is not None and len(cache) > cap:
+                    cache.popitem(last=False)
+            else:
+                stats.query_cache_hits += 1
+                cache.move_to_end(key)
+            results.append(result)
         return results
 
 

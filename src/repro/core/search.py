@@ -84,7 +84,11 @@ class LevelSearchEngine:
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
         self._used: Set[int] = set()
-        self._bad: List[Set[int]] = [set() for _ in range(q + 1)]
+        # Bad marks carry the conflict set that justified them (see
+        # ``_single_frame``): a skipped vertex is a failure whose reasons
+        # must still propagate upward, otherwise ancestors compute
+        # understated conflict sets and skip revivable subtrees.
+        self._bad: List[Dict[int, Set[int]]] = [{} for _ in range(q + 1)]
         # Per-Qovp state, installed by run_level.
         self._qf: Optional[QFList] = None
         self._qovp: FrozenSet[int] = frozenset()
@@ -118,7 +122,7 @@ class LevelSearchEngine:
             self._qf = resort(self.query, list(qlist), set(qovp_tuple))
             self._assignment = [UNMATCHED] * q
             self._used = set()
-            self._bad = [set() for _ in range(q + 1)]
+            self._bad = [{} for _ in range(q + 1)]
             stop, _carry = self._multi_frame(0)
             if stop:
                 return False
@@ -136,9 +140,11 @@ class LevelSearchEngine:
         ):
             vf = self._assignment[father]
             is_candidate = self.candidates.is_candidate
-            base: List[int] = sorted(
+            # Neighbor rows are sorted tuples, so the filtered list stays
+            # sorted without an explicit sort.
+            base: List[int] = [
                 w for w in self.graph.neighbors(vf) if is_candidate(u, w)
-            )
+            ]
         else:
             base = list(self.candidates.candidates(u))
         if is_overlap:
@@ -158,10 +164,10 @@ class LevelSearchEngine:
         if v in self._used:
             return False
         assignment = self._assignment
-        neighbors_of_v = self.graph.neighbors(v)
+        has_edge = self.graph.has_edge
         for u2 in self.query.neighbors(u):
             v2 = assignment[u2]
-            if v2 != UNMATCHED and v2 not in neighbors_of_v:
+            if v2 != UNMATCHED and not has_edge(v, v2):
                 return False
         return True
 
@@ -202,7 +208,7 @@ class LevelSearchEngine:
                 prev_node = self._qf.entries[depth - 1].node
                 prev_ok = prev_node not in conflict
             if prev_ok:
-                self._bad[depth].add(v)
+                self._bad[depth][v] = set(conflict)
                 self.stats.bad_vertices_marked += 1
         return False
 
@@ -335,8 +341,10 @@ class LevelSearchEngine:
             self._charge()
             if not is_overlap and v in matched:
                 continue
-            if v in bad:
+            mark = bad.get(v)
+            if mark is not None:
                 self.stats.bad_vertex_skips += 1
+                inherited |= mark
                 continue
             if not self._joinable(u, v):
                 continue

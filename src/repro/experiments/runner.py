@@ -39,11 +39,20 @@ def dsql_solver(config: DSQLConfig) -> Solver:
     """Adapter: DSQL with ``config``.
 
     ``MAX`` follows Section 7.3: the solution's own coverage when provably
-    optimal, else ``k * q``.
+    optimal, else ``k * q``. One DSQL session is kept per data graph, so a
+    batch over the same graph shares the per-graph index cache instead of
+    rebuilding it per query.
     """
+    # Keyed by id() with the graph kept alive alongside the session, so a
+    # recycled id can never alias a dead graph.
+    sessions: dict = {}
 
     def solve(graph: LabeledGraph, query: QueryGraph) -> SolverOutcome:
-        result = DSQL(graph, config=config).query(query)
+        entry = sessions.get(id(graph))
+        if entry is None or entry[0] is not graph:
+            entry = (graph, DSQL(graph, config=config))
+            sessions[id(graph)] = entry
+        result = entry[1].query(query)
         return SolverOutcome(
             coverage=result.coverage,
             max_value=result.max_value(),

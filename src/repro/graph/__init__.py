@@ -1,6 +1,14 @@
 """Graph substrate: labeled graphs, query graphs, builders, I/O, statistics."""
 
 from repro.graph.builder import GraphBuilder, relabel
+from repro.graph.csr import (
+    BACKEND_NAMES,
+    CSRBackend,
+    SetBackend,
+    default_backend,
+    make_backend,
+    set_default_backend,
+)
 from repro.graph.interop import (
     from_networkx,
     query_from_networkx,
@@ -24,6 +32,12 @@ from repro.graph.validation import (
 )
 
 __all__ = [
+    "BACKEND_NAMES",
+    "CSRBackend",
+    "SetBackend",
+    "default_backend",
+    "make_backend",
+    "set_default_backend",
     "Edge",
     "Label",
     "LabeledGraph",

@@ -1,0 +1,339 @@
+"""Storage backends for labeled graphs: immutable CSR arrays and adjacency sets.
+
+This module is the *backend seam* of the graph substrate. A backend owns the
+topology and label storage of one immutable graph; :class:`~repro.graph.
+labeled_graph.LabeledGraph` keeps its public API and delegates every storage
+question here. Two backends exist:
+
+* :class:`CSRBackend` (default) — compressed sparse row. The whole adjacency
+  structure lives in two numpy arrays (``indptr``/``indices``) with **sorted**
+  neighbor rows, next to a flat label-id array and a precomputed degree
+  array. This is the standard substrate for subgraph enumeration at scale:
+  neighbor iteration is a contiguous slice, iteration order is deterministic
+  by construction, and batch edge probes vectorize with ``searchsorted``.
+* :class:`SetBackend` — the reference adjacency-set representation the
+  library started from. Retained so equivalence tests can prove the CSR path
+  returns byte-identical results, and as a fallback for workloads that never
+  touch the array views.
+
+Both backends expose identical semantics:
+
+* ``neighbors(v)`` returns the sorted tuple of neighbors (plain Python ints,
+  so downstream embeddings never carry numpy scalar types);
+* ``has_edge(u, v)`` is an O(1) expected probe. For the CSR backend the
+  scalar probe goes through per-vertex hash sets because a per-call
+  ``searchsorted`` pays ~20x Python/numpy call overhead for a single lookup;
+  the pure-CSR probes remain available as
+  :meth:`CSRBackend.has_edge_searchsorted` (scalar, for verification) and
+  :meth:`CSRBackend.has_edges` (vectorized batch, the form that actually
+  amortizes the numpy call);
+* both intern labels into ``label_table`` / ``label_to_id`` / ``label_ids``
+  in first-appearance order, the id space the per-graph index cache keys its
+  signature bitmasks by.
+
+The module-level default backend is ``"csr"``; override per process with
+:func:`set_default_backend` or the ``REPRO_GRAPH_BACKEND`` environment
+variable, or per graph with the ``backend=`` constructor argument.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+Label = Hashable
+Edge = Tuple[int, int]
+
+BACKEND_NAMES: Tuple[str, ...] = ("csr", "set")
+"""Registered backend names, in preference order."""
+
+_ENV_VAR = "REPRO_GRAPH_BACKEND"
+_default_backend: Optional[str] = None
+
+
+def default_backend() -> str:
+    """The process-wide default backend name.
+
+    Resolution order: :func:`set_default_backend` override, then the
+    ``REPRO_GRAPH_BACKEND`` environment variable, then ``"csr"``.
+    """
+    if _default_backend is not None:
+        return _default_backend
+    env = os.environ.get(_ENV_VAR)
+    if env:
+        if env not in BACKEND_NAMES:
+            raise GraphError(
+                f"{_ENV_VAR}={env!r} is not a graph backend; choose from {BACKEND_NAMES}"
+            )
+        return env
+    return "csr"
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Set (or with ``None`` reset) the process-wide default backend."""
+    global _default_backend
+    if name is not None and name not in BACKEND_NAMES:
+        raise GraphError(f"unknown graph backend {name!r}; choose from {BACKEND_NAMES}")
+    _default_backend = name
+
+
+def resolve_backend_name(name: Optional[str]) -> str:
+    """Validate an explicit backend name, or fall back to the default."""
+    if name is None:
+        return default_backend()
+    if name not in BACKEND_NAMES:
+        raise GraphError(f"unknown graph backend {name!r}; choose from {BACKEND_NAMES}")
+    return name
+
+
+def normalize_edges(num_vertices: int, edges: Iterable[Edge]) -> List[Edge]:
+    """Validate and normalize an edge iterable to sorted unique ``(u, v)``, u < v.
+
+    Rejects self-loops and endpoints outside ``[0, num_vertices)`` with the
+    same diagnostics regardless of backend; duplicate pairs (in either
+    orientation) collapse.
+    """
+    n = num_vertices
+    seen: Set[Edge] = set()
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references a vertex outside [0, {n})")
+        if u == v:
+            raise GraphError(f"self-loop ({u}, {u}) not allowed in a simple graph")
+        seen.add((u, v) if u < v else (v, u))
+    return sorted(seen)
+
+
+def intern_labels(labels: Sequence[Label]) -> Tuple[List[Label], Dict[Label, int], List[int]]:
+    """Intern a label table in first-appearance order.
+
+    Returns ``(label_table, label_to_id, label_ids)`` with
+    ``label_table[label_ids[v]] == labels[v]``.
+    """
+    table: List[Label] = []
+    to_id: Dict[Label, int] = {}
+    ids: List[int] = []
+    for lab in labels:
+        i = to_id.get(lab)
+        if i is None:
+            i = to_id[lab] = len(table)
+            table.append(lab)
+        ids.append(i)
+    return table, to_id, ids
+
+
+def _sorted_rows(n: int, pairs: Sequence[Edge]) -> List[Tuple[int, ...]]:
+    """Per-vertex sorted neighbor tuples from normalized edge pairs."""
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for u, v in pairs:
+        adj[u].append(v)
+        adj[v].append(u)
+    return [tuple(sorted(r)) for r in adj]
+
+
+class CSRBackend:
+    """Immutable compressed-sparse-row storage for one labeled graph.
+
+    Attributes
+    ----------
+    indptr, indices:
+        The CSR arrays: the neighbors of ``v`` are
+        ``indices[indptr[v]:indptr[v+1]]``, sorted ascending.
+    label_ids, label_table, label_to_id:
+        Flat per-vertex label-id array plus the interning tables
+        (first-appearance order).
+    degree_array:
+        Precomputed per-vertex degrees as a numpy array.
+    labels:
+        The raw label list, indexed by vertex id.
+    """
+
+    name = "csr"
+
+    __slots__ = (
+        "labels",
+        "num_edges",
+        "indptr",
+        "indices",
+        "label_ids",
+        "label_table",
+        "label_to_id",
+        "degree_array",
+        "_n",
+        "_rows",
+        "_degrees",
+        "_sets",
+    )
+
+    def __init__(self, labels: Sequence[Label], edges: Iterable[Edge] = ()) -> None:
+        self.labels: List[Label] = list(labels)
+        n = self._n = len(self.labels)
+        pairs = normalize_edges(n, edges)
+        self.num_edges = len(pairs)
+        rows = self._rows = _sorted_rows(n, pairs)
+        self._degrees = [len(r) for r in rows]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._degrees, out=indptr[1:])
+        self.indptr = indptr
+        index_dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+        self.indices = np.fromiter(
+            (v for row in rows for v in row), dtype=index_dtype, count=2 * len(pairs)
+        )
+        self.degree_array = np.asarray(self._degrees, dtype=np.int64)
+        table, to_id, ids = intern_labels(self.labels)
+        self.label_table = table
+        self.label_to_id = to_id
+        self.label_ids = np.asarray(ids, dtype=np.int32)
+        # Packed (u, v) keys for the O(1) scalar probe; both orientations so
+        # has_edge stays symmetric without a branch.
+        # Per-vertex membership sets for the scalar probe: searchsorted pays
+        # ~20x Python/numpy call overhead per single lookup, and any packed
+        # edge-key scheme pays the packing arithmetic per call; a plain set
+        # probe matches the reference backend exactly.
+        self._sets: List[Set[int]] = [set(r) for r in rows]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    def label(self, v: int) -> Label:
+        return self.labels[v]
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbor tuple of ``v`` (plain Python ints)."""
+        return self._rows[v]
+
+    def neighbors_array(self, v: int) -> np.ndarray:
+        """Zero-copy CSR row slice for vectorized consumers."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return self._degrees[v]
+
+    def degree_sequence(self) -> List[int]:
+        return list(self._degrees)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """O(1) expected scalar probe (per-vertex hash set)."""
+        return v in self._sets[u]
+
+    def has_edge_searchsorted(self, u: int, v: int) -> bool:
+        """The pure-CSR scalar probe (binary search in the sorted row)."""
+        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
+        i = int(np.searchsorted(self.indices[lo:hi], v))
+        return i < hi - lo and int(self.indices[lo + i]) == v
+
+    def has_edges(self, u: int, targets: np.ndarray) -> np.ndarray:
+        """Vectorized batch probe: which of ``targets`` are neighbors of ``u``.
+
+        This is the ``searchsorted`` form that actually amortizes numpy call
+        overhead — the building block for vectorized join filters.
+        """
+        row = self.neighbors_array(u)
+        targets = np.asarray(targets)
+        if row.size == 0:
+            return np.zeros(targets.shape, dtype=bool)
+        pos = np.searchsorted(row, targets)
+        pos_clipped = np.minimum(pos, row.size - 1)
+        return (pos < row.size) & (row[pos_clipped] == targets)
+
+    def edges(self) -> Iterator[Edge]:
+        """Every undirected edge exactly once as ``(u, v)``, u < v, sorted."""
+        for u, row in enumerate(self._rows):
+            for v in row:
+                if v > u:
+                    yield (u, v)
+
+
+class SetBackend:
+    """Reference adjacency-set storage (the library's original substrate).
+
+    Iteration views (``neighbors``/``edges``) are served from sorted tuples
+    so determinism matches the CSR backend; membership goes through the
+    per-vertex sets, exactly as the seed implementation did.
+    """
+
+    name = "set"
+
+    __slots__ = (
+        "labels",
+        "num_edges",
+        "label_table",
+        "label_to_id",
+        "_label_ids",
+        "_n",
+        "_sets",
+        "_rows",
+        "_degrees",
+        "_degree_array",
+    )
+
+    def __init__(self, labels: Sequence[Label], edges: Iterable[Edge] = ()) -> None:
+        self.labels: List[Label] = list(labels)
+        n = self._n = len(self.labels)
+        pairs = normalize_edges(n, edges)
+        self.num_edges = len(pairs)
+        rows = self._rows = _sorted_rows(n, pairs)
+        self._sets: List[Set[int]] = [set(r) for r in rows]
+        self._degrees = [len(r) for r in rows]
+        self._degree_array: Optional[np.ndarray] = None
+        table, to_id, ids = intern_labels(self.labels)
+        self.label_table = table
+        self.label_to_id = to_id
+        self._label_ids = ids
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def label_ids(self) -> np.ndarray:
+        return np.asarray(self._label_ids, dtype=np.int32)
+
+    @property
+    def degree_array(self) -> np.ndarray:
+        if self._degree_array is None:
+            self._degree_array = np.asarray(self._degrees, dtype=np.int64)
+        return self._degree_array
+
+    def label(self, v: int) -> Label:
+        return self.labels[v]
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbor tuple of ``v``."""
+        return self._rows[v]
+
+    def degree(self, v: int) -> int:
+        return self._degrees[v]
+
+    def degree_sequence(self) -> List[int]:
+        return list(self._degrees)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """O(1) expected set-membership probe."""
+        return v in self._sets[u]
+
+    def edges(self) -> Iterator[Edge]:
+        for u, row in enumerate(self._rows):
+            for v in row:
+                if v > u:
+                    yield (u, v)
+
+
+GraphBackend = Union[CSRBackend, SetBackend]
+"""Type alias for any registered backend instance."""
+
+_BACKENDS = {"csr": CSRBackend, "set": SetBackend}
+
+
+def make_backend(
+    name: Optional[str], labels: Sequence[Label], edges: Iterable[Edge] = ()
+) -> GraphBackend:
+    """Construct the named backend (``None`` uses the process default)."""
+    return _BACKENDS[resolve_backend_name(name)](labels, edges)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Tuple, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.exceptions import GraphError
 from repro.graph.labeled_graph import LabeledGraph
@@ -42,11 +42,14 @@ def dump_edge_list(graph: LabeledGraph, path: PathLike) -> None:
     Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
-def load_edge_list(path: PathLike, name: str = "") -> LabeledGraph:
+def load_edge_list(
+    path: PathLike, name: str = "", backend: Optional[str] = None
+) -> LabeledGraph:
     """Parse a labeled-edge-list file into a :class:`LabeledGraph`.
 
     Labels are kept as strings; convert downstream if integer labels are
     needed. Lines that are blank or start with ``#`` are ignored.
+    ``backend`` selects the storage backend (default: process default).
     """
     labels: dict[int, str] = {}
     edges: List[Tuple[int, int]] = []
@@ -76,7 +79,9 @@ def load_edge_list(path: PathLike, name: str = "") -> LabeledGraph:
         raise GraphError(f"{path}: vertex ids must be dense 0..{n - 1}")
     if declared_vertices is not None and declared_vertices != n:
         raise GraphError(f"{path}: header declares {declared_vertices} vertices, found {n}")
-    graph = LabeledGraph([labels[v] for v in range(n)], edges, name=name or Path(path).stem)
+    graph = LabeledGraph(
+        [labels[v] for v in range(n)], edges, name=name or Path(path).stem, backend=backend
+    )
     if declared_edges is not None and declared_edges != graph.num_edges:
         raise GraphError(
             f"{path}: header declares {declared_edges} edges, found {graph.num_edges}"
@@ -94,7 +99,7 @@ def dump_json(graph: LabeledGraph, path: PathLike) -> None:
     Path(path).write_text(json.dumps(payload, indent=1), encoding="utf-8")
 
 
-def load_json(path: PathLike) -> LabeledGraph:
+def load_json(path: PathLike, backend: Optional[str] = None) -> LabeledGraph:
     """Load a graph previously written by :func:`dump_json`."""
     payload = json.loads(Path(path).read_text(encoding="utf-8"))
     try:
@@ -102,11 +107,17 @@ def load_json(path: PathLike) -> LabeledGraph:
         edges = [tuple(e) for e in payload["edges"]]
     except (KeyError, TypeError) as exc:
         raise GraphError(f"{path}: not a graph JSON object: {exc}") from exc
-    return LabeledGraph(labels, edges, name=payload.get("name", Path(path).stem))
+    return LabeledGraph(
+        labels, edges, name=payload.get("name", Path(path).stem), backend=backend
+    )
 
 
-def load_query(path: PathLike) -> QueryGraph:
+def load_query(path: PathLike, backend: Optional[str] = None) -> QueryGraph:
     """Load a file in either format as a validated :class:`QueryGraph`."""
     path = Path(path)
-    graph = load_json(path) if path.suffix == ".json" else load_edge_list(path)
+    graph = (
+        load_json(path, backend=backend)
+        if path.suffix == ".json"
+        else load_edge_list(path, backend=backend)
+    )
     return QueryGraph.from_graph(graph)

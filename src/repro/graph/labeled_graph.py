@@ -8,11 +8,19 @@ paper (Section 2): ``G = (V, E, Sigma, L)`` with
 * ``Sigma`` — a set of hashable vertex labels;
 * ``L`` — a total labeling function ``V -> Sigma``.
 
-The representation is adjacency sets, which gives O(1) expected
-``has_edge`` — the hot operation inside the backtracking join test — and
-O(deg) neighbor iteration. Degrees and per-vertex neighborhood signatures
-(the set of labels adjacent to a vertex, Section 4.2) are computed lazily and
-cached because DSQL's candidate filters consult them for every candidate.
+Storage is delegated to a pluggable backend (see :mod:`repro.graph.csr`):
+the default is an immutable CSR layout (``indptr``/``indices`` numpy arrays
+with sorted neighbor rows, flat label-id array, precomputed degrees), with
+the original adjacency-set representation retained as the ``"set"`` backend
+for equivalence testing. Either way ``has_edge`` is an O(1) expected probe —
+the hot operation inside the backtracking join test — and ``neighbors(v)``
+returns the *sorted* neighbor tuple, so every iteration order in the library
+is deterministic by construction.
+
+Per-graph derived state (label inverted index, neighborhood signatures,
+candidate pools) lives in a :class:`~repro.indexes.graph_cache.
+GraphIndexCache` pinned to the graph via :meth:`LabeledGraph.index_cache`
+and shared by all queries against it.
 
 Instances are logically immutable after construction: mutate via
 :class:`repro.graph.builder.GraphBuilder` and build a fresh graph.
@@ -20,9 +28,20 @@ Instances are logically immutable after construction: mutate via
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from repro.exceptions import GraphError
+from repro.graph.csr import GraphBackend, make_backend
 
 Label = Hashable
 Edge = Tuple[int, int]
@@ -39,25 +58,31 @@ class LabeledGraph:
     edges:
         Iterable of ``(u, v)`` pairs. Order within a pair and duplicate pairs
         are normalized away; self-loops are rejected.
+    name:
+        Optional display name, propagated through derived graphs.
+    backend:
+        Storage backend name (``"csr"`` or ``"set"``); ``None`` uses the
+        process default (see :func:`repro.graph.csr.default_backend`).
 
     Examples
     --------
     >>> g = LabeledGraph(["a", "b", "b"], [(0, 1), (1, 2)])
     >>> g.num_vertices, g.num_edges
     (3, 2)
-    >>> sorted(g.neighbors(1))
-    [0, 2]
+    >>> g.neighbors(1)
+    (0, 2)
     >>> g.label(0)
     'a'
     """
 
     __slots__ = (
-        "_labels",
-        "_adjacency",
-        "_num_edges",
-        "_label_index",
-        "_signatures",
+        "_backend",
+        "_cache",
         "name",
+        "has_edge",
+        "neighbors",
+        "degree",
+        "label",
     )
 
     def __init__(
@@ -65,27 +90,50 @@ class LabeledGraph:
         labels: Sequence[Label],
         edges: Iterable[Edge] = (),
         name: str = "",
+        backend: Optional[str] = None,
     ) -> None:
-        self._labels: List[Label] = list(labels)
-        n = len(self._labels)
-        self._adjacency: List[Set[int]] = [set() for _ in range(n)]
-        self._num_edges = 0
+        b = make_backend(backend, labels, edges)
+        self._backend: GraphBackend = b
+        self._cache = None
         self.name = name
-        for u, v in edges:
-            self._add_edge_unchecked(u, v)
-        self._label_index: Dict[Label, Tuple[int, ...]] | None = None
-        self._signatures: List[FrozenSet[Label]] | None = None
+        # Hot accessors are bound straight to the backend — one attribute
+        # lookup instead of a delegating method call on the join path.
+        self.has_edge = b.has_edge
+        self.neighbors = b.neighbors
+        self.degree = b.degree
+        self.label = b.label
 
-    def _add_edge_unchecked(self, u: int, v: int) -> None:
-        n = len(self._labels)
-        if not (0 <= u < n and 0 <= v < n):
-            raise GraphError(f"edge ({u}, {v}) references a vertex outside [0, {n})")
-        if u == v:
-            raise GraphError(f"self-loop ({u}, {u}) not allowed in a simple graph")
-        if v not in self._adjacency[u]:
-            self._adjacency[u].add(v)
-            self._adjacency[v].add(u)
-            self._num_edges += 1
+    # ------------------------------------------------------------------
+    # Backend & cache access
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> GraphBackend:
+        """The storage backend instance owning this graph's topology."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active storage backend (``"csr"`` or ``"set"``)."""
+        return self._backend.name
+
+    def with_backend(self, backend: str) -> "LabeledGraph":
+        """A copy of this graph stored under a different backend."""
+        return LabeledGraph(
+            self._backend.labels, self._backend.edges(), name=self.name, backend=backend
+        )
+
+    def index_cache(self):
+        """The per-graph :class:`~repro.indexes.graph_cache.GraphIndexCache`.
+
+        Built on first use and pinned, so every query, session, and baseline
+        touching this graph shares one label index, signature table and
+        candidate-pool memo.
+        """
+        if self._cache is None:
+            from repro.indexes.graph_cache import GraphIndexCache
+
+            self._cache = GraphIndexCache(self)
+        return self._cache
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -93,50 +141,42 @@ class LabeledGraph:
     @property
     def num_vertices(self) -> int:
         """Number of vertices ``|V|``."""
-        return len(self._labels)
+        return self._backend.num_vertices
 
     @property
     def num_edges(self) -> int:
         """Number of undirected edges ``|E|``."""
-        return self._num_edges
+        return self._backend.num_edges
 
     def vertices(self) -> range:
         """All vertex ids, as a ``range`` (cheap, re-iterable)."""
-        return range(len(self._labels))
+        return range(self._backend.num_vertices)
 
     def edges(self) -> Iterator[Edge]:
-        """Yield every undirected edge exactly once, as ``(u, v)`` with u < v."""
-        for u, nbrs in enumerate(self._adjacency):
-            for v in nbrs:
-                if u < v:
-                    yield (u, v)
+        """Yield every undirected edge exactly once, as ``(u, v)`` with u < v.
 
-    def label(self, v: int) -> Label:
-        """The label ``L(v)`` of vertex ``v``."""
-        return self._labels[v]
+        Deterministic: edges come out sorted lexicographically.
+        """
+        return self._backend.edges()
 
     @property
     def labels(self) -> Sequence[Label]:
         """The full label table (read-only view by convention)."""
-        return self._labels
+        return self._backend.labels
 
-    def neighbors(self, v: int) -> Set[int]:
-        """The adjacency set of ``v``. Treat the returned set as read-only."""
-        return self._adjacency[v]
+    # ``label``, ``neighbors``, ``degree``, ``has_edge`` are bound in
+    # ``__init__`` directly to the backend; ``neighbors(v)`` returns the
+    # sorted tuple of neighbors (plain Python ints).
 
-    def degree(self, v: int) -> int:
-        """The degree of ``v``."""
-        return len(self._adjacency[v])
-
-    def has_edge(self, u: int, v: int) -> bool:
-        """Whether the undirected edge ``(u, v)`` exists (O(1) expected)."""
-        return v in self._adjacency[u]
+    def degree_array(self):
+        """Per-vertex degrees as a numpy array (precomputed by the backend)."""
+        return self._backend.degree_array
 
     def __contains__(self, v: object) -> bool:
-        return isinstance(v, int) and 0 <= v < len(self._labels)
+        return isinstance(v, int) and 0 <= v < self._backend.num_vertices
 
     def __len__(self) -> int:
-        return len(self._labels)
+        return self._backend.num_vertices
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         tag = f" {self.name!r}" if self.name else ""
@@ -150,25 +190,20 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     def label_set(self) -> Set[Label]:
         """The set of distinct labels ``Sigma`` actually used."""
-        return set(self._labels)
+        return set(self._backend.label_table)
 
     def label_index(self) -> Dict[Label, Tuple[int, ...]]:
         """Inverted index ``label -> sorted tuple of vertices with that label``.
 
-        Built once on first use and cached; this is the pre-computed index the
-        paper requires "for looking up the set of vertices with a given
-        label" (Section 4).
+        Served from the shared :meth:`index_cache`; this is the pre-computed
+        index the paper requires "for looking up the set of vertices with a
+        given label" (Section 4).
         """
-        if self._label_index is None:
-            buckets: Dict[Label, List[int]] = {}
-            for v, lab in enumerate(self._labels):
-                buckets.setdefault(lab, []).append(v)
-            self._label_index = {lab: tuple(vs) for lab, vs in buckets.items()}
-        return self._label_index
+        return self.index_cache().label_index
 
     def vertices_with_label(self, label: Label) -> Tuple[int, ...]:
         """All vertices carrying ``label`` (empty tuple if unused)."""
-        return self.label_index().get(label, ())
+        return self.index_cache().vertices_with_label(label)
 
     # ------------------------------------------------------------------
     # Neighborhood signatures (Section 4.2)
@@ -178,43 +213,42 @@ class LabeledGraph:
 
         Used by the neighborhood-signature filter: a data vertex ``v`` can
         match query node ``u`` only if ``NS_Q(u) <= NS(v)``. Signatures for
-        the whole graph are materialized on first call (O(|V| + |E|) storage,
-        matching the paper's stated index budget).
+        the whole graph live in the shared :meth:`index_cache` as interned
+        frozensets keyed by label-id bitmask (O(|V| + |E|) storage, matching
+        the paper's stated index budget).
         """
-        if self._signatures is None:
-            self._signatures = [
-                frozenset(self._labels[w] for w in nbrs) for nbrs in self._adjacency
-            ]
-        return self._signatures[v]
+        return self.index_cache().signature(v)
 
     # ------------------------------------------------------------------
     # Derived statistics
     # ------------------------------------------------------------------
     def average_degree(self) -> float:
         """Average vertex degree ``2|E| / |V|`` (0.0 for the empty graph)."""
-        if not self._labels:
+        n = self._backend.num_vertices
+        if not n:
             return 0.0
-        return 2.0 * self._num_edges / len(self._labels)
+        return 2.0 * self._backend.num_edges / n
 
     def degree_sequence(self) -> List[int]:
         """Degrees of all vertices, indexed by vertex id."""
-        return [len(nbrs) for nbrs in self._adjacency]
+        return self._backend.degree_sequence()
 
     # ------------------------------------------------------------------
     # Structure helpers
     # ------------------------------------------------------------------
     def is_connected(self) -> bool:
         """Whether the graph is connected (the empty graph counts as connected)."""
-        n = len(self._labels)
+        n = self._backend.num_vertices
         if n == 0:
             return True
+        neighbors = self._backend.neighbors
         seen = bytearray(n)
         stack = [0]
         seen[0] = 1
         count = 1
         while stack:
             u = stack.pop()
-            for w in self._adjacency[u]:
+            for w in neighbors(u):
                 if not seen[w]:
                     seen[w] = 1
                     count += 1
@@ -223,7 +257,8 @@ class LabeledGraph:
 
     def connected_components(self) -> List[List[int]]:
         """All connected components as sorted vertex lists."""
-        n = len(self._labels)
+        n = self._backend.num_vertices
+        neighbors = self._backend.neighbors
         seen = bytearray(n)
         components: List[List[int]] = []
         for start in range(n):
@@ -234,7 +269,7 @@ class LabeledGraph:
             stack = [start]
             while stack:
                 u = stack.pop()
-                for w in self._adjacency[u]:
+                for w in neighbors(u):
                     if not seen[w]:
                         seen[w] = 1
                         comp.append(w)
@@ -248,14 +283,21 @@ class LabeledGraph:
 
         The mapping from old to new ids follows the sorted order of the given
         vertex set; useful for extracting query graphs from a data graph.
+        The result keeps this graph's backend and carries its name with an
+        ``/induced`` suffix.
         """
         vs = sorted(set(vertices))
         remap = {old: new for new, old in enumerate(vs)}
-        labels = [self._labels[v] for v in vs]
+        labels = [self._backend.label(v) for v in vs]
         edges = [
             (remap[u], remap[v])
             for u in vs
-            for v in self._adjacency[u]
+            for v in self._backend.neighbors(u)
             if u < v and v in remap
         ]
-        return LabeledGraph(labels, edges)
+        return LabeledGraph(
+            labels,
+            edges,
+            name=f"{self.name}/induced" if self.name else "",
+            backend=self._backend.name,
+        )

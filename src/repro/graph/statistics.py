@@ -52,7 +52,6 @@ class GraphStatistics:
 
 def compute_statistics(graph: LabeledGraph) -> GraphStatistics:
     """Compute :class:`GraphStatistics` for ``graph``."""
-    degrees = graph.degree_sequence()
     n = graph.num_vertices
     num_labels = len(graph.label_set())
     return GraphStatistics(
@@ -60,7 +59,7 @@ def compute_statistics(graph: LabeledGraph) -> GraphStatistics:
         num_edges=graph.num_edges,
         num_labels=num_labels,
         average_degree=graph.average_degree(),
-        max_degree=max(degrees, default=0),
+        max_degree=int(graph.degree_array().max()) if n else 0,
         label_density=(num_labels / n) if n else 0.0,
     )
 

@@ -1,6 +1,7 @@
 """Filtering indexes: label index, degree/NS filters, candidate sets."""
 
 from repro.indexes.candidates import CandidateIndex, build_candidate_index
+from repro.indexes.graph_cache import GraphIndexCache
 from repro.indexes.signature import (
     passes_all_filters,
     passes_degree_filter,
@@ -11,6 +12,7 @@ from repro.indexes.signature import (
 
 __all__ = [
     "CandidateIndex",
+    "GraphIndexCache",
     "build_candidate_index",
     "passes_all_filters",
     "passes_degree_filter",

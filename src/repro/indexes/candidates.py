@@ -2,8 +2,17 @@
 
 "Before running DSQL, we first generate a candidate set candS(u) for each
 u in V_Q based on these filters" — label, degree and neighborhood signature.
-:class:`CandidateIndex` materializes the sets once per query and offers the
-derived views the search phases need:
+:class:`CandidateIndex` is split into two layers:
+
+* the **per-graph part** lives in the shared
+  :class:`~repro.indexes.graph_cache.GraphIndexCache` — label inverted
+  index, degree array, signature bitmasks, and a memo of candidate pools
+  keyed by filter profile ``(label, min_degree, signature_mask)``;
+* the **per-query part** (this class) is a cheap restriction: each query
+  node's filter profile is computed from the query graph alone and resolved
+  against the cached pools.
+
+The search phases get the same derived views as before:
 
 * ``candS[u]`` as an ordered list (iteration order is deterministic);
 * membership tests (set form) for dynamic validity checks;
@@ -12,11 +21,11 @@ derived views the search phases need:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
-from repro.indexes.signature import passes_all_filters
+from repro.indexes.graph_cache import GraphIndexCache
 
 
 class CandidateIndex:
@@ -30,6 +39,9 @@ class CandidateIndex:
         Individual filters can be disabled to study their pruning power
         (the label filter is always on — without it nothing is a candidate
         model of the paper's ``cand(u)``).
+    cache:
+        The per-graph :class:`GraphIndexCache` to resolve pools against;
+        defaults to the graph's pinned cache.
     """
 
     def __init__(
@@ -38,31 +50,34 @@ class CandidateIndex:
         query: QueryGraph,
         use_degree_filter: bool = True,
         use_signature_filter: bool = True,
+        cache: Optional[GraphIndexCache] = None,
     ) -> None:
         self.graph = graph
         self.query = query
         self.use_degree_filter = use_degree_filter
         self.use_signature_filter = use_signature_filter
+        self.cache = cache if cache is not None else graph.index_cache()
+        # Per-node full filter profile (label, query degree, signature mask);
+        # mask is None when the query requires a label absent from the graph.
+        self._profiles: List[Tuple[object, int, Optional[int]]] = []
         self._lists: List[Tuple[int, ...]] = []
         self._sets: List[Set[int]] = []
+        c = self.cache
         for u in range(query.size):
-            cands = [
-                v
-                for v in graph.vertices_with_label(query.label(u))
-                if self._passes(u, v)
-            ]
-            self._lists.append(tuple(cands))
-            self._sets.append(set(cands))
-
-    def _passes(self, u: int, v: int) -> bool:
-        if self.use_degree_filter and self.graph.degree(v) < self.query.degree(u):
-            return False
-        if self.use_signature_filter and not (
-            self.query.neighborhood_signature(u)
-            <= self.graph.neighborhood_signature(v)
-        ):
-            return False
-        return True
+            label = query.label(u)
+            qdeg = query.degree(u)
+            mask = c.mask_for(query.neighborhood_signature(u))
+            self._profiles.append((label, qdeg, mask))
+            if use_signature_filter and mask is None:
+                pool: Tuple[int, ...] = ()
+            else:
+                pool = c.candidate_pool(
+                    label,
+                    min_degree=qdeg if use_degree_filter else 0,
+                    signature_mask=mask if use_signature_filter else 0,
+                )
+            self._lists.append(pool)
+            self._sets.append(set(pool))
 
     def candidates(self, u: int) -> Tuple[int, ...]:
         """``candS(u)`` in deterministic (label-index) order."""
@@ -110,9 +125,19 @@ class CandidateIndex:
 
         Used to build *dynamic conflict tables* (Section 5.3), where we must
         ask "would ``v`` have been a valid candidate for ``u_i``?" even for
-        vertices currently excluded by matching state.
+        vertices currently excluded by matching state. Always applies the
+        full label + degree + signature stack regardless of the per-instance
+        filter toggles, matching the seed semantics.
         """
-        return passes_all_filters(self.graph, self.query, u, v)
+        label, qdeg, mask = self._profiles[u]
+        if mask is None:
+            return False
+        c = self.cache
+        return (
+            c.graph.label(v) == label
+            and c.degrees[v] >= qdeg
+            and c.signature_masks[v] & mask == mask
+        )
 
 
 def build_candidate_index(

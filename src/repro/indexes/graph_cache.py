@@ -1,0 +1,199 @@
+"""Per-graph index cache shared across queries and sessions.
+
+The DSQL filters of Section 3 (label, degree, neighborhood signature) all
+depend only on the *data graph*, yet the seed implementation recomputed them
+lazily per :class:`~repro.graph.labeled_graph.LabeledGraph` accessor and
+rebuilt candidate pools from zero on every ``DSQL.query`` call.
+:class:`GraphIndexCache` hoists every per-graph artifact into one object
+computed once and pinned by the graph (``graph.index_cache()``), so a DSQL
+session answering many queries against the same graph shares:
+
+* the **label inverted index** (label -> sorted vertex tuple);
+* the **neighborhood-signature table** — per-vertex label-id *bitmasks*
+  (Python ints, so an arbitrary number of labels works) plus interned
+  frozenset views for the public API;
+* the **degree and label arrays** reused from the storage backend;
+* a bounded LRU **candidate-pool memo** keyed by
+  ``(label_id, min_degree, signature_mask)`` — distinct query nodes with the
+  same filter profile (and repeated queries) share one pool computation.
+
+:class:`~repro.indexes.candidates.CandidateIndex` becomes a cheap per-query
+restriction over these pools instead of a per-query full scan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+Label = Hashable
+
+DEFAULT_CANDIDATE_MEMO_SIZE = 2048
+
+
+class GraphIndexCache:
+    """All per-graph filter state, computed once and shared.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.labeled_graph.LabeledGraph` to index.
+    candidate_memo_size:
+        Cap on the memoized candidate pools (LRU eviction). ``None`` means
+        unbounded; ``0`` disables memoization.
+    """
+
+    __slots__ = (
+        "graph",
+        "label_table",
+        "label_to_id",
+        "label_ids",
+        "degrees",
+        "degree_array",
+        "label_index",
+        "signature_masks",
+        "candidate_memo_hits",
+        "candidate_memo_misses",
+        "_signatures",
+        "_mask_signatures",
+        "_pool_memo",
+        "_pool_memo_size",
+    )
+
+    def __init__(self, graph, candidate_memo_size: Optional[int] = DEFAULT_CANDIDATE_MEMO_SIZE):
+        self.graph = graph
+        backend = graph.backend
+        self.label_table: List[Label] = backend.label_table
+        self.label_to_id: Dict[Label, int] = backend.label_to_id
+        label_ids = [int(i) for i in backend.label_ids]
+        self.label_ids: List[int] = label_ids
+        self.degrees: List[int] = backend.degree_sequence()
+        self.degree_array: np.ndarray = backend.degree_array
+
+        # Label inverted index: label -> sorted tuple of vertices.
+        buckets: List[List[int]] = [[] for _ in self.label_table]
+        for v, lid in enumerate(label_ids):
+            buckets[lid].append(v)
+        self.label_index: Dict[Label, Tuple[int, ...]] = {
+            self.label_table[lid]: tuple(vs) for lid, vs in enumerate(buckets)
+        }
+
+        # Signature table: per-vertex bitmask over label ids, with interned
+        # frozenset views (equal masks share one frozenset object).
+        bit = [1 << lid for lid in range(len(self.label_table))]
+        masks: List[int] = []
+        neighbors = graph.neighbors
+        for v in range(graph.num_vertices):
+            m = 0
+            for w in neighbors(v):
+                m |= bit[label_ids[w]]
+            masks.append(m)
+        self.signature_masks: List[int] = masks
+        interned: Dict[int, FrozenSet[Label]] = {}
+        sigs: List[FrozenSet[Label]] = []
+        for m in masks:
+            s = interned.get(m)
+            if s is None:
+                s = interned[m] = frozenset(
+                    self.label_table[lid] for lid in range(len(bit)) if m >> lid & 1
+                )
+            sigs.append(s)
+        self._signatures: List[FrozenSet[Label]] = sigs
+        self._mask_signatures = interned
+
+        self._pool_memo: "OrderedDict[Tuple[int, int, int], Tuple[int, ...]]" = OrderedDict()
+        self._pool_memo_size = candidate_memo_size
+        self.candidate_memo_hits = 0
+        self.candidate_memo_misses = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_graph(cls, graph) -> "GraphIndexCache":
+        """The graph's pinned cache (building it on first use)."""
+        return graph.index_cache()
+
+    def label_id(self, label: Label) -> Optional[int]:
+        """Interned id for ``label``, or ``None`` if absent from the graph."""
+        return self.label_to_id.get(label)
+
+    def signature(self, v: int) -> FrozenSet[Label]:
+        """Interned neighborhood-signature frozenset of data vertex ``v``."""
+        return self._signatures[v]
+
+    def signature_mask(self, v: int) -> int:
+        """Label-id bitmask form of ``v``'s neighborhood signature."""
+        return self.signature_masks[v]
+
+    def mask_for(self, labels: Iterable[Label]) -> Optional[int]:
+        """Bitmask over this graph's label ids, or ``None`` if any label is
+        absent from the graph (no data vertex can then satisfy a superset
+        requirement)."""
+        mask = 0
+        to_id = self.label_to_id
+        for lab in labels:
+            lid = to_id.get(lab)
+            if lid is None:
+                return None
+            mask |= 1 << lid
+        return mask
+
+    def vertices_with_label(self, label: Label) -> Tuple[int, ...]:
+        """Sorted vertices carrying ``label`` (empty tuple if unknown)."""
+        return self.label_index.get(label, ())
+
+    # ------------------------------------------------------------------
+    def candidate_pool(
+        self, label: Label, min_degree: int = 0, signature_mask: int = 0
+    ) -> Tuple[int, ...]:
+        """Sorted data vertices passing the per-graph filters.
+
+        A vertex qualifies when it carries ``label``, has degree at least
+        ``min_degree``, and its neighborhood-signature mask contains
+        ``signature_mask``. Results are memoized per filter profile with LRU
+        eviction, so query nodes sharing a profile — across queries in a
+        session — share the scan.
+        """
+        lid = self.label_to_id.get(label)
+        if lid is None:
+            return ()
+        key = (lid, min_degree, signature_mask)
+        memo = self._pool_memo
+        cap = self._pool_memo_size
+        if cap != 0:
+            pool = memo.get(key)
+            if pool is not None:
+                self.candidate_memo_hits += 1
+                memo.move_to_end(key)
+                return pool
+        self.candidate_memo_misses += 1
+        pool = self._scan(lid, min_degree, signature_mask)
+        if cap != 0:
+            memo[key] = pool
+            if cap is not None and len(memo) > cap:
+                memo.popitem(last=False)
+        return pool
+
+    def _scan(self, lid: int, min_degree: int, signature_mask: int) -> Tuple[int, ...]:
+        base = self.label_index[self.label_table[lid]]
+        degrees = self.degrees
+        masks = self.signature_masks
+        if signature_mask:
+            return tuple(
+                v
+                for v in base
+                if degrees[v] >= min_degree and masks[v] & signature_mask == signature_mask
+            )
+        if min_degree:
+            return tuple(v for v in base if degrees[v] >= min_degree)
+        return base
+
+    # ------------------------------------------------------------------
+    def memo_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters for the candidate-pool memo."""
+        return {
+            "hits": self.candidate_memo_hits,
+            "misses": self.candidate_memo_misses,
+            "size": len(self._pool_memo),
+        }

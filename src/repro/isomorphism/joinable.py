@@ -39,10 +39,10 @@ def is_joinable(
     """
     if v in used:
         return False
-    neighbors_of_v = graph.neighbors(v)
+    has_edge = graph.has_edge
     for u2 in query.neighbors(u):
         v2 = assignment[u2]
-        if v2 != UNMATCHED and v2 not in neighbors_of_v:
+        if v2 != UNMATCHED and not has_edge(v, v2):
             return False
     return True
 
@@ -60,9 +60,9 @@ def joinable_ignoring_injectivity(
     by another query node still counts as a "valid candidate" for conflict
     purposes even though injectivity currently forbids it.
     """
-    neighbors_of_v = graph.neighbors(v)
+    has_edge = graph.has_edge
     for u2 in query.neighbors(u):
         v2 = assignment[u2]
-        if v2 != UNMATCHED and v2 not in neighbors_of_v:
+        if v2 != UNMATCHED and not has_edge(v, v2):
             return False
     return True

@@ -19,7 +19,7 @@ enumeration remains exact — verified against brute force in the test suite.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.exceptions import BudgetExceeded
 from repro.graph.labeled_graph import LabeledGraph
@@ -68,7 +68,11 @@ class OptimizedQSearchEngine:
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
         self._used: Set[int] = set()
-        self._bad: List[Set[int]] = [set() for _ in range(q + 1)]
+        # Bad marks carry the conflict set that justified them: a skipped
+        # vertex is a failure whose reasons must still propagate upward,
+        # otherwise ancestors compute understated conflict sets and prune
+        # subtrees that a changed ancestor assignment would have revived.
+        self._bad: List[Dict[int, Set[int]]] = [{} for _ in range(q + 1)]
         self._carry: Optional[Set[int]] = None
 
     def embeddings(self) -> Iterator[Mapping]:
@@ -92,12 +96,12 @@ class OptimizedQSearchEngine:
         backward = self._backward[depth]
         if not backward:
             return list(self.candidates.candidates(u))
-        neighbor_sets = sorted(
+        neighbor_rows = sorted(
             (self.graph.neighbors(self._assignment[w]) for w in backward), key=len
         )
-        pool: Set[int] = set(neighbor_sets[0])
-        for nbrs in neighbor_sets[1:]:
-            pool &= nbrs
+        pool: Set[int] = set(neighbor_rows[0])
+        for row in neighbor_rows[1:]:
+            pool.intersection_update(row)
             if not pool:
                 return []
         is_candidate = self.candidates.is_candidate
@@ -107,10 +111,10 @@ class OptimizedQSearchEngine:
         if v in self._used:
             return False
         assignment = self._assignment
-        neighbors_of_v = self.graph.neighbors(v)
+        has_edge = self.graph.has_edge
         for u2 in self.query.neighbors(u):
             v2 = assignment[u2]
-            if v2 != UNMATCHED and v2 not in neighbors_of_v:
+            if v2 != UNMATCHED and not has_edge(v, v2):
                 return False
         return True
 
@@ -136,8 +140,10 @@ class OptimizedQSearchEngine:
 
         for v in self._pool(depth):
             self._charge()
-            if v in bad:
+            mark = bad.get(v)
+            if mark is not None:
                 self.bad_vertex_skips += 1
+                inherited |= mark
                 continue
             if not self._joinable(u, v):
                 continue
@@ -164,7 +170,7 @@ class OptimizedQSearchEngine:
             if self.bad_vertex_skipping:
                 prev_ok = depth > 0 and self.order[depth - 1] not in conflict
                 if prev_ok:
-                    bad.add(v)
+                    bad[v] = set(conflict)
 
         if yielded_any:
             self._carry = None

@@ -50,7 +50,7 @@ def connected_search_order(query: QueryGraph, qlist: Sequence[int]) -> List[int]
         best = min(frontier - placed, key=lambda u: ranks[u])
         order.append(best)
         placed.add(best)
-        frontier |= query.neighbors(best)
+        frontier.update(query.neighbors(best))
     return order
 
 
@@ -117,13 +117,14 @@ class QSearchEngine:
             yield from self.candidates.candidates(u)
             return
         # Intersect neighborhoods of matched backward neighbors, smallest
-        # adjacency first to keep the working set minimal.
-        neighbor_sets = sorted(
+        # adjacency first to keep the working set minimal. Rows are sorted
+        # tuples, so the surviving pool only needs one final sort.
+        neighbor_rows = sorted(
             (self.graph.neighbors(assignment[w]) for w in backward), key=len
         )
-        pool: Set[int] = set(neighbor_sets[0])
-        for nbrs in neighbor_sets[1:]:
-            pool &= nbrs
+        pool: Set[int] = set(neighbor_rows[0])
+        for row in neighbor_rows[1:]:
+            pool.intersection_update(row)
             if not pool:
                 return
         is_candidate = self.candidates.is_candidate

@@ -1,0 +1,101 @@
+"""Tests for the DSQL session query-result memo (``DSQL.query_many``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.exceptions import ConfigError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+
+@pytest.fixture()
+def graph():
+    labels = ["a", "b", "a", "b", "c", "a"]
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 3)]
+    return LabeledGraph(labels, edges)
+
+
+def _query(a="a", b="b"):
+    return QueryGraph([a, b], [(0, 1)])
+
+
+def test_repeated_query_hits_cache(graph):
+    session = DSQL(graph, k=3)
+    q = _query()
+    results = session.query_many([q, q, q])
+    assert session.stats.query_cache_misses == 1
+    assert session.stats.query_cache_hits == 2
+    assert results[1] is results[0] and results[2] is results[0]
+
+
+def test_equal_structure_shares_entry(graph):
+    session = DSQL(graph, k=3)
+    # Distinct objects, same labels and (normalized) edge set -> same key.
+    q1 = QueryGraph(["a", "b"], [(0, 1)])
+    q2 = QueryGraph(["a", "b"], [(1, 0)])
+    r1, r2 = session.query_many([q1, q2])
+    assert session.stats.query_cache_hits == 1
+    assert r1 is r2
+
+
+def test_cache_persists_across_calls(graph):
+    session = DSQL(graph, k=3)
+    q = _query()
+    session.query_many([q])
+    session.query_many([q])
+    assert session.stats.query_cache_hits == 1
+    assert session.stats.query_cache_misses == 1
+
+
+def test_lru_eviction_with_tiny_cap(graph):
+    config = DSQLConfig(k=3, query_cache_size=1)
+    session = DSQL(graph, config=config)
+    qa, qb = _query("a", "b"), _query("b", "c")
+    session.query_many([qa, qb, qa])  # qb evicts qa; third call misses
+    assert session.stats.query_cache_misses == 3
+    assert session.stats.query_cache_hits == 0
+    session.query_many([qa])  # now resident
+    assert session.stats.query_cache_hits == 1
+
+
+def test_cap_zero_disables_cache(graph):
+    session = DSQL(graph, config=DSQLConfig(k=3, query_cache_size=0))
+    q = _query()
+    r1, r2 = session.query_many([q, q])
+    assert session.stats.query_cache_misses == 2
+    assert session.stats.query_cache_hits == 0
+    assert r1 is not r2
+    assert r1.embeddings == r2.embeddings
+
+
+def test_unbounded_cache(graph):
+    session = DSQL(graph, config=DSQLConfig(k=3, query_cache_size=None))
+    queries = [_query("a", "b"), _query("b", "c"), _query("a", "c")]
+    session.query_many(queries + queries)
+    assert session.stats.query_cache_misses == 3
+    assert session.stats.query_cache_hits == 3
+
+
+def test_cached_results_match_fresh_query(graph):
+    session = DSQL(graph, k=3)
+    q = _query()
+    (cached,) = session.query_many([q])
+    fresh = DSQL(graph, k=3).query(q)
+    assert cached.embeddings == fresh.embeddings
+    assert cached.coverage == fresh.coverage
+    assert cached.optimal == fresh.optimal
+
+
+def test_config_rejects_negative_cache_size():
+    with pytest.raises(ConfigError):
+        DSQLConfig(k=3, query_cache_size=-1)
+
+
+def test_session_pins_index_cache(graph):
+    session = DSQL(graph, k=3)
+    assert session.index_cache is graph.index_cache()
+    other = DSQL(graph, k=5)
+    assert other.index_cache is session.index_cache

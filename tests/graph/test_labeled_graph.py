@@ -63,8 +63,9 @@ class TestAccessors:
         assert small.label(0) == "a"
         assert small.label(2) == "b"
 
-    def test_neighbors(self, small):
-        assert small.neighbors(1) == {0, 2}
+    def test_neighbors_sorted_tuple(self, small):
+        assert small.neighbors(1) == (0, 2)
+        assert all(isinstance(w, int) for w in small.neighbors(1))
 
     def test_degree(self, small):
         assert [small.degree(v) for v in small.vertices()] == [2, 2, 2, 2]
@@ -150,3 +151,10 @@ class TestStructure:
         sub = small.induced_subgraph([1, 1, 2])
         assert sub.num_vertices == 2
         assert set(sub.edges()) == {(0, 1)}
+
+    def test_induced_subgraph_propagates_name(self):
+        g = LabeledGraph(["a", "b"], [(0, 1)], name="parent")
+        assert g.induced_subgraph([0, 1]).name == "parent/induced"
+
+    def test_induced_subgraph_unnamed_stays_unnamed(self, small):
+        assert small.induced_subgraph([0, 1]).name == ""

@@ -36,7 +36,7 @@ class TestConnectedSearchOrder:
         order = connected_search_order(q, selectivity_order(q, idx))
         placed = {order[0]}
         for u in order[1:]:
-            assert q.neighbors(u) & placed, f"node {u} has no earlier neighbor"
+            assert set(q.neighbors(u)) & placed, f"node {u} has no earlier neighbor"
             placed.add(u)
 
     def test_order_is_permutation(self):

@@ -1,0 +1,96 @@
+"""CSR vs set backend: the full DSQL pipeline must be result-identical.
+
+The ``set`` backend is the seed's reference representation; these tests pin
+the refactoring contract that the CSR storage layer changes *nothing*
+observable — same embeddings in the same order, same coverage, same
+optimality flags — on every registered dataset stand-in and on random
+hypothesis-generated instances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.registry import dataset_names, make_dataset
+from repro.exceptions import DatasetError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.queries.generator import query_set
+
+
+def assert_results_identical(r1, r2):
+    assert r1.embeddings == r2.embeddings
+    assert r1.coverage == r2.coverage
+    assert r1.optimal == r2.optimal
+    assert r1.optimal_reason == r2.optimal_reason
+    assert r1.level == r2.level
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+def test_backends_identical_on_registry_dataset(dataset):
+    graph = make_dataset(dataset, scale=0.001, seed=7)
+    assert graph.backend_name == "csr"
+    twin = graph.with_backend("set")
+    queries = query_set(graph, 3, 3, seed=11)
+    config = DSQLConfig(k=4, node_budget=200_000)
+    csr_session = DSQL(graph, config=config)
+    set_session = DSQL(twin, config=config)
+    for query in queries:
+        assert_results_identical(csr_session.query(query), set_session.query(query))
+
+
+@pytest.mark.parametrize("dataset", dataset_names()[:3])
+def test_backends_identical_structure(dataset):
+    graph = make_dataset(dataset, scale=0.001, seed=3)
+    twin = graph.with_backend("set")
+    assert list(graph.edges()) == list(twin.edges())
+    assert graph.degree_sequence() == twin.degree_sequence()
+    for v in range(min(graph.num_vertices, 40)):
+        assert graph.neighbors(v) == twin.neighbors(v)
+        assert graph.neighborhood_signature(v) == twin.neighborhood_signature(v)
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=4, max_value=14))
+    num_labels = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    labels = [f"L{rng.randrange(num_labels)}" for _ in range(n)]
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.35]
+    graph = LabeledGraph(labels, edges, backend="csr")
+    if graph.num_edges == 0:
+        query = QueryGraph([labels[0]])
+    else:
+        from repro.queries.generator import random_query
+
+        z = min(draw(st.integers(min_value=1, max_value=3)), graph.num_edges)
+        query = None
+        while z >= 1:
+            try:
+                query = random_query(graph, z, rng=rng)
+                break
+            except DatasetError:
+                z -= 1
+        if query is None:
+            query = QueryGraph([labels[0]])
+    k = draw(st.integers(min_value=1, max_value=5))
+    return graph, query, k
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances())
+def test_backends_identical_on_random_instances(instance):
+    graph, query, k = instance
+    twin = graph.with_backend("set")
+    for factory in (DSQLConfig.dsql0, lambda kk: DSQLConfig(k=kk)):
+        config = factory(k)
+        r_csr = DSQL(graph, config=config).query(query)
+        r_set = DSQL(twin, config=config).query(query)
+        assert_results_identical(r_csr, r_set)

@@ -1,0 +1,35 @@
+"""Lint gate: ruff over the source tree (skipped when ruff is unavailable)."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_sources_compile():
+    """Cheap always-on stand-in for the lint gate: every file byte-compiles."""
+    files = [str(p) for p in (REPO / "src").rglob("*.py")]
+    files += [str(p) for p in (REPO / "benchmarks").glob("*.py")]
+    proc = subprocess.run(
+        [sys.executable, "-m", "py_compile", *files],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr
