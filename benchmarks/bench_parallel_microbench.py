@@ -1,0 +1,132 @@
+"""Parallel batch-executor micro-benchmark: serial vs thread vs process.
+
+One ≥20-query batch on the DBLP stand-in is answered by
+:class:`~repro.parallel.BatchExecutor` under each strategy; per-strategy
+wall-clock and the cross-strategy result check are written to
+``BENCH_parallel.json`` at the repo root.
+
+Two gates:
+
+* **correctness** (always) — every strategy's results must be bit-identical
+  to serial ``query_many``, the executor's headline guarantee;
+* **throughput** (only when ``os.cpu_count() >= 2``) — the best parallel
+  strategy must not be dramatically slower than serial. On a single-core
+  box parallelism can only add dispatch overhead, so no timing claim is
+  made there (the measured numbers are still recorded).
+
+Runs standalone (``python benchmarks/bench_parallel_microbench.py``) or
+under ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import timeit
+from pathlib import Path
+
+from common import bench_graph, bench_queries, dsql_config
+from repro.core.dsql import DSQL
+from repro.experiments.report import render_table
+from repro.parallel.executor import STRATEGIES, BatchExecutor, default_jobs
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+DATASET = "dblp"
+NUM_QUERIES = 24
+QUERY_EDGES = 4
+K = 10
+REPEATS = 3
+
+
+def _batch(graph):
+    # Duplicate a third of the workload so the memo/replay path is exercised
+    # alongside fresh searches, as in a realistic query stream.
+    distinct = list(bench_queries(DATASET, QUERY_EDGES, NUM_QUERIES - NUM_QUERIES // 3))
+    return (distinct + distinct)[:NUM_QUERIES]
+
+
+def run_microbench():
+    graph = bench_graph(DATASET)
+    graph.index_cache()  # prewarm: measure execution, not index construction
+    queries = _batch(graph)
+    config = dsql_config(K)
+
+    reference = DSQL(graph, config=config).query_many(queries)
+    ref_dicts = [r.to_dict() for r in reference]
+
+    # At least two workers even on a single-core box: jobs=1 short-circuits
+    # to the serial path, and the correctness gate must exercise the real
+    # pool dispatch (the speedup gate stays cpu-count aware regardless).
+    jobs = max(2, default_jobs())
+
+    strategies = {}
+    for strategy in STRATEGIES:
+        def run_once(strategy=strategy):
+            executor = BatchExecutor(
+                DSQL(graph, config=config), strategy=strategy, jobs=jobs
+            )
+            return executor.run(queries)
+
+        results = run_once()
+        identical = [r.to_dict() for r in results] == ref_dicts
+        seconds = min(timeit.repeat(run_once, number=1, repeat=REPEATS))
+        strategies[strategy] = {
+            "seconds": seconds,
+            "ms_per_query": 1e3 * seconds / len(queries),
+            "identical_to_serial": identical,
+        }
+
+    serial = strategies["serial"]["seconds"]
+    payload = {
+        "dataset": DATASET,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "batch": len(queries),
+        "k": K,
+        "cpus": os.cpu_count() or 1,
+        "jobs": jobs,
+        "strategies": strategies,
+        "best_parallel_speedup": serial
+        / min(strategies[s]["seconds"] for s in ("thread", "process")),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload) -> str:
+    rows = [
+        ["dataset", payload["dataset"]],
+        ["batch / k", f"{payload['batch']} / {payload['k']}"],
+        ["cpus / jobs", f"{payload['cpus']} / {payload['jobs']}"],
+    ]
+    for name, data in payload["strategies"].items():
+        rows.append(
+            [
+                f"{name} (s, ms/query)",
+                f"{data['seconds']:.4f}  {data['ms_per_query']:.2f}"
+                + ("" if data["identical_to_serial"] else "  MISMATCH"),
+            ]
+        )
+    rows.append(["best parallel speedup", f"{payload['best_parallel_speedup']:.2f}x"])
+    return render_table(["metric", "value"], rows)
+
+
+def test_parallel_microbench(benchmark):
+    from common import emit
+
+    payload = benchmark.pedantic(run_microbench, rounds=1, iterations=1)
+    emit("parallel_microbench", _report(payload))
+    assert payload["batch"] >= 20
+    # Hard gate: every strategy reproduces serial query_many exactly.
+    for name, data in payload["strategies"].items():
+        assert data["identical_to_serial"], f"{name} diverged from serial"
+    # Timing claim only where parallel hardware exists to back it.
+    if payload["cpus"] >= 2:
+        assert payload["best_parallel_speedup"] >= 0.8
+
+
+if __name__ == "__main__":
+    out = run_microbench()
+    print(_report(out))
+    print(f"\nwrote {OUT_PATH}")

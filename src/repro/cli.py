@@ -11,6 +11,7 @@ Examples::
 
     repro-dsql datasets
     repro-dsql query --dataset dblp --k 40 --edges 5 --queries 20
+    repro-dsql query --dataset dblp --queries 20 --strategy process --jobs 4
     repro-dsql query --dataset youtube --solver COM --queries 10
     repro-dsql schedule --scans 8
 """
@@ -28,10 +29,10 @@ from repro.graph.csr import BACKEND_NAMES, set_default_backend
 from repro.experiments.report import SUMMARY_HEADERS, render_table, summary_row
 from repro.experiments.runner import (
     com_solver,
-    dsql_solver,
     first_k_solver,
     random_start_solver,
     run_batch,
+    run_executor_batch,
 )
 from repro.graph.statistics import compute_statistics
 from repro.queries.generator import query_set
@@ -66,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="DSQL variant or baseline",
     )
     q.add_argument("--no-phase2", action="store_true", help="disable DSQL-P2")
+    _add_executor_flags(q)
 
     sub.add_parser("datasets", help="list dataset profiles")
 
@@ -84,30 +86,86 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("--edges", type=int, default=5)
     e.add_argument("--queries", type=int, default=10)
     e.add_argument("--seed", type=int, default=0)
+    _add_executor_flags(e)
     return parser
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    from repro.parallel.executor import STRATEGIES
+
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="serial",
+        help="batch execution strategy (DSQL solvers only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for thread/process strategies (default: available CPUs)",
+    )
+    parser.add_argument(
+        "--time-budget-ms",
+        type=float,
+        default=None,
+        help="per-query wall-clock budget; exceeding it truncates the search",
+    )
+
+
+def _check_executor_flags(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, context: str
+) -> None:
+    """Reject parallel/deadline flags where they cannot be honored."""
+    if args.strategy != "serial" or args.jobs is not None:
+        parser.error(f"--strategy/--jobs are not supported with {context}")
+    if args.time_budget_ms is not None:
+        parser.error(f"--time-budget-ms is not supported with {context}")
+
+
+def _cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     stats = compute_statistics(graph)
     print(
         f"{args.dataset}: |V|={stats.num_vertices} |E|={stats.num_edges} "
         f"|Sigma|={stats.num_labels} avg_deg={stats.average_degree:.2f}"
     )
-    queries = query_set(graph, args.edges, args.queries, seed=args.seed)
+    queries = list(query_set(graph, args.edges, args.queries, seed=args.seed))
 
     if args.solver in VARIANTS:
-        config = variant_config(args.solver, args.k, run_phase2=not args.no_phase2)
-        solver = dsql_solver(config)
-    elif args.solver == "COM":
-        solver = com_solver(args.k, seed=args.seed)
-    elif args.solver == "FIRSTK":
-        solver = first_k_solver(args.k)
+        config = variant_config(
+            args.solver,
+            args.k,
+            run_phase2=not args.no_phase2,
+            time_budget_ms=args.time_budget_ms,
+        )
+        summary = run_executor_batch(
+            graph,
+            queries,
+            config,
+            strategy=args.strategy,
+            jobs=args.jobs,
+            label=args.solver,
+        )
     else:
-        solver = random_start_solver(args.k, seed=args.seed)
+        _check_executor_flags(parser, args, f"baseline {args.solver}")
+        if args.solver == "COM":
+            solver = com_solver(args.k, seed=args.seed)
+        elif args.solver == "FIRSTK":
+            solver = first_k_solver(args.k)
+        else:
+            solver = random_start_solver(args.k, seed=args.seed)
+        summary = run_batch(graph, queries, solver, label=args.solver)
 
-    summary = run_batch(graph, queries, solver, label=args.solver)
     print(render_table(SUMMARY_HEADERS, [summary_row(summary)]))
+    if args.solver in VARIANTS:
+        hits = summary.cache_hits
+        print(f"query cache: {hits} hits, {len(summary) - hits} misses")
+        if summary.any_deadline_exhausted:
+            print(
+                f"note: some queries were truncated by the "
+                f"{args.time_budget_ms:g} ms time budget"
+            )
     return 0
 
 
@@ -145,12 +203,18 @@ def _cmd_schedule(scans: int) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     from repro.experiments import paper
     from repro.experiments.report import render_series, render_summaries
 
+    if args.name != "table3":
+        # Only table3's DSQL batch goes through the executor; the other
+        # experiments time their solvers per-query and would silently
+        # ignore (or misreport under) these flags.
+        _check_executor_flags(parser, args, f"experiment {args.name}")
+
     graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
-    queries = query_set(graph, args.edges, args.queries, seed=args.seed)
+    queries = list(query_set(graph, args.edges, args.queries, seed=args.seed))
 
     if args.name == "table2":
         row = paper.table2_counts(graph, queries, dataset=args.dataset)
@@ -161,8 +225,18 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         )
     elif args.name == "table3":
         firstk = paper.table3_firstk(graph, queries, args.k)
-        dsql = paper.run_dsql(graph, queries, DSQLConfig(k=args.k))
+        config = DSQLConfig(k=args.k, time_budget_ms=args.time_budget_ms)
+        dsql = run_executor_batch(
+            graph,
+            queries,
+            config,
+            strategy=args.strategy,
+            jobs=args.jobs,
+            label="DSQL",
+        )
         print(render_summaries([firstk, dsql], title=f"Table 3 on {args.dataset}"))
+        if dsql.any_deadline_exhausted:
+            print(f"note: DSQL truncated by the {args.time_budget_ms:g} ms time budget")
     elif args.name == "table4":
         result = paper.table4_strategies(graph, queries, args.k)
         rows = [
@@ -184,15 +258,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
     if args.command == "query":
-        return _cmd_query(args)
+        return _cmd_query(parser, args)
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "experiment":
-        return _cmd_experiment(args)
+        return _cmd_experiment(parser, args)
     return _cmd_schedule(args.scans)
 
 

@@ -62,6 +62,16 @@ class DSQLConfig:
         Upper bound on candidate expansions across the whole query; ``None``
         disables. A tripped budget yields a valid truncated result with
         ``stats.budget_exhausted`` set.
+    time_budget_ms:
+        Wall-clock deadline for the whole query (both phases), in
+        milliseconds; ``None`` disables. The paper caps its Table 2
+        experiments by wall-clock time ("> 5 hours" rows); this is the
+        per-query equivalent. Enforced on the expansion hot path by a
+        stride-checked monotonic clock (one ``time.monotonic()`` call every
+        :data:`repro.core.search.DEADLINE_CHECK_STRIDE` expansions), so the
+        effective deadline overshoots by at most one stride. A tripped
+        deadline yields a valid truncated result with
+        ``stats.deadline_exhausted`` set, exactly like ``node_budget``.
     validate_results:
         Re-validate every returned embedding against the Section 2
         definition (cheap; useful in production pipelines).
@@ -85,6 +95,7 @@ class DSQLConfig:
     phase2_ratio_target: float = 0.5
     exhaustive_level: bool = False
     node_budget: Optional[int] = 5_000_000
+    time_budget_ms: Optional[float] = None
     validate_results: bool = False
     query_cache_size: Optional[int] = 128
     seed: Optional[int] = 0
@@ -100,6 +111,10 @@ class DSQLConfig:
             )
         if self.node_budget is not None and self.node_budget < 1:
             raise ConfigError(f"node_budget must be positive, got {self.node_budget}")
+        if self.time_budget_ms is not None and self.time_budget_ms <= 0:
+            raise ConfigError(
+                f"time_budget_ms must be positive, got {self.time_budget_ms}"
+            )
         if self.query_cache_size is not None and self.query_cache_size < 0:
             raise ConfigError(
                 f"query_cache_size must be >= 0 or None, got {self.query_cache_size}"

@@ -28,7 +28,10 @@ The phase dispatch follows Section 6.2 exactly:
 
 from __future__ import annotations
 
+import copy
+import time
 from collections import OrderedDict
+from dataclasses import replace
 from typing import Optional
 
 from repro.core.config import DSQLConfig
@@ -94,10 +97,16 @@ class DSQL:
         graph = self.graph
         stats = SearchStats()
         candidates = CandidateIndex(graph, query, cache=self.index_cache)
+        # The wall-clock deadline is anchored once and shared by both phases:
+        # time_budget_ms bounds the whole query, not each phase.
+        deadline = None
+        if config.time_budget_ms is not None:
+            deadline = time.monotonic() + config.time_budget_ms / 1000.0
 
-        phase1 = run_phase1(graph, query, config, candidates, stats)
+        phase1 = run_phase1(graph, query, config, candidates, stats, deadline=deadline)
         state = phase1.state
         k, q = config.k, query.size
+        truncated = stats.budget_exhausted or stats.deadline_exhausted
 
         optimal = False
         reason = ""
@@ -105,7 +114,7 @@ class DSQL:
             phase1.exhausted
             and len(state) < k
             and not config.relaxed_bad_vertices
-            and not stats.budget_exhausted
+            and not truncated
         ):
             # Theorem 3's |A| < k case. The DSQLh relaxation skips vertices
             # that may still extend to embeddings, so it forfeits this claim.
@@ -123,9 +132,11 @@ class DSQL:
             and config.run_phase2
             and len(state) == k
             and ratio < config.phase2_ratio_target
-            and not stats.budget_exhausted
+            and not truncated
         ):
-            phase2 = run_phase2(graph, query, config, candidates, phase1, stats)
+            phase2 = run_phase2(
+                graph, query, config, candidates, phase1, stats, deadline=deadline
+            )
             embeddings = phase2.embeddings
             coverage = phase2.coverage
 
@@ -149,34 +160,52 @@ class DSQL:
         """Answer a sequence of queries, memoizing repeated query structure.
 
         Queries are memoized by :meth:`QueryGraph.canonical_key` — identical
-        labeled structure returns the same (deterministic) result object
-        without re-searching. The memo persists across ``query_many`` calls
-        on this session and is bounded by ``config.query_cache_size`` with
-        LRU eviction (``None`` = unbounded, ``0`` = disabled). Hits and
-        misses accumulate on :attr:`stats`.
+        labeled structure returns an equal (deterministic) result without
+        re-searching. The memo persists across ``query_many`` calls on this
+        session and is bounded by ``config.query_cache_size`` with LRU
+        eviction (``None`` = unbounded, ``0`` = disabled). Hits and misses
+        accumulate on :attr:`stats`.
+
+        A hit returns a copy of the memoized result flagged
+        ``from_cache=True`` (with its own ``stats`` copy), never the stored
+        object itself: :class:`DSQResult` is frozen, but ``stats`` is a
+        mutable counter bundle, and handing the cached instance out would let
+        one caller's bookkeeping corrupt every later hit.
+        """
+        results = []
+        for query in queries:
+            results.append(
+                self._memo_answer(query.canonical_key(), lambda q=query: self.query(q))
+            )
+        return results
+
+    def _memo_answer(self, key, compute) -> DSQResult:
+        """One memo step of :meth:`query_many`: hit, or ``compute()`` + store.
+
+        Factored out so :class:`~repro.parallel.executor.BatchExecutor` can
+        replay a batch through the *identical* memo logic (with ``compute``
+        returning a result searched on a worker) — parallel runs then match
+        serial ``query_many`` by construction, counters included.
         """
         cache = self._query_cache
         cap = self.config.query_cache_size
         stats = self.stats
-        results = []
-        for query in queries:
-            key = query.canonical_key()
-            if cap == 0:
-                stats.query_cache_misses += 1
-                results.append(self.query(query))
-                continue
-            result = cache.get(key)
-            if result is None:
-                stats.query_cache_misses += 1
-                result = self.query(query)
-                cache[key] = result
-                if cap is not None and len(cache) > cap:
-                    cache.popitem(last=False)
-            else:
-                stats.query_cache_hits += 1
-                cache.move_to_end(key)
-            results.append(result)
-        return results
+        if cap == 0:
+            stats.query_cache_misses += 1
+            return compute()
+        result = cache.get(key)
+        if result is None:
+            stats.query_cache_misses += 1
+            result = compute()
+            # The cached entry owns a private stats copy: the object
+            # returned to the caller shares nothing mutable with the memo.
+            cache[key] = replace(result, stats=copy.deepcopy(result.stats))
+            if cap is not None and len(cache) > cap:
+                cache.popitem(last=False)
+            return result
+        stats.query_cache_hits += 1
+        cache.move_to_end(key)
+        return replace(result, from_cache=True, stats=copy.deepcopy(result.stats))
 
 
 def diversified_search(

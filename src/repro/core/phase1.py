@@ -11,7 +11,7 @@ optimal solution.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.config import DSQLConfig
 from repro.core.search import LevelSearchEngine
@@ -60,16 +60,20 @@ def run_phase1(
     config: DSQLConfig,
     candidates: CandidateIndex,
     stats: SearchStats,
+    deadline: Optional[float] = None,
 ) -> Phase1Output:
     """Execute DSQL-P1 and return the collected solution.
 
     The engine's ``matched`` set is aliased with the solution's so that
     accepted embeddings immediately consume their vertices (Q1Search
-    difference (3)).
+    difference (3)). ``deadline`` is the query-wide monotonic timestamp
+    derived from ``config.time_budget_ms`` (``None`` disables).
     """
     qlist = selectivity_order(query, candidates)
     state = SolutionState()
-    engine = LevelSearchEngine(graph, query, candidates, config, stats, state.matched)
+    engine = LevelSearchEngine(
+        graph, query, candidates, config, stats, state.matched, deadline=deadline
+    )
     q = query.size
 
     if candidates.any_empty():

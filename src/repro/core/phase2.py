@@ -25,7 +25,7 @@ Two Phase-1 fidelity points carry over:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.config import DSQLConfig
 from repro.core.phase1 import Phase1Output, tcand_snapshot
@@ -57,6 +57,7 @@ def run_phase2(
     candidates: CandidateIndex,
     phase1: Phase1Output,
     stats: SearchStats,
+    deadline: Optional[float] = None,
 ) -> Phase2Output:
     """Execute DSQL-P2 starting from the Phase-1 solution.
 
@@ -75,7 +76,7 @@ def run_phase2(
         slot_to_mapping[slot] = mapping
 
     engine = LevelSearchEngine(
-        graph, query, candidates, config, stats, phase1.state.matched
+        graph, query, candidates, config, stats, phase1.state.matched, deadline=deadline
     )
     # TcandS comes from T1 for the entire phase (Algorithm 5 line 5).
     tcand = tcand_snapshot(candidates, set(t1_cover), q)

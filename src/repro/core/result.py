@@ -3,15 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set
+from typing import FrozenSet, Iterable, List, Set, Tuple
 
 from repro.core.state import SearchStats
 from repro.isomorphism.match import Mapping
 
 
-@dataclass
+@dataclass(frozen=True)
 class DSQResult:
     """Outcome of one DSQL run.
+
+    Instances are immutable: the dataclass is frozen and ``embeddings`` is
+    normalized to a tuple of tuples at construction. This is what makes the
+    ``DSQL.query_many`` memo (and the parallel :class:`~repro.parallel.
+    executor.BatchExecutor` sharing results across workers) safe — a cache
+    hit can hand the stored result to any number of callers without a
+    mutation by one of them corrupting every later hit.
 
     Attributes
     ----------
@@ -30,10 +37,16 @@ class DSQResult:
         ``"exhausted"`` — all levels completed with fewer than ``k``
         embeddings (Theorem 3's ``|A| < k`` case); ``""`` otherwise.
     stats:
-        Search counters for both phases.
+        Search counters for both phases. For a ``from_cache`` result these
+        are a *copy* of the original search's counters — the search they
+        describe ran when the entry was populated, not on this call.
+    from_cache:
+        ``True`` when this result was served from the ``query_many`` memo
+        without running a search; timing/counter consumers must not
+        attribute ``stats`` to the current call when set.
     """
 
-    embeddings: List[Mapping]
+    embeddings: Tuple[Mapping, ...]
     k: int
     q: int
     coverage: int
@@ -41,6 +54,14 @@ class DSQResult:
     optimal: bool = False
     optimal_reason: str = ""
     stats: SearchStats = field(default_factory=SearchStats)
+    from_cache: bool = False
+
+    def __post_init__(self) -> None:
+        # Accept any iterable of mappings but store an immutable snapshot.
+        embeddings: Iterable[Mapping] = self.embeddings
+        object.__setattr__(
+            self, "embeddings", tuple(tuple(e) for e in embeddings)
+        )
 
     def __len__(self) -> int:
         return len(self.embeddings)
@@ -80,10 +101,11 @@ class DSQResult:
     def summary(self) -> str:
         """One-line human-readable summary."""
         flag = f" optimal({self.optimal_reason})" if self.optimal else ""
+        cached = " [cached]" if self.from_cache else ""
         return (
             f"{len(self.embeddings)}/{self.k} embeddings, coverage {self.coverage}"
             f" (ratio >= {self.approx_ratio_lower_bound():.3f}), level {self.level}"
-            f"{flag}"
+            f"{flag}{cached}"
         )
 
     def to_dict(self) -> dict:
@@ -97,6 +119,7 @@ class DSQResult:
             "optimal": self.optimal,
             "optimal_reason": self.optimal_reason,
             "ratio_lower_bound": self.approx_ratio_lower_bound(),
+            "from_cache": self.from_cache,
             "stats": {
                 "nodes_expanded": self.stats.nodes_expanded,
                 "embeddings_found": self.stats.embeddings_found,
@@ -105,5 +128,6 @@ class DSQResult:
                 "phase2_swaps": self.stats.phase2_swaps,
                 "phase2_early_termination": self.stats.phase2_early_termination,
                 "budget_exhausted": self.stats.budget_exhausted,
+                "deadline_exhausted": self.stats.deadline_exhausted,
             },
         }

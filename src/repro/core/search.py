@@ -28,12 +28,13 @@ generator.
 from __future__ import annotations
 
 import random
+import time
 from itertools import combinations
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DSQLConfig
 from repro.core.state import SearchStats
-from repro.exceptions import BudgetExceeded
+from repro.exceptions import BudgetExceeded, DeadlineExceeded
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.indexes.candidates import CandidateIndex
@@ -43,6 +44,15 @@ from repro.queries.qflist import NO_FATHER, QFList, resort
 
 OnEmbedding = Callable[[Mapping], bool]
 """Acceptance callback: receives a full embedding, returns False to stop."""
+
+DEADLINE_CHECK_STRIDE = 1024
+"""Expansions between wall-clock deadline checks.
+
+``time.monotonic()`` costs roughly as much as one expansion step, so probing
+it on every ``_charge`` would measurably slow the hot path; probing every
+1024 expansions keeps the overhead under 0.1% while bounding deadline
+overshoot to one stride's worth of work.
+"""
 
 
 class LevelSearchEngine:
@@ -63,6 +73,11 @@ class LevelSearchEngine:
         exclusion) and writes (marks accepted embeddings) this set; Phase 1
         aliases it with ``V(T)``, Phase 2 lets it grow past the swapped
         solution.
+    deadline:
+        Absolute ``time.monotonic()`` timestamp after which the search must
+        stop (``None`` disables). Shared by both phases of one query so the
+        whole query honors ``config.time_budget_ms``; checked every
+        :data:`DEADLINE_CHECK_STRIDE` expansions.
     """
 
     def __init__(
@@ -73,6 +88,7 @@ class LevelSearchEngine:
         config: DSQLConfig,
         stats: SearchStats,
         matched: Set[int],
+        deadline: Optional[float] = None,
     ) -> None:
         self.graph = graph
         self.query = query
@@ -80,6 +96,7 @@ class LevelSearchEngine:
         self.config = config
         self.stats = stats
         self.matched = matched
+        self.deadline = deadline
         self.rng = random.Random(config.seed)
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
@@ -153,11 +170,21 @@ class LevelSearchEngine:
         return base
 
     def _charge(self) -> None:
-        self.stats.nodes_expanded += 1
+        stats = self.stats
+        stats.nodes_expanded += 1
         budget = self.config.node_budget
-        if budget is not None and self.stats.nodes_expanded > budget:
-            self.stats.budget_exhausted = True
+        if budget is not None and stats.nodes_expanded > budget:
+            stats.budget_exhausted = True
             raise BudgetExceeded(f"node budget {budget} exhausted")
+        if (
+            self.deadline is not None
+            and stats.nodes_expanded % DEADLINE_CHECK_STRIDE == 0
+            and time.monotonic() >= self.deadline
+        ):
+            stats.deadline_exhausted = True
+            raise DeadlineExceeded(
+                f"time budget {self.config.time_budget_ms} ms exhausted"
+            )
 
     def _joinable(self, u: int, v: int) -> bool:
         """Injectivity + edge-consistency of matching ``u -> v``."""

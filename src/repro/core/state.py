@@ -30,6 +30,7 @@ class SearchStats:
     phase2_ran: bool = False
     phase2_early_termination: bool = False
     budget_exhausted: bool = False
+    deadline_exhausted: bool = False
     query_cache_hits: int = 0
     query_cache_misses: int = 0
     per_level_added: Dict[int, int] = field(default_factory=dict)

@@ -47,3 +47,13 @@ class BudgetExceeded(ReproError):
     The public API converts this into a truncated-but-valid result; it only
     escapes to callers that explicitly request ``raise_on_budget=True``.
     """
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """Raised internally when a search exceeds its wall-clock deadline.
+
+    Subclasses :class:`BudgetExceeded` so every truncation path that already
+    handles a tripped node budget (both DSQL phases, the SQ engines) handles
+    the time budget identically; the two cases stay distinguishable through
+    ``stats.deadline_exhausted`` vs ``stats.budget_exhausted``.
+    """

@@ -23,6 +23,8 @@ class QueryRecord:
     num_embeddings: int
     optimal: bool = False
     budget_exhausted: bool = False
+    deadline_exhausted: bool = False
+    from_cache: bool = False
 
     @property
     def ratio(self) -> float:
@@ -89,3 +91,13 @@ class BatchSummary:
     def any_budget_exhausted(self) -> bool:
         """Whether any query tripped its search budget (paper: the 5h rows)."""
         return any(r.budget_exhausted for r in self.records)
+
+    @property
+    def any_deadline_exhausted(self) -> bool:
+        """Whether any query was truncated by its wall-clock time budget."""
+        return any(r.deadline_exhausted for r in self.records)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many queries were answered from the session's result memo."""
+        return sum(1 for r in self.records if r.from_cache)

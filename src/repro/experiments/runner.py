@@ -30,6 +30,8 @@ class SolverOutcome:
     num_embeddings: int
     optimal: bool = False
     budget_exhausted: bool = False
+    deadline_exhausted: bool = False
+    from_cache: bool = False
 
 
 Solver = Callable[[LabeledGraph, QueryGraph], SolverOutcome]
@@ -59,6 +61,7 @@ def dsql_solver(config: DSQLConfig) -> Solver:
             num_embeddings=len(result),
             optimal=result.optimal,
             budget_exhausted=result.stats.budget_exhausted,
+            deadline_exhausted=result.stats.deadline_exhausted,
         )
 
     return solve
@@ -131,6 +134,52 @@ def run_batch(
                 num_embeddings=outcome.num_embeddings,
                 optimal=outcome.optimal,
                 budget_exhausted=outcome.budget_exhausted,
+                deadline_exhausted=outcome.deadline_exhausted,
+                from_cache=outcome.from_cache,
+            )
+        )
+    return summary
+
+
+def run_executor_batch(
+    graph: LabeledGraph,
+    queries: List[QueryGraph],
+    config: DSQLConfig,
+    *,
+    strategy: str = "serial",
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    label: str = "",
+) -> BatchSummary:
+    """Run a DSQL batch through :class:`~repro.parallel.BatchExecutor`.
+
+    Unlike :func:`run_batch`, the pool answers queries concurrently, so only
+    the *batch* wall-clock is physically meaningful; each record's
+    ``seconds`` is the batch time divided by the batch size. Result fields
+    (coverage, optimality, truncation flags) are bit-identical to a serial
+    run by the executor's replay guarantee.
+    """
+    from repro.parallel.executor import BatchExecutor
+
+    queries = list(queries)
+    executor = BatchExecutor(graph, config=config, strategy=strategy, jobs=jobs, chunk_size=chunk_size)
+    graph.index_cache()  # prewarm, matching run_batch's timing discipline
+    start = time.perf_counter()
+    results = executor.run(queries)
+    elapsed = time.perf_counter() - start
+    per_query = elapsed / len(queries) if queries else 0.0
+    summary = BatchSummary(label=label)
+    for result in results:
+        summary.add(
+            QueryRecord(
+                seconds=per_query,
+                coverage=result.coverage,
+                max_value=result.max_value(),
+                num_embeddings=len(result),
+                optimal=result.optimal,
+                budget_exhausted=result.stats.budget_exhausted,
+                deadline_exhausted=result.stats.deadline_exhausted,
+                from_cache=result.from_cache,
             )
         )
     return summary

@@ -23,6 +23,7 @@ restriction over these pools instead of a per-query full scan.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
@@ -60,6 +61,7 @@ class GraphIndexCache:
         "_mask_signatures",
         "_pool_memo",
         "_pool_memo_size",
+        "_pool_lock",
     )
 
     def __init__(self, graph, candidate_memo_size: Optional[int] = DEFAULT_CANDIDATE_MEMO_SIZE):
@@ -105,8 +107,25 @@ class GraphIndexCache:
 
         self._pool_memo: "OrderedDict[Tuple[int, int, int], Tuple[int, ...]]" = OrderedDict()
         self._pool_memo_size = candidate_memo_size
+        # Everything above is immutable after construction and safely shared
+        # across threads; the pool memo is the one mutable structure, so its
+        # get/move_to_end/evict sequences are serialized for the thread
+        # strategy of the parallel BatchExecutor. Uncontended acquisition is
+        # tens of nanoseconds against a pool scan's micro/milliseconds.
+        self._pool_lock = threading.Lock()
         self.candidate_memo_hits = 0
         self.candidate_memo_misses = 0
+
+    # ------------------------------------------------------------------
+    # Pickling: locks cannot cross process boundaries; a fresh lock is
+    # equivalent because a just-unpickled cache has no concurrent users yet.
+    def __getstate__(self) -> dict:
+        return {s: getattr(self, s) for s in self.__slots__ if s != "_pool_lock"}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -161,19 +180,20 @@ class GraphIndexCache:
         key = (lid, min_degree, signature_mask)
         memo = self._pool_memo
         cap = self._pool_memo_size
-        if cap != 0:
-            pool = memo.get(key)
-            if pool is not None:
-                self.candidate_memo_hits += 1
-                memo.move_to_end(key)
-                return pool
-        self.candidate_memo_misses += 1
-        pool = self._scan(lid, min_degree, signature_mask)
-        if cap != 0:
-            memo[key] = pool
-            if cap is not None and len(memo) > cap:
-                memo.popitem(last=False)
-        return pool
+        with self._pool_lock:
+            if cap != 0:
+                pool = memo.get(key)
+                if pool is not None:
+                    self.candidate_memo_hits += 1
+                    memo.move_to_end(key)
+                    return pool
+            self.candidate_memo_misses += 1
+            pool = self._scan(lid, min_degree, signature_mask)
+            if cap != 0:
+                memo[key] = pool
+                if cap is not None and len(memo) > cap:
+                    memo.popitem(last=False)
+            return pool
 
     def _scan(self, lid: int, min_degree: int, signature_mask: int) -> Tuple[int, ...]:
         base = self.label_index[self.label_table[lid]]

@@ -19,9 +19,10 @@ enumeration remains exact — verified against brute force in the test suite.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterator, List, Optional, Set
 
-from repro.exceptions import BudgetExceeded
+from repro.exceptions import BudgetExceeded, DeadlineExceeded
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.indexes.candidates import CandidateIndex
@@ -45,6 +46,7 @@ class OptimizedQSearchEngine:
         query: QueryGraph,
         candidates: Optional[CandidateIndex] = None,
         node_budget: Optional[int] = None,
+        time_budget_ms: Optional[float] = None,
         conflict_backjumping: bool = True,
         bad_vertex_skipping: bool = True,
     ) -> None:
@@ -52,12 +54,24 @@ class OptimizedQSearchEngine:
         self.query = query
         self.candidates = candidates or CandidateIndex(graph, query)
         self.node_budget = node_budget
+        self.time_budget_ms = time_budget_ms
+        # Anchored at construction: the deadline caps the whole enumeration,
+        # checked every DEADLINE_CHECK_STRIDE expansions like LevelSearchEngine.
+        self._deadline: Optional[float] = (
+            None if time_budget_ms is None else time.monotonic() + time_budget_ms / 1000.0
+        )
+        # Late import: repro.core.search pulls from repro.isomorphism, so a
+        # module-level import here would cycle through the package __init__.
+        from repro.core.search import DEADLINE_CHECK_STRIDE
+
+        self._deadline_stride = DEADLINE_CHECK_STRIDE
         self.conflict_backjumping = conflict_backjumping
         self.bad_vertex_skipping = bad_vertex_skipping
         self.nodes_expanded = 0
         self.conflict_skips = 0
         self.bad_vertex_skips = 0
         self.budget_exhausted = False
+        self.deadline_exhausted = False
         qlist = selectivity_order(query, self.candidates)
         self.order = connected_search_order(query, qlist)
         position = {u: i for i, u in enumerate(self.order)}
@@ -90,6 +104,13 @@ class OptimizedQSearchEngine:
         if self.node_budget is not None and self.nodes_expanded > self.node_budget:
             self.budget_exhausted = True
             raise BudgetExceeded(f"node budget {self.node_budget} exhausted")
+        if (
+            self._deadline is not None
+            and self.nodes_expanded % self._deadline_stride == 0
+            and time.monotonic() >= self._deadline
+        ):
+            self.deadline_exhausted = True
+            raise DeadlineExceeded(f"time budget {self.time_budget_ms} ms exhausted")
 
     def _pool(self, depth: int) -> List[int]:
         u = self.order[depth]
@@ -185,9 +206,12 @@ def enumerate_embeddings_optimized(
     query: QueryGraph,
     limit: Optional[int] = None,
     node_budget: Optional[int] = None,
+    time_budget_ms: Optional[float] = None,
 ) -> List[Mapping]:
     """Drop-in optimized counterpart of ``enumerate_embeddings``."""
-    engine = OptimizedQSearchEngine(graph, query, node_budget=node_budget)
+    engine = OptimizedQSearchEngine(
+        graph, query, node_budget=node_budget, time_budget_ms=time_budget_ms
+    )
     out: List[Mapping] = []
     for mapping in engine.embeddings():
         out.append(mapping)

@@ -1,0 +1,5 @@
+"""Parallel query-batch execution over a shared per-graph index cache."""
+
+from repro.parallel.executor import STRATEGIES, BatchExecutor, ExecutorReport
+
+__all__ = ["BatchExecutor", "ExecutorReport", "STRATEGIES"]

@@ -1,0 +1,304 @@
+"""Batch executor: fan a query stream out over a worker pool.
+
+:class:`BatchExecutor` answers a batch of queries against one
+:class:`~repro.core.dsql.DSQL` session using one of three strategies:
+
+``serial``
+    Exactly ``session.query_many`` — the reference semantics.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` sharing the session
+    directly. Every worker reads the same pinned
+    :class:`~repro.indexes.graph_cache.GraphIndexCache` (whose candidate-pool
+    memo is internally locked); per-query search state is worker-local.
+    Useful when the hot loops release the GIL (numpy-backed backends) or the
+    workload is I/O-interleaved; on pure-Python search it degrades gracefully
+    to roughly serial throughput.
+``process``
+    A fork-based :class:`~concurrent.futures.ProcessPoolExecutor`. The
+    session — graph, warmed index cache, config — is *inherited* by the
+    forked children through a module global rather than pickled, so workers
+    start with the same shared per-graph state the parent already paid for.
+    Queries travel to workers as plain ``(labels, edges)`` payloads and only
+    the (picklable, frozen) :class:`~repro.core.result.DSQResult` comes back.
+
+Whatever the strategy, ``run`` returns results **in input order and
+bit-identical to serial** ``session.query_many(queries)``: the parallel
+strategies search each distinct query structure on a worker, then replay the
+batch through the session's own memo logic (:meth:`DSQL._memo_answer`), so
+LRU contents, hit/miss counters and ``from_cache`` flags all evolve exactly
+as a serial run's would. Determinism of the underlying search (fixed seeds,
+sorted iteration everywhere) makes the worker-computed result equal to the
+one a serial run would have computed in place.
+
+Failure handling degrades gracefully: a chunk whose worker crashes (e.g. a
+forked child OOM-killed, tearing down the whole process pool) is re-run
+serially in the parent, so a batch always completes with full results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.core.result import DSQResult
+from repro.exceptions import ConfigError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+
+STRATEGIES = ("serial", "thread", "process")
+"""Supported execution strategies, in escalating-isolation order."""
+
+# Chunks per worker when auto-chunking: small enough to amortize dispatch,
+# large enough that a straggler chunk cannot idle the rest of the pool long.
+_CHUNKS_PER_JOB = 4
+
+# The forked children's handle on the parent's session (graph + warmed index
+# cache + config). Set only for the lifetime of one process-strategy run;
+# fork inheritance makes it visible in the workers without pickling.
+_FORK_SESSION: Optional[DSQL] = None
+
+Key = Tuple
+_ProcessItem = Tuple[Key, Sequence, List[Tuple[int, int]]]
+
+
+def default_jobs() -> int:
+    """Worker count honoring CPU affinity (cgroup/taskset aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+def _process_chunk(payload: List[_ProcessItem]) -> List[Tuple[Key, DSQResult]]:
+    """Worker body for the process strategy (runs in a forked child)."""
+    session = _FORK_SESSION
+    out = []
+    for key, labels, edges in payload:
+        out.append((key, session.query(QueryGraph(labels, edges))))
+    return out
+
+
+@dataclass(frozen=True)
+class ExecutorReport:
+    """What one :meth:`BatchExecutor.run` call actually did.
+
+    ``searches`` counts queries answered by running a search (distinct query
+    structures not already memoized); the remaining ``len(batch) - searches``
+    were replayed from the session memo. ``chunks_retried`` counts chunks
+    whose worker failed and which were re-run serially in the parent.
+    """
+
+    strategy: str
+    jobs: int
+    batch: int
+    searches: int
+    chunks: int
+    chunks_retried: int
+
+
+class BatchExecutor:
+    """Answer query batches over a thread/process pool, serially reproducible.
+
+    Parameters
+    ----------
+    graph:
+        The data graph, or an existing :class:`DSQL` session to execute
+        against (then ``config``/``k`` must be omitted).
+    config, k:
+        Forwarded to :class:`DSQL` when ``graph`` is a graph.
+    strategy:
+        One of :data:`STRATEGIES`.
+    jobs:
+        Worker count; defaults to the CPUs this process may run on.
+    chunk_size:
+        Queries per dispatched chunk; default splits the distinct-query work
+        into ~4 chunks per worker.
+    """
+
+    def __init__(
+        self,
+        graph: Union[LabeledGraph, DSQL],
+        config: Optional[DSQLConfig] = None,
+        k: Optional[int] = None,
+        *,
+        strategy: str = "serial",
+        jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        if strategy not in STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; choose from {list(STRATEGIES)}"
+            )
+        if isinstance(graph, DSQL):
+            if config is not None or k is not None:
+                raise ValueError("pass either a DSQL session or config/k, not both")
+            self.session = graph
+        else:
+            self.session = DSQL(graph, config=config, k=k)
+        if jobs is not None and jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.strategy = strategy
+        self.jobs = default_jobs() if jobs is None else jobs
+        self.chunk_size = chunk_size
+        self.last_report: Optional[ExecutorReport] = None
+
+    # ------------------------------------------------------------------
+    def run(self, queries) -> List[DSQResult]:
+        """Answer the batch; results are in input order, identical to serial."""
+        queries = list(queries)
+        session = self.session
+        if self.strategy == "serial" or self.jobs <= 1 or len(queries) <= 1:
+            results = session.query_many(queries)
+            self.last_report = ExecutorReport(
+                strategy=self.strategy,
+                jobs=1,
+                batch=len(queries),
+                searches=sum(1 for r in results if not r.from_cache),
+                chunks=0,
+                chunks_retried=0,
+            )
+            return results
+
+        keys = [q.canonical_key() for q in queries]
+        need = self._plan_searches(keys, queries)
+        fresh, chunks, retried = self._search_parallel(need)
+        # Replay the batch through the session's own memo step: LRU state,
+        # hit/miss counters and from_cache flags evolve exactly as in a
+        # serial query_many, with compute() served by the worker results.
+        results = [
+            session._memo_answer(key, lambda key=key: fresh[key])
+            for key in keys
+        ]
+        self.last_report = ExecutorReport(
+            strategy=self.strategy,
+            jobs=self.jobs,
+            batch=len(queries),
+            searches=len(need),
+            chunks=chunks,
+            chunks_retried=retried,
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _plan_searches(
+        self, keys: List[Key], queries: List[QueryGraph]
+    ) -> Dict[Key, QueryGraph]:
+        """Distinct query structures a serial run would actually search.
+
+        Simulates the batch against a mirror of the current memo (with the
+        same LRU capacity) so keys that will be evicted mid-batch and
+        re-missed are still searched only once — the search is deterministic,
+        so one worker result serves every miss of that key.
+        """
+        session = self.session
+        cap = session.config.query_cache_size
+        need: Dict[Key, QueryGraph] = {}
+        if cap == 0:
+            for key, query in zip(keys, queries):
+                need.setdefault(key, query)
+            return need
+        mirror = dict.fromkeys(session._query_cache)
+        for key, query in zip(keys, queries):
+            if key in mirror:
+                continue
+            need.setdefault(key, query)
+            mirror[key] = None
+            if cap is not None and len(mirror) > cap:
+                del mirror[next(iter(mirror))]
+        return need
+
+    # ------------------------------------------------------------------
+    def _chunk(self, items: List) -> List[List]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-len(items) // (self.jobs * _CHUNKS_PER_JOB)))
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
+    def _search_parallel(
+        self, need: Dict[Key, QueryGraph]
+    ) -> Tuple[Dict[Key, DSQResult], int, int]:
+        """Search every distinct query on the pool; returns (results, chunks, retried)."""
+        if not need:
+            return {}, 0, 0
+        session = self.session
+        # Warm the per-graph cache before any worker (or fork) exists, so the
+        # expensive one-off index build is shared rather than raced/duplicated.
+        session.graph.index_cache()
+        if self.strategy == "thread":
+            items = list(need.items())
+            chunks = self._chunk(items)
+
+            def run_chunk(chunk):
+                return [(key, session.query(query)) for key, query in chunk]
+
+            def retry_chunk(chunk):
+                return [(key, session.query(query)) for key, query in chunk]
+
+            return self._dispatch(ThreadPoolExecutor, chunks, run_chunk, retry_chunk)
+
+        # process strategy: ship (labels, edges) payloads, inherit the session.
+        items = [
+            (key, list(query.labels), list(query.edges()))
+            for key, query in need.items()
+        ]
+        chunks = self._chunk(items)
+
+        def retry_payload(chunk):
+            return [
+                (key, session.query(QueryGraph(labels, edges)))
+                for key, labels, edges in chunk
+            ]
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            # No fork, no cheap shared cache: degrade to in-process execution.
+            results = {}
+            for chunk in chunks:
+                results.update(retry_payload(chunk))
+            return results, len(chunks), len(chunks)
+
+        global _FORK_SESSION
+        _FORK_SESSION = session
+        try:
+            return self._dispatch(
+                lambda max_workers: ProcessPoolExecutor(
+                    max_workers=max_workers, mp_context=context
+                ),
+                chunks,
+                _process_chunk,
+                retry_payload,
+            )
+        finally:
+            _FORK_SESSION = None
+
+    def _dispatch(
+        self,
+        pool_factory: Callable,
+        chunks: List[List],
+        worker: Callable,
+        retry: Callable,
+    ) -> Tuple[Dict[Key, DSQResult], int, int]:
+        """Submit chunks, collect results, re-run failed chunks serially."""
+        results: Dict[Key, DSQResult] = {}
+        failed: List[List] = []
+        workers = min(self.jobs, len(chunks))
+        with pool_factory(workers) as pool:
+            futures = [(pool.submit(worker, chunk), chunk) for chunk in chunks]
+            for future, chunk in futures:
+                try:
+                    results.update(future.result())
+                except Exception:
+                    # Worker (or the whole pool) died; the chunk is intact in
+                    # the parent, so fall back to searching it here.
+                    failed.append(chunk)
+        for chunk in failed:
+            results.update(retry(chunk))
+        return results, len(chunks), len(failed)

@@ -28,7 +28,11 @@ def test_repeated_query_hits_cache(graph):
     results = session.query_many([q, q, q])
     assert session.stats.query_cache_misses == 1
     assert session.stats.query_cache_hits == 2
-    assert results[1] is results[0] and results[2] is results[0]
+    # Hits are equal to the miss but are flagged copies, not the same object.
+    assert results[1] is not results[0] and results[2] is not results[0]
+    assert results[0].embeddings == results[1].embeddings == results[2].embeddings
+    assert not results[0].from_cache
+    assert results[1].from_cache and results[2].from_cache
 
 
 def test_equal_structure_shares_entry(graph):
@@ -38,7 +42,8 @@ def test_equal_structure_shares_entry(graph):
     q2 = QueryGraph(["a", "b"], [(1, 0)])
     r1, r2 = session.query_many([q1, q2])
     assert session.stats.query_cache_hits == 1
-    assert r1 is r2
+    assert r1.embeddings == r2.embeddings
+    assert not r1.from_cache and r2.from_cache
 
 
 def test_cache_persists_across_calls(graph):
@@ -69,6 +74,7 @@ def test_cap_zero_disables_cache(graph):
     assert session.stats.query_cache_hits == 0
     assert r1 is not r2
     assert r1.embeddings == r2.embeddings
+    assert not r1.from_cache and not r2.from_cache
 
 
 def test_unbounded_cache(graph):
@@ -92,6 +98,59 @@ def test_cached_results_match_fresh_query(graph):
 def test_config_rejects_negative_cache_size():
     with pytest.raises(ConfigError):
         DSQLConfig(k=3, query_cache_size=-1)
+
+
+# ----------------------------------------------------------------------
+# Memo aliasing regression (the PR-2 headline bugfix): before results were
+# frozen, a cache hit returned the same mutable DSQResult on every call, so
+# one caller mutating result.embeddings corrupted the cache for everyone.
+# ----------------------------------------------------------------------
+def test_returned_result_is_immutable(graph):
+    session = DSQL(graph, k=3)
+    (result,) = session.query_many([_query()])
+    with pytest.raises(Exception):
+        result.embeddings = ()
+    with pytest.raises(AttributeError):
+        result.embeddings.clear()  # tuples have no mutators
+    with pytest.raises(AttributeError):
+        result.embeddings.append((0, 1))
+
+
+def test_mutating_caller_cannot_corrupt_cache(graph):
+    session = DSQL(graph, k=3)
+    q = _query()
+    (first,) = session.query_many([q])
+    pristine_embeddings = tuple(first.embeddings)
+    pristine_nodes = first.stats.nodes_expanded
+
+    # A hostile/buggy caller tries every mutation the old API allowed.
+    for attack in (
+        lambda r: r.embeddings.clear(),
+        lambda r: r.embeddings.append((99, 99)),
+        lambda r: setattr(r, "coverage", -1),
+    ):
+        with pytest.raises(Exception):
+            attack(first)
+    # stats is intentionally a mutable counter bundle; mutate it freely.
+    first.stats.nodes_expanded = -123
+
+    (second,) = session.query_many([q])
+    assert second.from_cache
+    assert second.embeddings == pristine_embeddings
+    assert second.coverage == first.coverage
+    # The hit's stats are a copy of the *cached* pristine counters, not the
+    # aliased object the first caller scribbled on.
+    assert second.stats.nodes_expanded == pristine_nodes
+
+
+def test_cache_hit_stats_are_independent_copies(graph):
+    session = DSQL(graph, k=3)
+    q = _query()
+    session.query_many([q])
+    (hit1,) = session.query_many([q])
+    hit1.stats.nodes_expanded = 10**9
+    (hit2,) = session.query_many([q])
+    assert hit2.stats.nodes_expanded != 10**9
 
 
 def test_session_pins_index_cache(graph):

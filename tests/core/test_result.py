@@ -74,7 +74,10 @@ class TestQueryMany:
         solver = DSQL(graph, k=2)
         results = solver.query_many([query, query, query])
         assert len(results) == 3
-        assert results[0] is results[1] is results[2]
+        assert results[0].embeddings == results[1].embeddings == results[2].embeddings
+        assert solver.stats.query_cache_misses == 1
+        assert solver.stats.query_cache_hits == 2
+        assert [r.from_cache for r in results] == [False, True, True]
 
     def test_distinct_queries_distinct_results(self, fig1, fig2):
         graph, query = fig1

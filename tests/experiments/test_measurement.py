@@ -7,7 +7,15 @@ import pytest
 from repro.experiments.measurement import BatchSummary, QueryRecord
 
 
-def record(seconds=0.01, coverage=10, max_value=20, optimal=False, budget=False):
+def record(
+    seconds=0.01,
+    coverage=10,
+    max_value=20,
+    optimal=False,
+    budget=False,
+    deadline=False,
+    cached=False,
+):
     return QueryRecord(
         seconds=seconds,
         coverage=coverage,
@@ -15,6 +23,8 @@ def record(seconds=0.01, coverage=10, max_value=20, optimal=False, budget=False)
         num_embeddings=4,
         optimal=optimal,
         budget_exhausted=budget,
+        deadline_exhausted=deadline,
+        from_cache=cached,
     )
 
 
@@ -66,3 +76,20 @@ class TestBatchSummary:
         s = BatchSummary(label="x")
         s.add(record())
         assert s.mean_embeddings == 4.0
+
+    def test_deadline_flag(self):
+        s = BatchSummary(label="x")
+        s.add(record())
+        assert not s.any_deadline_exhausted
+        s.add(record(deadline=True))
+        assert s.any_deadline_exhausted
+        # Independent of the node-budget flag.
+        assert not s.any_budget_exhausted
+
+    def test_cache_hits(self):
+        s = BatchSummary(label="x")
+        assert s.cache_hits == 0
+        s.add(record())
+        s.add(record(cached=True))
+        s.add(record(cached=True))
+        assert s.cache_hits == 2

@@ -13,6 +13,7 @@ from repro.experiments.runner import (
     first_k_solver,
     random_start_solver,
     run_batch,
+    run_executor_batch,
 )
 
 from tests.conftest import connected_query_from, random_labeled_graph
@@ -87,3 +88,40 @@ class TestRunBatch:
             },
         )
         assert out["DSQL"].mean_coverage >= out["FIRSTK"].mean_coverage - 1e-9
+
+
+class TestRunExecutorBatch:
+    @pytest.mark.parametrize("strategy", ["serial", "thread"])
+    def test_matches_run_batch_measurements(self, setting, strategy):
+        graph, queries = setting
+        config = DSQLConfig(k=3)
+        serial = run_batch(graph, queries, dsql_solver(config), label="serial")
+        summary = run_executor_batch(
+            graph, queries, config, strategy=strategy, jobs=2, label="exec"
+        )
+        assert len(summary) == len(queries)
+        assert summary.label == "exec"
+        # Timing differs; every result-derived field must not.
+        for got, ref in zip(summary.records, serial.records):
+            assert got.coverage == ref.coverage
+            assert got.max_value == ref.max_value
+            assert got.num_embeddings == ref.num_embeddings
+            assert got.optimal == ref.optimal
+
+    def test_memo_marks_duplicates(self, setting):
+        graph, queries = setting
+        summary = run_executor_batch(
+            graph, queries + queries, DSQLConfig(k=3), strategy="thread", jobs=2
+        )
+        assert summary.cache_hits == len(queries)
+
+    def test_deadline_recorded(self, setting, monkeypatch):
+        import repro.core.search as search_mod
+
+        monkeypatch.setattr(search_mod, "DEADLINE_CHECK_STRIDE", 1)
+        graph, queries = setting
+        summary = run_executor_batch(
+            graph, queries, DSQLConfig(k=3, time_budget_ms=1e-6)
+        )
+        assert summary.any_deadline_exhausted
+        assert not summary.any_budget_exhausted

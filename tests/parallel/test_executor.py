@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.parallel.executor`.
+
+The executor's contract is *serial reproducibility*: for any batch, any
+strategy, the returned results — embeddings, stats, cache flags — and the
+session's memo counters must match a serial ``query_many`` run exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.parallel.executor as executor_mod
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.registry import dataset_names, make_dataset
+from repro.exceptions import ConfigError
+from repro.parallel import STRATEGIES, BatchExecutor
+from repro.queries.generator import query_set
+
+TINY_SCALE = 0.0001  # floors at ~50-vertex graphs: fast but non-degenerate
+K = 4
+BATCH = 8  # distinct queries; the batch duplicates some to hit the memo
+
+
+def _workload(name: str):
+    graph = make_dataset(name, scale=TINY_SCALE, seed=13)
+    queries = list(query_set(graph, 3, BATCH, seed=17))
+    # Duplicates exercise the memo/replay path alongside fresh searches.
+    return graph, (queries + queries[: BATCH // 2])
+
+
+def _serial_reference(graph, queries, **config_kwargs):
+    session = DSQL(graph, config=DSQLConfig(k=K, **config_kwargs))
+    results = session.query_many(queries)
+    return session, [r.to_dict() for r in results]
+
+
+def _assert_matches_serial(graph, queries, strategy, **executor_kwargs):
+    ref_session, ref_dicts = _serial_reference(graph, queries)
+    session = DSQL(graph, config=DSQLConfig(k=K))
+    executor = BatchExecutor(session, strategy=strategy, jobs=2, **executor_kwargs)
+    results = executor.run(queries)
+    assert [r.to_dict() for r in results] == ref_dicts
+    assert session.stats.query_cache_hits == ref_session.stats.query_cache_hits
+    assert session.stats.query_cache_misses == ref_session.stats.query_cache_misses
+    assert [r.from_cache for r in results] == [d["from_cache"] for d in ref_dicts]
+    return executor
+
+
+class TestSerialReproducibility:
+    """Property: every registry dataset, every strategy, equals serial."""
+
+    @pytest.mark.parametrize("dataset", dataset_names())
+    @pytest.mark.parametrize("strategy", ["serial", "thread"])
+    def test_matches_serial(self, dataset, strategy):
+        graph, queries = _workload(dataset)
+        _assert_matches_serial(graph, queries, strategy)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("dataset", dataset_names())
+    def test_process_matches_serial(self, dataset):
+        graph, queries = _workload(dataset)
+        _assert_matches_serial(graph, queries, "process")
+
+    def test_process_smoke(self):
+        """One unmarked fork-pool run so tier-1 covers the process path."""
+        graph, queries = _workload("dblp")
+        executor = _assert_matches_serial(graph, queries, "process")
+        report = executor.last_report
+        assert report.strategy == "process"
+        assert report.chunks_retried == 0
+        assert report.batch == len(queries)
+
+    def test_small_chunks(self):
+        graph, queries = _workload("dblp")
+        executor = _assert_matches_serial(graph, queries, "thread", chunk_size=1)
+        assert executor.last_report.chunks == executor.last_report.searches
+
+    def test_reports_memo_replay(self):
+        graph, queries = _workload("dblp")
+        executor = _assert_matches_serial(graph, queries, "thread")
+        report = executor.last_report
+        assert report.batch == len(queries)
+        # The duplicated tail must be served by replay, not re-searched.
+        assert report.searches == BATCH
+
+
+class TestDegradation:
+    def test_crashed_worker_chunk_is_retried_serially(self, monkeypatch):
+        """A dead pool still yields a complete, serial-identical batch."""
+        graph, queries = _workload("dblp")
+        _, ref_dicts = _serial_reference(graph, queries)
+
+        def crash(payload):
+            raise RuntimeError("worker died")
+
+        # Fork inherits the patched module state, so both the parent-side
+        # future and any child that runs see the crashing worker body.
+        monkeypatch.setattr(executor_mod, "_process_chunk", crash)
+        session = DSQL(graph, config=DSQLConfig(k=K))
+        executor = BatchExecutor(session, strategy="process", jobs=2)
+        results = executor.run(queries)
+        assert [r.to_dict() for r in results] == ref_dicts
+        report = executor.last_report
+        assert report.chunks_retried == report.chunks > 0
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        graph, _ = _workload("dblp")
+        with pytest.raises(ConfigError, match="strategy"):
+            BatchExecutor(graph, k=K, strategy="gpu")
+
+    def test_bad_jobs(self):
+        graph, _ = _workload("dblp")
+        with pytest.raises(ConfigError, match="jobs"):
+            BatchExecutor(graph, k=K, jobs=0)
+
+    def test_bad_chunk_size(self):
+        graph, _ = _workload("dblp")
+        with pytest.raises(ConfigError, match="chunk_size"):
+            BatchExecutor(graph, k=K, chunk_size=0)
+
+    def test_session_and_config_conflict(self):
+        graph, _ = _workload("dblp")
+        session = DSQL(graph, k=K)
+        with pytest.raises(ValueError):
+            BatchExecutor(session, config=DSQLConfig(k=K))
+
+    def test_strategies_constant(self):
+        assert STRATEGIES == ("serial", "thread", "process")
+
+
+class TestDeadlineThroughExecutor:
+    def test_tiny_time_budget_truncates_but_stays_valid(self, monkeypatch):
+        import repro.core.search as search_mod
+
+        monkeypatch.setattr(search_mod, "DEADLINE_CHECK_STRIDE", 1)
+        graph, queries = _workload("dblp")
+        config = DSQLConfig(k=K, time_budget_ms=1e-6, validate_results=True)
+        executor = BatchExecutor(graph, config=config, strategy="thread", jobs=2)
+        results = executor.run(queries)
+        assert len(results) == len(queries)
+        assert any(r.stats.deadline_exhausted for r in results)
+        assert all(not r.stats.budget_exhausted for r in results)

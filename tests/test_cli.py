@@ -98,6 +98,43 @@ class TestQueryCommand:
         with pytest.raises(SystemExit):
             main(["query", "--dataset", "yeast", "--solver", "XX"])
 
+    def test_cache_summary_line(self, capsys):
+        code = main(
+            ["query", "--dataset", "yeast", "--scale", "0.2",
+             "--queries", "3", "--edges", "3", "--k", "5"]
+        )
+        assert code == 0
+        assert "query cache:" in capsys.readouterr().out
+
+    def test_parallel_strategy(self, capsys):
+        code = main(
+            ["query", "--dataset", "yeast", "--scale", "0.2",
+             "--queries", "3", "--edges", "3", "--k", "5",
+             "--strategy", "thread", "--jobs", "2"]
+        )
+        assert code == 0
+        assert "DSQL" in capsys.readouterr().out
+
+    def test_time_budget_accepted(self, capsys):
+        code = main(
+            ["query", "--dataset", "yeast", "--scale", "0.2",
+             "--queries", "2", "--edges", "2", "--k", "5",
+             "--time-budget-ms", "60000"]
+        )
+        assert code == 0
+
+    def test_baseline_rejects_parallel_flags(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--dataset", "yeast", "--solver", "COM",
+                 "--strategy", "thread"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--dataset", "yeast", "--solver", "FIRSTK",
+                 "--time-budget-ms", "10"]
+            )
+
 
 class TestExperimentCommand:
     def _run(self, name, capsys, extra=()):
@@ -144,3 +181,13 @@ class TestExperimentCommand:
     def test_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+    def test_table3_accepts_executor_flags(self, capsys):
+        out = self._run("table3", capsys, extra=["--strategy", "thread", "--jobs", "2"])
+        assert "DSQL" in out
+
+    def test_other_experiments_reject_executor_flags(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table2", "--dataset", "yeast", "--jobs", "2"])
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9", "--dataset", "yeast", "--time-budget-ms", "5"])

@@ -15,7 +15,7 @@ REPO = Path(__file__).resolve().parent.parent
 @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
 def test_ruff_clean():
     proc = subprocess.run(
-        ["ruff", "check", "src", "tests", "benchmarks"],
+        ["ruff", "check", "src", "tests", "benchmarks", "examples"],
         cwd=REPO,
         capture_output=True,
         text=True,
@@ -27,6 +27,7 @@ def test_sources_compile():
     """Cheap always-on stand-in for the lint gate: every file byte-compiles."""
     files = [str(p) for p in (REPO / "src").rglob("*.py")]
     files += [str(p) for p in (REPO / "benchmarks").glob("*.py")]
+    files += [str(p) for p in (REPO / "examples").glob("*.py")]
     proc = subprocess.run(
         [sys.executable, "-m", "py_compile", *files],
         capture_output=True,
