@@ -35,9 +35,19 @@ from repro.experiments.runner import (
     run_executor_batch,
 )
 from repro.graph.statistics import compute_statistics
+from repro.observability import (
+    Instrumentation,
+    JsonlSink,
+    Tracer,
+    configure_logging,
+    counters_line,
+    set_default_instrumentation,
+)
 from repro.queries.generator import query_set
 
 _BASELINES = {"COM", "FIRSTK", "RANDOM"}
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -68,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     q.add_argument("--no-phase2", action="store_true", help="disable DSQL-P2")
     _add_executor_flags(q)
+    _add_observability_flags(q)
 
     sub.add_parser("datasets", help="list dataset profiles")
 
@@ -87,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("--queries", type=int, default=10)
     e.add_argument("--seed", type=int, default=0)
     _add_executor_flags(e)
+    _add_observability_flags(e)
     return parser
 
 
@@ -111,6 +123,41 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="per-query wall-clock budget; exceeding it truncates the search",
     )
+
+
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="append structured trace events (JSONL) to PATH; see docs/observability.md",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=_LOG_LEVELS,
+        default=None,
+        help="enable stderr logging for the 'repro' logger at this level",
+    )
+
+
+def _setup_observability(args: argparse.Namespace) -> Optional[Instrumentation]:
+    """Build and install instrumentation from ``--trace-out``/``--log-level``.
+
+    Either flag switches instrumentation on (the per-query debug log lines
+    only exist on the instrumented path). Returns ``None`` — and installs
+    nothing — when both are absent, keeping the default run on the
+    zero-overhead path.
+    """
+    trace_out = getattr(args, "trace_out", None)
+    log_level = getattr(args, "log_level", None)
+    if log_level is not None:
+        configure_logging(log_level.upper())
+    if trace_out is None and log_level is None:
+        return None
+    tracer = Tracer(JsonlSink(trace_out)) if trace_out is not None else None
+    instr = Instrumentation(tracer=tracer)
+    set_default_instrumentation(instr)
+    return instr
 
 
 def _check_executor_flags(
@@ -262,13 +309,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.backend is not None:
         set_default_backend(args.backend)
-    if args.command == "query":
-        return _cmd_query(parser, args)
     if args.command == "datasets":
         return _cmd_datasets()
-    if args.command == "experiment":
-        return _cmd_experiment(parser, args)
-    return _cmd_schedule(args.scans)
+    if args.command == "schedule":
+        return _cmd_schedule(args.scans)
+    instr = _setup_observability(args)
+    try:
+        if args.command == "query":
+            rc = _cmd_query(parser, args)
+        else:
+            rc = _cmd_experiment(parser, args)
+        if instr is not None:
+            print(counters_line(instr.metrics))
+        return rc
+    finally:
+        if instr is not None:
+            set_default_instrumentation(None)
+            instr.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

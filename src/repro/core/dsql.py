@@ -29,8 +29,11 @@ The phase dispatch follows Section 6.2 exactly:
 from __future__ import annotations
 
 import copy
+import itertools
+import logging
 import time
 from collections import OrderedDict
+from contextlib import nullcontext as _nullcontext
 from dataclasses import replace
 from typing import Optional
 
@@ -43,6 +46,16 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.graph.validation import validate_embedding
 from repro.indexes.candidates import CandidateIndex
+from repro.observability import (
+    Instrumentation,
+    get_default_instrumentation,
+    record_search_stats,
+)
+
+logger = logging.getLogger("repro.core.dsql")
+
+# Reusable (and reentrant) stand-in for a span when instrumentation is off.
+_NULL_CONTEXT = _nullcontext()
 
 
 class DSQL:
@@ -62,6 +75,11 @@ class DSQL:
         Full configuration; or pass ``k`` alone for the defaults.
     k:
         Shorthand for ``DSQLConfig(k=...)`` when ``config`` is omitted.
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`. When omitted
+        the process default (``set_default_instrumentation``) is consulted;
+        ``None`` (the usual case) disables all tracing/metrics/hooks at a
+        cost of a few pointer checks per query.
 
     Attributes
     ----------
@@ -78,6 +96,7 @@ class DSQL:
         graph: LabeledGraph,
         config: Optional[DSQLConfig] = None,
         k: Optional[int] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         if config is None:
             if k is None:
@@ -90,20 +109,73 @@ class DSQL:
         self.index_cache = graph.index_cache()
         self.stats = SearchStats()
         self._query_cache: "OrderedDict[tuple, DSQResult]" = OrderedDict()
+        if instrumentation is None:
+            instrumentation = get_default_instrumentation()
+        self.instrumentation = instrumentation
+        # itertools.count.__next__ is atomic under the GIL, so thread-strategy
+        # workers draw distinct ids without extra locking.
+        self._query_ids = itertools.count()
+        if instrumentation is not None:
+            self.index_cache.attach_metrics(instrumentation.metrics)
 
     def query(self, query: QueryGraph) -> DSQResult:
         """Answer one diversified top-k query."""
+        instr = self.instrumentation
+        if instr is None:
+            return self._query_impl(query, None, None)
+        query_id = next(self._query_ids)
+        with instr.span("query", query_id=query_id, q=query.size, k=self.config.k) as span:
+            result = self._query_impl(query, instr, query_id)
+            span["coverage"] = result.coverage
+            span["embeddings"] = len(result)
+            span["optimal"] = result.optimal
+        record_search_stats(instr.metrics, result.stats)
+        instr.metrics.histogram("query.coverage_ratio", (0.25, 0.5, 0.75, 0.9, 1.0)).observe(
+            result.approx_ratio_lower_bound()
+        )
+        logger.debug(
+            "query %d: %d/%d embeddings, coverage %d, %d expansions%s",
+            query_id,
+            len(result),
+            self.config.k,
+            result.coverage,
+            result.stats.nodes_expanded,
+            " [deadline]" if result.stats.deadline_exhausted else "",
+        )
+        return result
+
+    def _query_impl(
+        self, query: QueryGraph, instr: Optional[Instrumentation], query_id: Optional[int]
+    ) -> DSQResult:
         config = self.config
         graph = self.graph
         stats = SearchStats()
-        candidates = CandidateIndex(graph, query, cache=self.index_cache)
+        if instr is not None:
+            with instr.span("candidate_build", query_id=query_id):
+                candidates = CandidateIndex(graph, query, cache=self.index_cache)
+        else:
+            candidates = CandidateIndex(graph, query, cache=self.index_cache)
         # The wall-clock deadline is anchored once and shared by both phases:
         # time_budget_ms bounds the whole query, not each phase.
         deadline = None
         if config.time_budget_ms is not None:
             deadline = time.monotonic() + config.time_budget_ms / 1000.0
 
-        phase1 = run_phase1(graph, query, config, candidates, stats, deadline=deadline)
+        with (
+            instr.span("phase1", query_id=query_id)
+            if instr is not None
+            else _NULL_CONTEXT
+        ):
+            phase1 = run_phase1(
+                graph,
+                query,
+                config,
+                candidates,
+                stats,
+                deadline=deadline,
+                instrumentation=instr,
+                query_id=query_id,
+            )
         state = phase1.state
         k, q = config.k, query.size
         truncated = stats.budget_exhausted or stats.deadline_exhausted
@@ -134,11 +206,27 @@ class DSQL:
             and ratio < config.phase2_ratio_target
             and not truncated
         ):
-            phase2 = run_phase2(
-                graph, query, config, candidates, phase1, stats, deadline=deadline
-            )
+            with (
+                instr.span("phase2", query_id=query_id)
+                if instr is not None
+                else _NULL_CONTEXT
+            ):
+                phase2 = run_phase2(
+                    graph,
+                    query,
+                    config,
+                    candidates,
+                    phase1,
+                    stats,
+                    deadline=deadline,
+                    instrumentation=instr,
+                    query_id=query_id,
+                )
             embeddings = phase2.embeddings
             coverage = phase2.coverage
+
+        if instr is not None and deadline is not None:
+            instr.deadline_margin((deadline - time.monotonic()) * 1000.0, query_id)
 
         result = DSQResult(
             embeddings=embeddings,
@@ -190,12 +278,18 @@ class DSQL:
         cache = self._query_cache
         cap = self.config.query_cache_size
         stats = self.stats
+        instr = self.instrumentation
         if cap == 0:
             stats.query_cache_misses += 1
+            if instr is not None:
+                instr.metrics.counter("cache.query.miss").inc()
             return compute()
         result = cache.get(key)
         if result is None:
             stats.query_cache_misses += 1
+            if instr is not None:
+                instr.metrics.counter("cache.query.miss").inc()
+                instr.point("memo.lookup", hit=False)
             result = compute()
             # The cached entry owns a private stats copy: the object
             # returned to the caller shares nothing mutable with the memo.
@@ -205,6 +299,9 @@ class DSQL:
             return result
         stats.query_cache_hits += 1
         cache.move_to_end(key)
+        if instr is not None:
+            instr.metrics.counter("cache.query.hit").inc()
+            instr.point("memo.lookup", hit=True)
         return replace(result, from_cache=True, stats=copy.deepcopy(result.stats))
 
 

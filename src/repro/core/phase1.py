@@ -61,6 +61,8 @@ def run_phase1(
     candidates: CandidateIndex,
     stats: SearchStats,
     deadline: Optional[float] = None,
+    instrumentation=None,
+    query_id: Optional[int] = None,
 ) -> Phase1Output:
     """Execute DSQL-P1 and return the collected solution.
 
@@ -68,13 +70,25 @@ def run_phase1(
     accepted embeddings immediately consume their vertices (Q1Search
     difference (3)). ``deadline`` is the query-wide monotonic timestamp
     derived from ``config.time_budget_ms`` (``None`` disables).
+    ``instrumentation`` brackets every level (``phase1.level`` spans, the
+    ``phase1.level_expansions`` histogram, ``on_level_start``) and reports
+    accepted embeddings through ``on_embedding_emitted``.
     """
     qlist = selectivity_order(query, candidates)
     state = SolutionState()
     engine = LevelSearchEngine(
-        graph, query, candidates, config, stats, state.matched, deadline=deadline
+        graph,
+        query,
+        candidates,
+        config,
+        stats,
+        state.matched,
+        deadline=deadline,
+        instrumentation=instrumentation,
+        query_id=query_id,
     )
     q = query.size
+    instr = instrumentation
 
     if candidates.any_empty():
         # No embedding can exist; the empty solution is trivially optimal.
@@ -86,24 +100,43 @@ def run_phase1(
     def on_embedding(mapping: Mapping) -> bool:
         state.add(mapping)
         stats.record_added(current_level)
+        if instr is not None:
+            instr.embedding_emitted("phase1", current_level, mapping, query_id)
         return len(state) < config.k
+
+    def close_level(level: int, start_ms: float, before_exp: int, before_n: int) -> None:
+        instr.level_end(
+            "phase1",
+            level,
+            query_id,
+            start_ms,
+            expansions=stats.nodes_expanded - before_exp,
+            added=len(state) - before_n,
+        )
 
     try:
         for level in range(q):
             current_level = level
             stats.phase1_levels = level + 1
-            while True:
-                before = len(state)
-                tcand = tcand_snapshot(candidates, state.covered, q)
-                keep = engine.run_level(level, qlist, tcand, on_embedding)
-                if not keep:
-                    return Phase1Output(
-                        state=state, level=level, exhausted=False, qlist=qlist
-                    )
-                # One sweep suffices unless strict maximality is requested;
-                # re-sweep only while a sweep keeps adding embeddings.
-                if not config.exhaustive_level or len(state) == before:
-                    break
+            if instr is not None:
+                level_start_ms = instr.level_start("phase1", level, query_id)
+                level_exp, level_n = stats.nodes_expanded, len(state)
+            try:
+                while True:
+                    before = len(state)
+                    tcand = tcand_snapshot(candidates, state.covered, q)
+                    keep = engine.run_level(level, qlist, tcand, on_embedding)
+                    if not keep:
+                        return Phase1Output(
+                            state=state, level=level, exhausted=False, qlist=qlist
+                        )
+                    # One sweep suffices unless strict maximality is requested;
+                    # re-sweep only while a sweep keeps adding embeddings.
+                    if not config.exhaustive_level or len(state) == before:
+                        break
+            finally:
+                if instr is not None:
+                    close_level(level, level_start_ms, level_exp, level_n)
     except BudgetExceeded:
         return Phase1Output(
             state=state, level=current_level, exhausted=False, qlist=qlist

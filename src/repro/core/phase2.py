@@ -58,16 +58,23 @@ def run_phase2(
     phase1: Phase1Output,
     stats: SearchStats,
     deadline: Optional[float] = None,
+    instrumentation=None,
+    query_id: Optional[int] = None,
 ) -> Phase2Output:
     """Execute DSQL-P2 starting from the Phase-1 solution.
 
     Precondition (checked by the dispatcher): ``|T| == k`` — Phase 1 only
     hands over a full collection; undersized collections are already optimal.
+    ``instrumentation`` brackets every level (``phase2.level`` spans and the
+    ``phase2.level_expansions`` histogram) and reports every generated
+    embedding (``on_embedding_emitted``) and every SWAPα decision on a
+    positive-benefit candidate (``on_swap`` / ``phase2.swap_reject``).
     """
     stats.phase2_ran = True
     q = query.size
     alpha = config.alpha
     t1_cover: FrozenSet[int] = frozenset(phase1.state.covered)
+    instr = instrumentation
 
     tracker = CoverageTracker()
     slot_to_mapping: Dict[int, Mapping] = {}
@@ -76,7 +83,15 @@ def run_phase2(
         slot_to_mapping[slot] = mapping
 
     engine = LevelSearchEngine(
-        graph, query, candidates, config, stats, phase1.state.matched, deadline=deadline
+        graph,
+        query,
+        candidates,
+        config,
+        stats,
+        phase1.state.matched,
+        deadline=deadline,
+        instrumentation=instrumentation,
+        query_id=query_id,
     )
     # TcandS comes from T1 for the entire phase (Algorithm 5 line 5).
     tcand = tcand_snapshot(candidates, set(t1_cover), q)
@@ -95,16 +110,21 @@ def run_phase2(
 
     def on_embedding(mapping: Mapping) -> bool:
         stats.embeddings_generated_phase2 += 1
+        if instr is not None:
+            instr.embedding_emitted("phase2", current_level, mapping, query_id)
         b = tracker.benefit(mapping)
         if b > 0:
             slot, f_loss = tracker.min_loss_member()
-            if b >= (1.0 + alpha) * f_loss:
+            accepted = b >= (1.0 + alpha) * f_loss
+            if accepted:
                 tracker.remove(slot)
                 del slot_to_mapping[slot]
                 new_slot = tracker.add(mapping)
                 slot_to_mapping[new_slot] = mapping
                 stats.phase2_swaps += 1
                 out.swaps += 1
+            if instr is not None:
+                instr.swap_decision(current_level, b, f_loss, accepted, query_id)
         if termination_reached(current_level):
             stats.phase2_early_termination = True
             out.early_terminated = True
@@ -120,7 +140,21 @@ def run_phase2(
                 stats.phase2_early_termination = True
                 out.early_terminated = True
                 break
-            keep = engine.run_level(level, phase1.qlist, tcand, on_embedding)
+            if instr is not None:
+                level_start_ms = instr.level_start("phase2", level, query_id)
+                level_exp = stats.nodes_expanded
+            try:
+                keep = engine.run_level(level, phase1.qlist, tcand, on_embedding)
+            finally:
+                if instr is not None:
+                    instr.level_end(
+                        "phase2",
+                        level,
+                        query_id,
+                        level_start_ms,
+                        expansions=stats.nodes_expanded - level_exp,
+                        added=out.swaps,
+                    )
             if not keep:
                 break
     except BudgetExceeded:

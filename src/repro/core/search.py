@@ -50,8 +50,14 @@ DEADLINE_CHECK_STRIDE = 1024
 
 ``time.monotonic()`` costs roughly as much as one expansion step, so probing
 it on every ``_charge`` would measurably slow the hot path; probing every
-1024 expansions keeps the overhead under 0.1% while bounding deadline
-overshoot to one stride's worth of work.
+:data:`DEADLINE_CHECK_STRIDE` expansions keeps the overhead under 0.1% while
+bounding deadline overshoot to one stride's worth of work.
+
+This module global is the **single** stride constant: both this engine and
+:class:`~repro.isomorphism.optimized.OptimizedQSearchEngine` read it live at
+check time (so tests can monkeypatch it), and instrumentation surfaces it as
+the ``deadline.check_stride`` gauge and the ``stride`` field of
+``on_deadline_tick`` / deadline trace events.
 """
 
 
@@ -78,6 +84,13 @@ class LevelSearchEngine:
         stop (``None`` disables). Shared by both phases of one query so the
         whole query honors ``config.time_budget_ms``; checked every
         :data:`DEADLINE_CHECK_STRIDE` expansions.
+    instrumentation:
+        Optional :class:`~repro.observability.Instrumentation`. The engine
+        only touches it on the (rare) deadline-stride branch of
+        :meth:`_charge`; level/embedding events are emitted by the calling
+        phases, so the disabled path adds no per-expansion work.
+    query_id:
+        Session-assigned id stamped onto this engine's trace events/hooks.
     """
 
     def __init__(
@@ -89,6 +102,8 @@ class LevelSearchEngine:
         stats: SearchStats,
         matched: Set[int],
         deadline: Optional[float] = None,
+        instrumentation=None,
+        query_id: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.query = query
@@ -97,6 +112,8 @@ class LevelSearchEngine:
         self.stats = stats
         self.matched = matched
         self.deadline = deadline
+        self.instrumentation = instrumentation
+        self.query_id = query_id
         self.rng = random.Random(config.seed)
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
@@ -179,12 +196,20 @@ class LevelSearchEngine:
         if (
             self.deadline is not None
             and stats.nodes_expanded % DEADLINE_CHECK_STRIDE == 0
-            and time.monotonic() >= self.deadline
         ):
-            stats.deadline_exhausted = True
-            raise DeadlineExceeded(
-                f"time budget {self.config.time_budget_ms} ms exhausted"
-            )
+            now = time.monotonic()
+            if self.instrumentation is not None:
+                self.instrumentation.deadline_tick(
+                    stats.nodes_expanded,
+                    (self.deadline - now) * 1000.0,
+                    DEADLINE_CHECK_STRIDE,
+                    self.query_id,
+                )
+            if now >= self.deadline:
+                stats.deadline_exhausted = True
+                raise DeadlineExceeded(
+                    f"time budget {self.config.time_budget_ms} ms exhausted"
+                )
 
     def _joinable(self, u: int, v: int) -> bool:
         """Injectivity + edge-consistency of matching ``u -> v``."""

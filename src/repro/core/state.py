@@ -40,6 +40,32 @@ class SearchStats:
         self.embeddings_found += 1
         self.per_level_added[level] = self.per_level_added.get(level, 0) + 1
 
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict copy of every counter (JSON-serializable).
+
+        This is the per-query metrics snapshot carried by
+        :class:`~repro.experiments.measurement.QueryRecord` and flushed into
+        the session :class:`~repro.observability.MetricsRegistry` by
+        :func:`~repro.observability.record_search_stats`.
+        """
+        return {
+            "nodes_expanded": self.nodes_expanded,
+            "embeddings_found": self.embeddings_found,
+            "embeddings_generated_phase2": self.embeddings_generated_phase2,
+            "conflict_skips": self.conflict_skips,
+            "bad_vertex_skips": self.bad_vertex_skips,
+            "bad_vertices_marked": self.bad_vertices_marked,
+            "candidate_cap_hits": self.candidate_cap_hits,
+            "phase1_levels": self.phase1_levels,
+            "phase2_levels": self.phase2_levels,
+            "phase2_swaps": self.phase2_swaps,
+            "phase2_ran": self.phase2_ran,
+            "phase2_early_termination": self.phase2_early_termination,
+            "budget_exhausted": self.budget_exhausted,
+            "deadline_exhausted": self.deadline_exhausted,
+            "per_level_added": dict(self.per_level_added),
+        }
+
 
 @dataclass
 class SolutionState:

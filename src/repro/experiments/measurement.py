@@ -10,12 +10,18 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
 class QueryRecord:
-    """One query's measured outcome."""
+    """One query's measured outcome.
+
+    ``metrics`` is the query's :meth:`~repro.core.state.SearchStats.snapshot`
+    (expansion/prune/swap counters) when the solver exposes one — DSQL
+    always does; baselines leave it ``None``. For ``from_cache`` records the
+    snapshot describes the *original* search that populated the memo entry.
+    """
 
     seconds: float
     coverage: int
@@ -25,6 +31,7 @@ class QueryRecord:
     budget_exhausted: bool = False
     deadline_exhausted: bool = False
     from_cache: bool = False
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def ratio(self) -> float:
@@ -101,3 +108,14 @@ class BatchSummary:
     def cache_hits(self) -> int:
         """How many queries were answered from the session's result memo."""
         return sum(1 for r in self.records if r.from_cache)
+
+    def total_metrics(self) -> Dict[str, float]:
+        """Scalar metric totals summed over every record's snapshot.
+
+        Cache-hit records repeat their originating search's counters, so on
+        memo-heavy batches the totals describe *attributed* work (what the
+        answers cost to produce), not work done during this batch.
+        """
+        from repro.observability import merge_snapshots
+
+        return merge_snapshots(r.metrics for r in self.records)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.baselines.com import com_search
 from repro.baselines.firstk import first_k_baseline
@@ -23,7 +23,12 @@ from repro.graph.query_graph import QueryGraph
 
 @dataclass(frozen=True)
 class SolverOutcome:
-    """Normalized solver output for measurement."""
+    """Normalized solver output for measurement.
+
+    ``metrics`` is a :meth:`~repro.core.state.SearchStats.snapshot` when the
+    solver exposes per-query counters (DSQL does); baselines leave it
+    ``None``.
+    """
 
     coverage: int
     max_value: int
@@ -32,6 +37,7 @@ class SolverOutcome:
     budget_exhausted: bool = False
     deadline_exhausted: bool = False
     from_cache: bool = False
+    metrics: Optional[Dict[str, object]] = None
 
 
 Solver = Callable[[LabeledGraph, QueryGraph], SolverOutcome]
@@ -62,6 +68,7 @@ def dsql_solver(config: DSQLConfig) -> Solver:
             optimal=result.optimal,
             budget_exhausted=result.stats.budget_exhausted,
             deadline_exhausted=result.stats.deadline_exhausted,
+            metrics=result.stats.snapshot(),
         )
 
     return solve
@@ -136,6 +143,7 @@ def run_batch(
                 budget_exhausted=outcome.budget_exhausted,
                 deadline_exhausted=outcome.deadline_exhausted,
                 from_cache=outcome.from_cache,
+                metrics=outcome.metrics,
             )
         )
     return summary
@@ -180,6 +188,7 @@ def run_executor_batch(
                 budget_exhausted=result.stats.budget_exhausted,
                 deadline_exhausted=result.stats.deadline_exhausted,
                 from_cache=result.from_cache,
+                metrics=result.stats.snapshot(),
             )
         )
     return summary

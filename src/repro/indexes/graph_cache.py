@@ -62,6 +62,7 @@ class GraphIndexCache:
         "_pool_memo",
         "_pool_memo_size",
         "_pool_lock",
+        "_metrics",
     )
 
     def __init__(self, graph, candidate_memo_size: Optional[int] = DEFAULT_CANDIDATE_MEMO_SIZE):
@@ -115,17 +116,35 @@ class GraphIndexCache:
         self._pool_lock = threading.Lock()
         self.candidate_memo_hits = 0
         self.candidate_memo_misses = 0
+        self._metrics = None
 
     # ------------------------------------------------------------------
     # Pickling: locks cannot cross process boundaries; a fresh lock is
     # equivalent because a just-unpickled cache has no concurrent users yet.
+    # An attached metrics registry (which also holds locks) is session
+    # state, not graph state, so it is dropped the same way.
     def __getstate__(self) -> dict:
-        return {s: getattr(self, s) for s in self.__slots__ if s != "_pool_lock"}
+        skip = ("_pool_lock", "_metrics")
+        return {s: getattr(self, s) for s in self.__slots__ if s not in skip}
 
     def __setstate__(self, state: dict) -> None:
         for name, value in state.items():
             setattr(self, name, value)
         self._pool_lock = threading.Lock()
+        self._metrics = None
+
+    # ------------------------------------------------------------------
+    def attach_metrics(self, registry) -> None:
+        """Mirror pool-memo hits/misses into ``registry`` from now on.
+
+        Called by instrumented :class:`~repro.core.dsql.DSQL` sessions so
+        the shared per-graph cache reports into the session's
+        :class:`~repro.observability.MetricsRegistry` (``cache.pool.hit`` /
+        ``cache.pool.miss``). Passing ``None`` detaches. The plain integer
+        counters (:attr:`candidate_memo_hits`/``misses``) keep counting
+        either way.
+        """
+        self._metrics = registry
 
     # ------------------------------------------------------------------
     @classmethod
@@ -180,14 +199,19 @@ class GraphIndexCache:
         key = (lid, min_degree, signature_mask)
         memo = self._pool_memo
         cap = self._pool_memo_size
+        metrics = self._metrics
         with self._pool_lock:
             if cap != 0:
                 pool = memo.get(key)
                 if pool is not None:
                     self.candidate_memo_hits += 1
+                    if metrics is not None:
+                        metrics.counter("cache.pool.hit").inc()
                     memo.move_to_end(key)
                     return pool
             self.candidate_memo_misses += 1
+            if metrics is not None:
+                metrics.counter("cache.pool.miss").inc()
             pool = self._scan(lid, min_degree, signature_mask)
             if cap != 0:
                 memo[key] = pool

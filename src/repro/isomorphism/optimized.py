@@ -49,6 +49,8 @@ class OptimizedQSearchEngine:
         time_budget_ms: Optional[float] = None,
         conflict_backjumping: bool = True,
         bad_vertex_skipping: bool = True,
+        instrumentation=None,
+        query_id: Optional[int] = None,
     ) -> None:
         self.graph = graph
         self.query = query
@@ -56,15 +58,18 @@ class OptimizedQSearchEngine:
         self.node_budget = node_budget
         self.time_budget_ms = time_budget_ms
         # Anchored at construction: the deadline caps the whole enumeration,
-        # checked every DEADLINE_CHECK_STRIDE expansions like LevelSearchEngine.
+        # checked on the same shared stride as LevelSearchEngine.
         self._deadline: Optional[float] = (
             None if time_budget_ms is None else time.monotonic() + time_budget_ms / 1000.0
         )
         # Late import: repro.core.search pulls from repro.isomorphism, so a
         # module-level import here would cycle through the package __init__.
+        # The stride is snapshotted per engine (tests override it directly).
         from repro.core.search import DEADLINE_CHECK_STRIDE
 
         self._deadline_stride = DEADLINE_CHECK_STRIDE
+        self.instrumentation = instrumentation
+        self.query_id = query_id
         self.conflict_backjumping = conflict_backjumping
         self.bad_vertex_skipping = bad_vertex_skipping
         self.nodes_expanded = 0
@@ -93,10 +98,40 @@ class OptimizedQSearchEngine:
         """Yield every embedding (same set as the plain engine)."""
         if self.candidates.any_empty():
             return
+        instr = self.instrumentation
+        emitted = 0
+        start_ms = time.monotonic() * 1000.0
         try:
-            yield from self._recurse(0)
+            for mapping in self._recurse(0):
+                emitted += 1
+                if instr is not None:
+                    instr.embedding_emitted("sq", -1, mapping, self.query_id)
+                yield mapping
         except BudgetExceeded:
             return
+        finally:
+            if instr is not None:
+                self._flush_metrics(instr, emitted, start_ms)
+
+    def _flush_metrics(self, instr, emitted: int, start_ms: float) -> None:
+        """Record this enumeration's counters once, at generator close."""
+        metrics = instr.metrics
+        metrics.counter("sq.nodes_expanded").inc(self.nodes_expanded)
+        metrics.counter("sq.embeddings_emitted").inc(emitted)
+        if self.conflict_skips:
+            metrics.counter("prune.conflict_skip").inc(self.conflict_skips)
+        if self.bad_vertex_skips:
+            metrics.counter("prune.bad_vertex_skip").inc(self.bad_vertex_skips)
+        if instr.tracer is not None:
+            instr.tracer.emit_span(
+                "sq.enumerate",
+                start_ms,
+                query_id=self.query_id,
+                expansions=self.nodes_expanded,
+                emitted=emitted,
+                budget_exhausted=self.budget_exhausted,
+                deadline_exhausted=self.deadline_exhausted,
+            )
 
     # ------------------------------------------------------------------
     def _charge(self) -> None:
@@ -104,13 +139,22 @@ class OptimizedQSearchEngine:
         if self.node_budget is not None and self.nodes_expanded > self.node_budget:
             self.budget_exhausted = True
             raise BudgetExceeded(f"node budget {self.node_budget} exhausted")
-        if (
-            self._deadline is not None
-            and self.nodes_expanded % self._deadline_stride == 0
-            and time.monotonic() >= self._deadline
-        ):
-            self.deadline_exhausted = True
-            raise DeadlineExceeded(f"time budget {self.time_budget_ms} ms exhausted")
+        if self._deadline is not None:
+            stride = self._deadline_stride
+            if self.nodes_expanded % stride == 0:
+                now = time.monotonic()
+                if self.instrumentation is not None:
+                    self.instrumentation.deadline_tick(
+                        self.nodes_expanded,
+                        (self._deadline - now) * 1000.0,
+                        stride,
+                        self.query_id,
+                    )
+                if now >= self._deadline:
+                    self.deadline_exhausted = True
+                    raise DeadlineExceeded(
+                        f"time budget {self.time_budget_ms} ms exhausted"
+                    )
 
     def _pool(self, depth: int) -> List[int]:
         u = self.order[depth]

@@ -1,0 +1,249 @@
+"""Structured trace layer: span/point events with a JSONL sink.
+
+A *trace event* is one flat JSON object per line (JSONL), so traces can be
+grepped, streamed, and loaded with nothing but the stdlib. Two shapes share
+one schema (:data:`TRACE_EVENT_SCHEMA`):
+
+``span``
+    A timed region — ``phase1``, ``phase2``, ``candidate_build``,
+    ``phase1.level`` — carrying ``t_start_ms`` *and* ``duration_ms``.
+``point``
+    An instant — a memo lookup, a deadline tick — carrying ``t_start_ms``
+    with ``duration_ms`` null.
+
+Timestamps are ``time.monotonic()`` milliseconds: they order and measure
+events within one process but are **not** wall-clock datetimes (monotonic
+clocks have an arbitrary epoch). ``query_id`` is a per-session sequence
+number assigned by :class:`~repro.core.dsql.DSQL`; ``level`` is the DSQL
+level for level-scoped events and null otherwise. Everything
+event-specific (expansion counts, hit flags, deadline margins) rides in the
+open ``fields`` object.
+
+The module also wires stdlib :mod:`logging`: the ``repro`` logger gets a
+``NullHandler`` at import (library convention — silent unless the host
+application configures logging) and :func:`configure_logging` attaches a
+formatted stderr handler for CLI use (``--log-level``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+TRACE_EVENT_SCHEMA: Dict[str, Tuple[Tuple[type, ...], bool]] = {
+    # field -> (accepted types, required)
+    "event": ((str,), True),  # "span" | "point"
+    "name": ((str,), True),
+    "query_id": ((int, type(None)), True),
+    "level": ((int, type(None)), True),
+    "t_start_ms": ((int, float), True),
+    "duration_ms": ((int, float, type(None)), True),
+    "fields": ((dict,), True),
+}
+"""The documented event schema: every emitted event has exactly these keys.
+
+``validate_event`` enforces it; ``tests/observability/test_tracing.py``
+round-trips every event kind the engines emit through it.
+"""
+
+EVENT_KINDS = ("span", "point")
+
+
+def validate_event(event: object) -> Dict[str, object]:
+    """Check ``event`` against :data:`TRACE_EVENT_SCHEMA`; return it.
+
+    Raises ``ValueError`` describing the first violation: a missing key, an
+    unknown key, a type mismatch, or an invalid ``event`` kind.
+    """
+    if not isinstance(event, dict):
+        raise ValueError(f"trace event must be a dict, got {type(event).__name__}")
+    for key, (types, required) in TRACE_EVENT_SCHEMA.items():
+        if key not in event:
+            if required:
+                raise ValueError(f"trace event missing key {key!r}: {event}")
+            continue
+        if not isinstance(event[key], types):
+            raise ValueError(
+                f"trace event key {key!r} has type "
+                f"{type(event[key]).__name__}, expected one of "
+                f"{[t.__name__ for t in types]}"
+            )
+    unknown = set(event) - set(TRACE_EVENT_SCHEMA)
+    if unknown:
+        raise ValueError(f"trace event has unknown keys {sorted(unknown)}")
+    if event["event"] not in EVENT_KINDS:
+        raise ValueError(f"trace event kind {event['event']!r} not in {EVENT_KINDS}")
+    if event["event"] == "span" and event["duration_ms"] is None:
+        raise ValueError("span event requires a duration_ms")
+    return event
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class ListSink:
+    """In-memory sink (tests, programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, object]] = []
+        self._lock = threading.Lock()
+
+    def write(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink:
+    """Append one JSON line per event to ``path``.
+
+    The file is opened in append mode (so POSIX positions each write at the
+    current end even across fork-inherited descriptors — the ``process``
+    strategy's workers share the parent's sink) and writes are line-buffered
+    and serialized by a per-process lock.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, event: Dict[str, object]) -> None:
+        line = json.dumps(event, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load a trace file back into event dicts (validating each line)."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(validate_event(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class Tracer:
+    """Emit schema-valid span/point events into a sink."""
+
+    def __init__(self, sink) -> None:
+        self.sink = sink
+
+    @staticmethod
+    def _now_ms() -> float:
+        return time.monotonic() * 1000.0
+
+    def _emit(
+        self,
+        event: str,
+        name: str,
+        query_id: Optional[int],
+        level: Optional[int],
+        t_start_ms: float,
+        duration_ms: Optional[float],
+        fields: Dict[str, object],
+    ) -> None:
+        self.sink.write(
+            {
+                "event": event,
+                "name": name,
+                "query_id": query_id,
+                "level": level,
+                "t_start_ms": t_start_ms,
+                "duration_ms": duration_ms,
+                "fields": fields,
+            }
+        )
+
+    def point(
+        self,
+        name: str,
+        query_id: Optional[int] = None,
+        level: Optional[int] = None,
+        **fields: object,
+    ) -> None:
+        """Record an instantaneous event."""
+        self._emit("point", name, query_id, level, self._now_ms(), None, fields)
+
+    def emit_span(
+        self,
+        name: str,
+        t_start_ms: float,
+        query_id: Optional[int] = None,
+        level: Optional[int] = None,
+        **fields: object,
+    ) -> None:
+        """Record a span that started at ``t_start_ms`` and ends now.
+
+        The manual-span form: callers that already bracket a region (the
+        per-level loops) grab ``time.monotonic()*1000`` at entry and emit
+        once at exit, avoiding a context-manager frame in the loop.
+        """
+        now = self._now_ms()
+        self._emit("span", name, query_id, level, t_start_ms, now - t_start_ms, fields)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        query_id: Optional[int] = None,
+        level: Optional[int] = None,
+        **fields: object,
+    ) -> Iterator[Dict[str, object]]:
+        """Context-manager span; mutate the yielded dict to add exit fields."""
+        start = self._now_ms()
+        try:
+            yield fields
+        finally:
+            self._emit(
+                "span", name, query_id, level, start, self._now_ms() - start, fields
+            )
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+# ----------------------------------------------------------------------
+# Logging wiring
+# ----------------------------------------------------------------------
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: Union[int, str] = "info") -> logging.Logger:
+    """Attach a formatted stderr handler to the ``repro`` logger.
+
+    Idempotent: a second call only adjusts the level. Library code never
+    calls this — it is the CLI/application entry point behind
+    ``--log-level``; without it the package stays silent (``NullHandler``).
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = getattr(logging, level.upper())
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(handler)
+    for handler in logger.handlers:
+        if not isinstance(handler, logging.NullHandler):
+            handler.setLevel(level)
+    return logger

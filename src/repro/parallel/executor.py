@@ -37,6 +37,7 @@ serially in the parent, so a batch always completes with full results.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -52,6 +53,8 @@ from repro.graph.query_graph import QueryGraph
 
 STRATEGIES = ("serial", "thread", "process")
 """Supported execution strategies, in escalating-isolation order."""
+
+logger = logging.getLogger("repro.parallel")
 
 # Chunks per worker when auto-chunking: small enough to amortize dispatch,
 # large enough that a straggler chunk cannot idle the rest of the pool long.
@@ -164,10 +167,18 @@ class BatchExecutor:
                 chunks=0,
                 chunks_retried=0,
             )
+            self._record_report()
             return results
 
         keys = [q.canonical_key() for q in queries]
         need = self._plan_searches(keys, queries)
+        logger.debug(
+            "batch of %d: %d distinct searches over %d %s workers",
+            len(queries),
+            len(need),
+            self.jobs,
+            self.strategy,
+        )
         fresh, chunks, retried = self._search_parallel(need)
         # Replay the batch through the session's own memo step: LRU state,
         # hit/miss counters and from_cache flags evolve exactly as in a
@@ -184,7 +195,32 @@ class BatchExecutor:
             chunks=chunks,
             chunks_retried=retried,
         )
+        self._record_report()
         return results
+
+    def _record_report(self) -> None:
+        """Flush :attr:`last_report` into the session's instrumentation."""
+        instr = self.session.instrumentation
+        report = self.last_report
+        if instr is None or report is None:
+            return
+        metrics = instr.metrics
+        metrics.counter("executor.batches").inc()
+        metrics.counter("executor.queries").inc(report.batch)
+        metrics.counter("executor.searches").inc(report.searches)
+        if report.chunks:
+            metrics.counter("executor.chunks").inc(report.chunks)
+        if report.chunks_retried:
+            metrics.counter("executor.chunks_retried").inc(report.chunks_retried)
+        instr.point(
+            "executor.batch",
+            strategy=report.strategy,
+            jobs=report.jobs,
+            batch=report.batch,
+            searches=report.searches,
+            chunks=report.chunks,
+            chunks_retried=report.chunks_retried,
+        )
 
     # ------------------------------------------------------------------
     def _plan_searches(
@@ -298,6 +334,11 @@ class BatchExecutor:
                 except Exception:
                     # Worker (or the whole pool) died; the chunk is intact in
                     # the parent, so fall back to searching it here.
+                    logger.warning(
+                        "worker chunk of %d queries failed; retrying serially",
+                        len(chunk),
+                        exc_info=True,
+                    )
                     failed.append(chunk)
         for chunk in failed:
             results.update(retry(chunk))

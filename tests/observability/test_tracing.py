@@ -1,0 +1,154 @@
+"""Trace-schema validation and JSONL round-trip through a real query."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.core.dsql import DSQL
+from repro.observability import (
+    Instrumentation,
+    JsonlSink,
+    ListSink,
+    Tracer,
+    configure_logging,
+    read_jsonl,
+    validate_event,
+)
+from repro.observability.tracing import TRACE_EVENT_SCHEMA
+
+
+def _event(**overrides):
+    base = {
+        "event": "span",
+        "name": "phase1",
+        "query_id": 0,
+        "level": None,
+        "t_start_ms": 1.0,
+        "duration_ms": 2.0,
+        "fields": {},
+    }
+    base.update(overrides)
+    return base
+
+
+class TestValidateEvent:
+    def test_accepts_well_formed_span_and_point(self):
+        validate_event(_event())
+        validate_event(_event(event="point", duration_ms=None))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_event(["not", "a", "dict"])
+
+    def test_rejects_missing_key(self):
+        bad = _event()
+        del bad["fields"]
+        with pytest.raises(ValueError, match="missing key"):
+            validate_event(bad)
+
+    def test_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            validate_event(_event(extra=1))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="t_start_ms"):
+            validate_event(_event(t_start_ms="now"))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            validate_event(_event(event="metric"))
+
+    def test_span_requires_duration(self):
+        with pytest.raises(ValueError, match="duration_ms"):
+            validate_event(_event(duration_ms=None))
+
+
+class TestTracer:
+    def test_point_and_spans_are_schema_valid(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        tracer.point("memo.lookup", query_id=3, hit=True)
+        with tracer.span("query", query_id=3, k=2) as fields:
+            fields["coverage"] = 9
+        tracer.emit_span("phase1.level", 100.0, query_id=3, level=1, expansions=5)
+        assert len(sink.events) == 3
+        for event in sink.events:
+            validate_event(event)
+        point, span, level_span = sink.events
+        assert point["event"] == "point" and point["fields"] == {"hit": True}
+        assert span["fields"] == {"k": 2, "coverage": 9}
+        assert span["duration_ms"] >= 0
+        assert level_span["level"] == 1
+        assert level_span["fields"]["expansions"] == 5
+
+    def test_span_emitted_even_when_body_raises(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("query"):
+                raise RuntimeError("boom")
+        assert len(sink.events) == 1
+        validate_event(sink.events[0])
+
+
+class TestJsonlRoundTrip:
+    def test_query_trace_round_trips(self, imdb_small, tmp_path):
+        graph, query = imdb_small
+        path = tmp_path / "trace.jsonl"
+        instr = Instrumentation(tracer=Tracer(JsonlSink(path)))
+        session = DSQL(graph, k=3, instrumentation=instr)
+        session.query_many([query, query])
+        instr.close()
+
+        # read_jsonl validates every line against TRACE_EVENT_SCHEMA.
+        events = read_jsonl(path)
+        assert events
+        assert set(TRACE_EVENT_SCHEMA) == set(events[0])
+        names = [e["name"] for e in events]
+        # At least one span per phase of the pipeline actually run.
+        assert "query" in names
+        assert "candidate_build" in names
+        assert "phase1" in names
+        # Per-level spans carry an expansion counter.
+        level_spans = [e for e in events if e["name"] == "phase1.level"]
+        assert level_spans
+        for span in level_spans:
+            assert span["event"] == "span"
+            assert span["level"] >= 0
+            assert span["fields"]["expansions"] >= 0
+        # The memo emits one lookup point per query_many step: miss then hit.
+        lookups = [e for e in events if e["name"] == "memo.lookup"]
+        assert [e["fields"]["hit"] for e in lookups] == [False, True]
+
+    def test_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.write(_event())
+        sink.close()
+        sink.close()
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+
+
+class TestLogging:
+    def test_repro_logger_has_null_handler_by_default(self):
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_configure_logging_is_idempotent(self):
+        logger = logging.getLogger("repro")
+        before = list(logger.handlers)
+        try:
+            configure_logging("debug")
+            configure_logging("warning")
+            streams = [
+                h
+                for h in logger.handlers
+                if isinstance(h, logging.StreamHandler)
+                and not isinstance(h, logging.NullHandler)
+            ]
+            assert len(streams) == 1
+            assert logger.level == logging.WARNING
+        finally:
+            logger.handlers[:] = before
+            logger.setLevel(logging.NOTSET)

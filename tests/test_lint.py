@@ -1,11 +1,13 @@
-"""Lint gate: ruff over the source tree (skipped when ruff is unavailable)."""
+"""Lint gates: ruff over the source tree, plus a docs-snippet compile check."""
 
 from __future__ import annotations
 
+import py_compile
 import shutil
 import subprocess
 import sys
 from pathlib import Path
+from typing import List
 
 import pytest
 
@@ -34,3 +36,43 @@ def test_sources_compile():
         text=True,
     )
     assert proc.returncode == 0, proc.stderr
+
+
+# ----------------------------------------------------------------------
+# Docs gate: every ```python block in the documentation must stay valid
+# Python, so examples cannot rot silently when APIs move.
+# ----------------------------------------------------------------------
+DOC_FILES = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+
+def extract_python_blocks(text: str) -> List[str]:
+    """The contents of every ````` ```python ````` fenced block, in order."""
+    blocks: List[str] = []
+    current: List[str] = []
+    in_block = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if in_block:
+            if stripped.startswith("```"):
+                blocks.append("\n".join(current))
+                current = []
+                in_block = False
+            else:
+                current.append(line)
+        elif stripped == "```python":
+            in_block = True
+    return blocks
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_doc_python_snippets_compile(doc: Path, tmp_path: Path):
+    blocks = extract_python_blocks(doc.read_text(encoding="utf-8"))
+    for i, block in enumerate(blocks):
+        snippet = tmp_path / f"{doc.stem}_{i}.py"
+        snippet.write_text(block + "\n", encoding="utf-8")
+        try:
+            py_compile.compile(str(snippet), doraise=True)
+        except py_compile.PyCompileError as exc:
+            raise AssertionError(
+                f"{doc.name} python block #{i} does not compile:\n{block}\n{exc}"
+            ) from None
