@@ -1,0 +1,179 @@
+"""Service load benchmark: closed-loop clients against a warm catalog.
+
+Boots one in-process :class:`~repro.service.ServiceServer` holding the DBLP
+stand-in warm (pinned index cache + primed session), then drives it with a
+closed-loop load generator — ``THREADS`` clients, each issuing its share of
+the query stream back-to-back over HTTP and recording per-request
+latencies. The cold baseline answers the same queries the way a one-shot
+CLI invocation would: rebuild the graph, rebuild the per-graph index
+cache, construct a fresh :class:`~repro.core.dsql.DSQL`, then query.
+
+Results land in ``BENCH_service.json`` at the repo root with warm
+p50/p95/p99, throughput, and the cold per-request mean.
+
+Gates:
+
+* **correctness** (always) — every HTTP response carries exactly the
+  embeddings a direct serial session produces;
+* **amortization** (always) — warm p50 must beat the cold per-request
+  mean. This is the service's reason to exist: the cold path pays graph +
+  index construction on every request, the warm path pays it once at
+  startup. The margin is large (orders of magnitude), so the gate is not
+  hardware-sensitive.
+
+Runs standalone (``python benchmarks/bench_service_load.py``) or under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from common import bench_graph, bench_queries, dsql_config
+from repro.core.dsql import DSQL
+from repro.experiments.report import render_table
+from repro.graph.labeled_graph import LabeledGraph
+from repro.service import GraphCatalog, QueryService, ServiceClient, ServiceServer
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+DATASET = "dblp"
+NUM_QUERIES = 12
+QUERY_EDGES = 4
+K = 10
+THREADS = 4
+ROUNDS = 2  # each thread replays the stream this many times (memo gets hot)
+COLD_REQUESTS = 5
+
+
+def _percentile(sorted_values, fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _cold_request(labels, edges, query, config) -> float:
+    """One request the way a cold process pays for it: graph + index + DSQL."""
+    start = time.perf_counter()
+    graph = LabeledGraph(list(labels), list(edges))
+    graph.index_cache()
+    DSQL(graph, config=config).query(query)
+    return time.perf_counter() - start
+
+
+def run_load_bench():
+    graph = bench_graph(DATASET)
+    queries = list(bench_queries(DATASET, QUERY_EDGES, NUM_QUERIES))
+    config = dsql_config(K)
+
+    reference = DSQL(graph, config=config).query_many(queries)
+    expected = {
+        q.canonical_key(): [list(e) for e in r.embeddings]
+        for q, r in zip(queries, reference)
+    }
+
+    catalog = GraphCatalog(default_config=config)
+    catalog.add_graph(DATASET, graph, source="bench")
+    service = QueryService(catalog, max_in_flight=THREADS, max_queue=THREADS * 4)
+    server = ServiceServer(service, port=0).start()
+    latencies = []
+    mismatches = []
+    lock = threading.Lock()
+
+    def closed_loop():
+        client = ServiceClient(server.url, timeout=120.0)
+        local = []
+        for _ in range(ROUNDS):
+            for query in queries:
+                start = time.perf_counter()
+                body = client.query(DATASET, query)
+                local.append(time.perf_counter() - start)
+                if body["embeddings"] != expected[query.canonical_key()]:
+                    with lock:
+                        mismatches.append(query.canonical_key())
+        with lock:
+            latencies.extend(local)
+
+    try:
+        workers = [threading.Thread(target=closed_loop) for _ in range(THREADS)]
+        wall_start = time.perf_counter()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - wall_start
+    finally:
+        server.close()
+
+    labels, edges = list(graph.labels), list(graph.edges())
+    cold = [
+        _cold_request(labels, edges, queries[i % len(queries)], config)
+        for i in range(COLD_REQUESTS)
+    ]
+
+    ordered = sorted(latencies)
+    payload = {
+        "dataset": DATASET,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "k": K,
+        "threads": THREADS,
+        "requests": len(latencies),
+        "mismatches": len(mismatches),
+        "warm": {
+            "p50_ms": 1e3 * _percentile(ordered, 0.50),
+            "p95_ms": 1e3 * _percentile(ordered, 0.95),
+            "p99_ms": 1e3 * _percentile(ordered, 0.99),
+            "throughput_rps": len(latencies) / wall if wall else 0.0,
+        },
+        "cold": {
+            "requests": len(cold),
+            "mean_ms": 1e3 * sum(cold) / len(cold),
+            "min_ms": 1e3 * min(cold),
+        },
+    }
+    payload["warm_p50_vs_cold_mean"] = (
+        payload["cold"]["mean_ms"] / payload["warm"]["p50_ms"]
+        if payload["warm"]["p50_ms"]
+        else float("inf")
+    )
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload) -> str:
+    warm, cold = payload["warm"], payload["cold"]
+    rows = [
+        ["dataset", payload["dataset"]],
+        ["threads / requests", f"{payload['threads']} / {payload['requests']}"],
+        ["warm p50 / p95 / p99 (ms)",
+         f"{warm['p50_ms']:.2f} / {warm['p95_ms']:.2f} / {warm['p99_ms']:.2f}"],
+        ["warm throughput (req/s)", f"{warm['throughput_rps']:.1f}"],
+        ["cold per-request mean (ms)", f"{cold['mean_ms']:.2f}"],
+        ["cold mean / warm p50", f"{payload['warm_p50_vs_cold_mean']:.1f}x"],
+        ["mismatches", str(payload["mismatches"])],
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+def test_service_load(benchmark):
+    from common import emit
+
+    payload = benchmark.pedantic(run_load_bench, rounds=1, iterations=1)
+    emit("service_load", _report(payload))
+    assert payload["requests"] == THREADS * ROUNDS * NUM_QUERIES
+    # Hard gate: the service must never trade correctness for latency.
+    assert payload["mismatches"] == 0
+    # Amortization gate: the warm catalog beats cold per-request
+    # construction — otherwise the serving layer has no reason to exist.
+    assert payload["warm"]["p50_ms"] < payload["cold"]["mean_ms"]
+
+
+if __name__ == "__main__":
+    out = run_load_bench()
+    print(_report(out))
+    print(f"\nwrote {OUT_PATH}")

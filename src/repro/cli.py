@@ -6,6 +6,7 @@ Subcommands
                random query workload and print the summary table.
 ``datasets`` — list the registered dataset profiles and their statistics.
 ``schedule`` — print the SWAPα multi-scan α/γ schedule (Section 6.1.2).
+``serve``    — run the long-running multi-graph query service (docs/service.md).
 
 Examples::
 
@@ -14,6 +15,7 @@ Examples::
     repro-dsql query --dataset dblp --queries 20 --strategy process --jobs 4
     repro-dsql query --dataset youtube --solver COM --queries 10
     repro-dsql schedule --scans 8
+    repro-dsql serve --dataset dblp --dataset yeast@1 --port 8707
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.core.config import VARIANTS, DSQLConfig, variant_config
 from repro.coverage.bounds import alpha_gamma_schedule
 from repro.datasets.registry import dataset_names, get_profile, make_dataset
@@ -56,6 +59,12 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Diversified top-k subgraph querying (DSQL, SIGMOD 2016)",
     )
     parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro {__version__}",
+        help="print the package version and exit",
+    )
+    parser.add_argument(
         "--backend",
         choices=BACKEND_NAMES,
         default=None,
@@ -84,6 +93,45 @@ def _build_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("schedule", help="print the SWAP-alpha multi-scan schedule")
     s.add_argument("--scans", type=int, default=8)
+
+    v = sub.add_parser("serve", help="run the multi-graph query service (docs/service.md)")
+    v.add_argument(
+        "--dataset",
+        action="append",
+        default=[],
+        metavar="NAME[@SCALE]",
+        help="load a registry dataset stand-in (repeatable); e.g. dblp or dblp@0.05",
+    )
+    v.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="NAME=PATH",
+        help="load a graph file (.json or labeled edge list) under NAME (repeatable)",
+    )
+    v.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    v.add_argument("--port", type=int, default=8707, help="bind port (0 = ephemeral)")
+    v.add_argument("--k", type=int, default=10, help="default top-k when a request omits k")
+    v.add_argument(
+        "--time-budget-ms",
+        type=float,
+        default=None,
+        help="default per-request wall-clock deadline (requests may override)",
+    )
+    v.add_argument(
+        "--max-in-flight", type=int, default=8, help="admission: concurrent request cap"
+    )
+    v.add_argument(
+        "--max-queue", type=int, default=32, help="admission: waiting-request cap (0 = none)"
+    )
+    v.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=1.0,
+        help="Retry-After hint attached to 429 rejections",
+    )
+    v.add_argument("--seed", type=int, default=0, help="seed for dataset stand-in builds")
+    _add_observability_flags(v)
 
     e = sub.add_parser("experiment", help="run one paper experiment")
     e.add_argument(
@@ -250,6 +298,48 @@ def _cmd_schedule(scans: int) -> int:
     return 0
 
 
+def _cmd_serve(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    instr: Optional[Instrumentation],
+) -> int:
+    """Load the catalog, bind the server, and serve until SIGTERM/SIGINT."""
+    from repro.exceptions import ReproError
+    from repro.service import QueryService, ServiceServer, build_catalog
+
+    if not args.dataset and not args.graph:
+        parser.error("serve requires at least one --dataset or --graph")
+    config = DSQLConfig(k=args.k, time_budget_ms=args.time_budget_ms)
+    try:
+        catalog, lines = build_catalog(
+            datasets=args.dataset,
+            graph_files=args.graph,
+            default_config=config,
+            instrumentation=instr,
+            seed=args.seed,
+        )
+        service = QueryService(
+            catalog,
+            max_in_flight=args.max_in_flight,
+            max_queue=args.max_queue,
+            retry_after_s=args.retry_after_s,
+        )
+        server = ServiceServer(service, host=args.host, port=args.port)
+    except ReproError as exc:
+        parser.error(str(exc))
+    for line in lines:
+        print(line)
+    server.install_signal_handlers()
+    print(f"repro service listening on {server.url} (SIGTERM drains gracefully)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    server.close()
+    print("repro service drained")
+    return 0
+
+
 def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     from repro.experiments import paper
     from repro.experiments.report import render_series, render_summaries
@@ -317,6 +407,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "query":
             rc = _cmd_query(parser, args)
+        elif args.command == "serve":
+            return _cmd_serve(parser, args, instr)
         else:
             rc = _cmd_experiment(parser, args)
         if instr is not None:

@@ -1,0 +1,79 @@
+"""repro.service — a long-running multi-graph query server.
+
+The serving layer the ROADMAP's "heavy traffic" north star calls for:
+instead of paying process startup, graph construction, and a cold
+:class:`~repro.indexes.graph_cache.GraphIndexCache` on every invocation,
+a process loads named graphs once into a :class:`GraphCatalog` (pinned
+indexes + warm :class:`~repro.core.dsql.DSQL` sessions with their
+``query_many`` memos) and answers diversified top-k queries over HTTP for
+its whole lifetime.
+
+Pieces (all stdlib; no web framework):
+
+* :class:`GraphCatalog` / :class:`CatalogEntry` — named warm graphs
+  (:mod:`repro.service.catalog`);
+* :class:`AdmissionController` — bounded in-flight + bounded queue,
+  429 with ``Retry-After`` beyond that (:mod:`repro.service.admission`);
+* :class:`QueryService` / :class:`ServiceServer` — request handling and
+  the ``ThreadingHTTPServer`` transport with graceful SIGTERM drain
+  (:mod:`repro.service.server`);
+* :class:`ServiceClient` — a ``urllib`` client
+  (:mod:`repro.service.client`);
+* the wire schemas and :class:`ServiceError` (:mod:`repro.service.schemas`).
+
+Start one from the CLI (``repro-dsql serve --dataset dblp``) or in
+process::
+
+    from repro.core.config import DSQLConfig
+    from repro.datasets.registry import make_dataset
+    from repro.service import GraphCatalog, QueryService, ServiceServer
+
+    catalog = GraphCatalog(default_config=DSQLConfig(k=10))
+    catalog.add_graph("dblp", make_dataset("dblp"))
+    server = ServiceServer(QueryService(catalog), port=0).start()
+    print(server.url)
+    ...
+    server.close()  # drain: finish in-flight work, flush traces
+
+Endpoints, JSON schemas, and admission-control knobs are documented in
+``docs/service.md``; the ``service.*`` metrics are in the catalog of
+``docs/observability.md``.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.catalog import CatalogEntry, GraphCatalog, build_catalog
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.schemas import (
+    BATCH_STRATEGIES,
+    BatchRequest,
+    QueryRequest,
+    ServiceError,
+    parse_batch_request,
+    parse_json_body,
+    parse_query_request,
+    query_graph_from_json,
+    query_graph_to_json,
+    result_to_json,
+)
+from repro.service.server import QueryService, ServiceServer
+
+__all__ = [
+    "AdmissionController",
+    "CatalogEntry",
+    "GraphCatalog",
+    "build_catalog",
+    "ServiceClient",
+    "ServiceClientError",
+    "QueryService",
+    "ServiceServer",
+    "ServiceError",
+    "QueryRequest",
+    "BatchRequest",
+    "BATCH_STRATEGIES",
+    "parse_query_request",
+    "parse_batch_request",
+    "parse_json_body",
+    "query_graph_from_json",
+    "query_graph_to_json",
+    "result_to_json",
+]

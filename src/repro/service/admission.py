@@ -1,0 +1,132 @@
+"""Admission control: a bounded in-flight limit with a bounded wait queue.
+
+The service's load-shedding policy is two small numbers:
+
+``max_in_flight``
+    How many requests may be *executing* concurrently. DSQL queries are
+    CPU-bound pure Python, so running many more than the core count only
+    grows every request's latency; a tight in-flight cap keeps the p99
+    honest.
+``max_queue``
+    How many further requests may *wait* for an execution slot. Beyond
+    that, the server is overloaded by definition and the correct answer is
+    an immediate ``429`` with ``Retry-After`` — queueing deeper would only
+    manufacture timeouts (the classic unbounded-queue failure mode).
+
+:class:`AdmissionController` implements exactly this: a counting semaphore
+with an explicit, *bounded* waiter count, instrumented with the
+``service.in_flight`` and ``service.queue_depth`` gauges. It is transport
+agnostic — the HTTP layer calls :meth:`acquire` / :meth:`release`, tests
+drive it directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from repro.exceptions import ConfigError
+
+
+class AdmissionController:
+    """Bounded-concurrency gate: at most ``max_in_flight`` holders,
+    at most ``max_queue`` waiters, immediate rejection beyond that.
+
+    Parameters
+    ----------
+    max_in_flight:
+        Concurrent execution slots (>= 1).
+    max_queue:
+        Requests allowed to block waiting for a slot (>= 0). ``0`` means
+        no queueing at all: a full service rejects instantly.
+    metrics:
+        Optional :class:`~repro.observability.MetricsRegistry`; when given,
+        the ``service.in_flight`` and ``service.queue_depth`` gauges track
+        the live occupancy.
+    """
+
+    def __init__(self, max_in_flight: int, max_queue: int, metrics=None) -> None:
+        if max_in_flight < 1:
+            raise ConfigError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_queue < 0:
+            raise ConfigError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self._in_flight = 0
+        self._waiting = 0
+        self._rejected = 0
+        self._metrics = metrics
+
+    # -- gauges --------------------------------------------------------
+    def _publish(self) -> None:
+        # Called with the lock held; gauge writes are cheap and lock-free
+        # from this side (each gauge has its own lock).
+        if self._metrics is not None:
+            self._metrics.gauge("service.in_flight").set(self._in_flight)
+            self._metrics.gauge("service.queue_depth").set(self._waiting)
+
+    # -- the gate ------------------------------------------------------
+    def acquire(self, timeout: Optional[float] = None) -> bool:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Returns ``True`` once a slot is held (the caller *must* pair it with
+        :meth:`release`), ``False`` when the queue is already full — the
+        overload signal — or when ``timeout`` (seconds) elapses while
+        waiting.
+        """
+        with self._slot_freed:
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                self._publish()
+                return True
+            if self._waiting >= self.max_queue:
+                self._rejected += 1
+                return False
+            self._waiting += 1
+            self._publish()
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    if not self._slot_freed.wait(timeout=timeout):
+                        self._rejected += 1
+                        return False
+                self._in_flight += 1
+                return True
+            finally:
+                self._waiting -= 1
+                self._publish()
+
+    def release(self) -> None:
+        """Return a slot taken by a successful :meth:`acquire`."""
+        with self._slot_freed:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire()")
+            self._in_flight -= 1
+            self._publish()
+            self._slot_freed.notify()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def waiting(self) -> int:
+        return self._waiting
+
+    @property
+    def rejected(self) -> int:
+        """Requests turned away since construction (monotonic)."""
+        return self._rejected
+
+    def describe(self) -> Dict[str, int]:
+        """Live occupancy snapshot for ``/healthz``."""
+        with self._lock:
+            return {
+                "max_in_flight": self.max_in_flight,
+                "max_queue": self.max_queue,
+                "in_flight": self._in_flight,
+                "queue_depth": self._waiting,
+                "rejected_total": self._rejected,
+            }

@@ -1,0 +1,310 @@
+"""Graph catalog: named graphs held warm for the process lifetime.
+
+The whole point of the service (vs. the CLI) is amortization: a cold DSQL
+answer pays graph construction plus the per-graph
+:class:`~repro.indexes.graph_cache.GraphIndexCache` build before the first
+candidate is ever expanded, while a warm session answers from pinned
+indexes and a primed ``query_many`` memo. The catalog is where that warmth
+lives:
+
+* :class:`CatalogEntry` pins one graph, its index cache (built eagerly at
+  load time, not on the first unlucky request), and a warm
+  :class:`~repro.core.dsql.DSQL` session per *configuration* — the session
+  memo is keyed only by query structure, so requests that override ``k`` /
+  ``alpha`` / ``time_budget_ms`` must not share a memo with the default
+  config. Per-config sessions live in a small LRU; the default-config
+  session is pinned for the process lifetime.
+* :class:`GraphCatalog` maps names to entries and is populated at startup
+  from registry datasets (``"dblp"`` or ``"dblp@0.05"``) and/or graph files
+  (``"name=path"``, edge-list or JSON format).
+
+Concurrency discipline: ``DSQL.query`` is thread-safe (worker-local search
+state over a lock-protected shared pool memo — the ``thread`` strategy of
+:class:`~repro.parallel.executor.BatchExecutor` relies on this already),
+but the ``query_many`` result memo is a bare ``OrderedDict``. The entry
+therefore owns a memo lock and uses the executor's replay trick: peek the
+memo under the lock, search *outside* the lock, then replay through
+``DSQL._memo_answer`` under the lock. Concurrent first requests for the
+same structure may both search (deterministic search makes both results
+identical), but the memo itself never sees an unsynchronized mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.core.result import DSQResult
+from repro.datasets.registry import make_dataset
+from repro.exceptions import ConfigError, DatasetError
+from repro.graph.io import load_edge_list, load_json
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.observability import Instrumentation
+from repro.service.schemas import ServiceError
+
+DEFAULT_SESSION_CACHE = 8
+"""Per-entry cap on live non-default-config sessions (LRU evicted)."""
+
+
+def _never_computed() -> DSQResult:  # pragma: no cover - guarded by the memo peek
+    raise AssertionError("memo hit path must not compute")
+
+
+class CatalogEntry:
+    """One named graph, pinned warm: index cache + per-config sessions."""
+
+    def __init__(
+        self,
+        name: str,
+        graph: LabeledGraph,
+        default_config: DSQLConfig,
+        instrumentation: Optional[Instrumentation] = None,
+        source: str = "memory",
+        max_sessions: int = DEFAULT_SESSION_CACHE,
+    ) -> None:
+        self.name = name
+        self.graph = graph
+        self.source = source
+        self.default_config = default_config
+        self.instrumentation = instrumentation
+        # Build the per-graph indexes now, at load time: the first request
+        # must not pay (or race) the one-off index construction.
+        self.index_cache = graph.index_cache()
+        self._session_lock = threading.Lock()
+        self._memo_lock = threading.Lock()
+        self._max_sessions = max_sessions
+        self._sessions: "OrderedDict[DSQLConfig, DSQL]" = OrderedDict()
+        self.default_session = DSQL(graph, config=default_config, instrumentation=instrumentation)
+
+    # -- configuration / sessions --------------------------------------
+    def request_config(
+        self,
+        k: Optional[int] = None,
+        alpha: Optional[float] = None,
+        time_budget_ms: Optional[float] = None,
+    ) -> DSQLConfig:
+        """The default config with per-request overrides applied (400 on bad values)."""
+        overrides: Dict[str, object] = {}
+        if k is not None:
+            overrides["k"] = k
+        if alpha is not None:
+            overrides["alpha"] = alpha
+        if time_budget_ms is not None:
+            overrides["time_budget_ms"] = time_budget_ms
+        if not overrides:
+            return self.default_config
+        try:
+            return replace(self.default_config, **overrides)
+        except ConfigError as exc:
+            raise ServiceError(400, "invalid_config", str(exc)) from None
+
+    def session(self, config: Optional[DSQLConfig] = None) -> DSQL:
+        """The warm session for ``config`` (created and LRU-cached on demand).
+
+        The default-config session is pinned outside the LRU so a burst of
+        exotic configurations can never evict the steady-state fast path.
+        """
+        if config is None or config == self.default_config:
+            return self.default_session
+        with self._session_lock:
+            session = self._sessions.get(config)
+            if session is not None:
+                self._sessions.move_to_end(config)
+                return session
+            session = DSQL(self.graph, config=config, instrumentation=self.instrumentation)
+            self._sessions[config] = session
+            if len(self._sessions) > self._max_sessions:
+                self._sessions.popitem(last=False)
+            return session
+
+    # -- answering -----------------------------------------------------
+    def answer(self, query: QueryGraph, config: Optional[DSQLConfig] = None) -> DSQResult:
+        """Answer one query with full ``query_many`` memo semantics, thread-safely.
+
+        Hit path: serve from the memo under the lock. Miss path: search
+        outside the lock (concurrent queries proceed in parallel), then
+        replay through :meth:`DSQL._memo_answer` under the lock so LRU
+        state and hit/miss counters evolve exactly as a serial
+        ``query_many`` stream's would. If another thread populated the key
+        meanwhile, the replay simply becomes a hit — both threads hold
+        bit-identical results because the search is deterministic.
+        """
+        session = self.session(config)
+        key = query.canonical_key()
+        with self._memo_lock:
+            if key in session._query_cache:
+                return session._memo_answer(key, _never_computed)
+        fresh = session.query(query)
+        with self._memo_lock:
+            return session._memo_answer(key, lambda: fresh)
+
+    def answer_batch(
+        self,
+        queries: Sequence[QueryGraph],
+        config: Optional[DSQLConfig] = None,
+        strategy: str = "serial",
+        jobs: Optional[int] = None,
+    ):
+        """Answer a batch through :class:`~repro.parallel.executor.BatchExecutor`.
+
+        Returns ``(results, report)`` with results bit-identical to serial
+        ``query_many`` (the executor's replay guarantee). The memo lock is
+        held for the whole run because the executor replays the batch
+        through the session memo internally; concurrent point queries on
+        this graph wait for the batch — admission control bounds how much
+        batch work can pile up.
+        """
+        from repro.parallel.executor import BatchExecutor
+
+        session = self.session(config)
+        executor = BatchExecutor(session, strategy=strategy, jobs=jobs)
+        with self._memo_lock:
+            results = executor.run(list(queries))
+        return results, executor.last_report
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        """Static + live facts about this entry (for ``/metrics``)."""
+        with self._session_lock:
+            extra_sessions = len(self._sessions)
+        return {
+            "source": self.source,
+            "vertices": self.graph.num_vertices,
+            "edges": self.graph.num_edges,
+            "labels": len(self.index_cache.label_table),
+            "sessions": 1 + extra_sessions,
+            "default_k": self.default_config.k,
+        }
+
+
+# ----------------------------------------------------------------------
+# Catalog
+# ----------------------------------------------------------------------
+class GraphCatalog:
+    """Name -> :class:`CatalogEntry` map, populated once at startup.
+
+    The catalog always carries an :class:`~repro.observability.
+    Instrumentation` (creating a metrics-only one when none is given): the
+    service's ``/metrics`` endpoint needs a registry to snapshot, and every
+    session the catalog creates reports into it — including the memo and
+    candidate-pool hit rates that prove the warmth is real.
+    """
+
+    def __init__(
+        self,
+        default_config: Optional[DSQLConfig] = None,
+        instrumentation: Optional[Instrumentation] = None,
+        seed: int = 0,
+    ) -> None:
+        self.default_config = default_config if default_config is not None else DSQLConfig(k=10)
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else Instrumentation()
+        )
+        self.seed = seed
+        self._entries: Dict[str, CatalogEntry] = {}
+
+    # -- population ----------------------------------------------------
+    def add_graph(self, name: str, graph: LabeledGraph, source: str = "memory") -> CatalogEntry:
+        """Register an in-memory graph under ``name`` (duplicate names refuse)."""
+        if not name:
+            raise ConfigError("graph name must be non-empty")
+        if name in self._entries:
+            raise ConfigError(f"duplicate graph name {name!r} in catalog")
+        entry = CatalogEntry(
+            name,
+            graph,
+            self.default_config,
+            instrumentation=self.instrumentation,
+            source=source,
+        )
+        self._entries[name] = entry
+        return entry
+
+    def add_dataset(self, spec: str) -> CatalogEntry:
+        """Register a registry dataset from ``"name"`` or ``"name@scale"``."""
+        name, _, scale_text = spec.partition("@")
+        scale: Optional[float] = None
+        if scale_text:
+            try:
+                scale = float(scale_text)
+            except ValueError:
+                raise DatasetError(
+                    f"bad dataset spec {spec!r}: scale {scale_text!r} is not a number"
+                ) from None
+        graph = make_dataset(name, scale=scale, seed=self.seed)
+        return self.add_graph(name, graph, source=f"dataset:{spec}")
+
+    def add_file(self, spec: str) -> CatalogEntry:
+        """Register a graph file from ``"name=path"`` (JSON or edge-list format)."""
+        name, sep, path_text = spec.partition("=")
+        if not sep or not name or not path_text:
+            raise DatasetError(f"bad graph spec {spec!r}: expected NAME=PATH")
+        path = Path(path_text)
+        if not path.is_file():
+            raise DatasetError(f"graph file not found: {path}")
+        graph = load_json(path) if path.suffix == ".json" else load_edge_list(path, name=name)
+        return self.add_graph(name, graph, source=f"file:{path}")
+
+    # -- lookup --------------------------------------------------------
+    def get(self, name: str) -> CatalogEntry:
+        """Entry lookup; unknown names become the 404 the service returns."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ServiceError(
+                404,
+                "unknown_graph",
+                f"unknown graph {name!r}; loaded graphs: {self.names()}",
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def describe(self) -> Dict[str, Dict[str, object]]:
+        """Per-graph facts for ``/metrics`` and startup logging."""
+        return {name: self._entries[name].describe() for name in self.names()}
+
+
+def build_catalog(
+    datasets: Sequence[str] = (),
+    graph_files: Sequence[str] = (),
+    default_config: Optional[DSQLConfig] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    seed: int = 0,
+) -> Tuple[GraphCatalog, List[str]]:
+    """Build a catalog from CLI-style specs; returns ``(catalog, log lines)``.
+
+    ``datasets`` entries are ``"name"``/``"name@scale"``; ``graph_files``
+    entries are ``"name=path"``. Raises
+    :class:`~repro.exceptions.ReproError` subtypes on bad specs, which the
+    CLI surfaces as argument errors.
+    """
+    catalog = GraphCatalog(
+        default_config=default_config, instrumentation=instrumentation, seed=seed
+    )
+    lines: List[str] = []
+    for spec in datasets:
+        entry = catalog.add_dataset(spec)
+        info = entry.describe()
+        lines.append(
+            f"loaded {entry.name}: |V|={info['vertices']} |E|={info['edges']} ({entry.source})"
+        )
+    for spec in graph_files:
+        entry = catalog.add_file(spec)
+        info = entry.describe()
+        lines.append(
+            f"loaded {entry.name}: |V|={info['vertices']} |E|={info['edges']} ({entry.source})"
+        )
+    return catalog, lines

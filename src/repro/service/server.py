@@ -1,0 +1,404 @@
+"""The long-running query server: HTTP transport, routing, and drain.
+
+Two layers, deliberately separated:
+
+:class:`QueryService`
+    Transport-free request handling. ``handle_query`` / ``handle_batch``
+    take parsed JSON payloads and return response bodies; admission
+    control, draining, outcome metrics, and the per-request trace span all
+    live here, so the logic is directly unit-testable without a socket.
+:class:`ServiceServer`
+    The stdlib ``http.server.ThreadingHTTPServer`` wrapper: one thread per
+    connection, ``POST /v1/query`` / ``POST /v1/batch`` /
+    ``GET /healthz`` / ``GET /metrics``, JSON in and out. HTTP/1.0
+    semantics (connection closed after each response) keep the drain story
+    simple — no idle keep-alive connections to wait out.
+
+Graceful drain (``SIGTERM`` or :meth:`ServiceServer.close`): stop
+accepting new connections, let every in-flight request finish
+(``server_close`` joins the handler threads), then flush the trace sink.
+The signal handler itself only *requests* the shutdown from a helper
+thread — calling ``shutdown()`` from the thread running ``serve_forever``
+(the main thread, under a signal) would deadlock.
+
+Request outcomes land in the ``service.*`` metrics (see
+``docs/observability.md``); with a tracer attached every request emits one
+``service.request`` span carrying path, status, and graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import logging
+import math
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.service.admission import AdmissionController
+from repro.service.catalog import GraphCatalog
+from repro.service.schemas import (
+    ServiceError,
+    parse_batch_request,
+    parse_json_body,
+    parse_query_request,
+    result_to_json,
+)
+
+logger = logging.getLogger("repro.service")
+
+DEFAULT_MAX_IN_FLIGHT = 8
+DEFAULT_MAX_QUEUE = 32
+DEFAULT_RETRY_AFTER_S = 1.0
+
+
+def _outcome(status: int) -> str:
+    """HTTP status -> the outcome class used in ``service.requests.*``."""
+    if status < 400:
+        return "ok"
+    if status == 429:
+        return "rejected"
+    if status == 503:
+        return "draining"
+    if status < 500:
+        return "client_error"
+    return "server_error"
+
+
+class QueryService:
+    """Routes parsed requests onto a :class:`~repro.service.catalog.GraphCatalog`.
+
+    Parameters
+    ----------
+    catalog:
+        The warm graph catalog; its instrumentation (metrics registry, and
+        tracer if any) is shared by the service.
+    max_in_flight, max_queue:
+        Admission-control bounds (see
+        :class:`~repro.service.admission.AdmissionController`).
+    retry_after_s:
+        The ``Retry-After`` hint attached to 429 rejections.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+    ) -> None:
+        self.catalog = catalog
+        self.instrumentation = catalog.instrumentation
+        self.admission = AdmissionController(
+            max_in_flight, max_queue, metrics=self.instrumentation.metrics
+        )
+        self.retry_after_s = retry_after_s
+        self.draining = False
+        self._request_ids = itertools.count()
+        self._started = time.monotonic()
+        self._post_handlers: Dict[str, Callable[[Dict[str, object]], Dict[str, object]]] = {
+            "/v1/query": self.handle_query,
+            "/v1/batch": self.handle_batch,
+        }
+
+    # -- endpoint bodies -----------------------------------------------
+    def handle_query(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST /v1/query``: one diversified top-k answer."""
+        request = parse_query_request(payload)
+        entry = self.catalog.get(request.graph)
+        config = entry.request_config(
+            k=request.k, alpha=request.alpha, time_budget_ms=request.time_budget_ms
+        )
+        start = time.perf_counter()
+        result = entry.answer(request.query, config)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return result_to_json(result, graph=request.graph, elapsed_ms=elapsed_ms)
+
+    def handle_batch(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST /v1/batch``: a query batch through the parallel executor."""
+        request = parse_batch_request(payload)
+        entry = self.catalog.get(request.graph)
+        config = entry.request_config(
+            k=request.k, alpha=request.alpha, time_budget_ms=request.time_budget_ms
+        )
+        start = time.perf_counter()
+        results, report = entry.answer_batch(
+            request.queries, config, strategy=request.strategy, jobs=request.jobs
+        )
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        return {
+            "graph": request.graph,
+            "count": len(results),
+            "results": [result_to_json(r, graph=request.graph) for r in results],
+            "cache_hits": sum(1 for r in results if r.from_cache),
+            "any_deadline_exhausted": any(r.stats.deadline_exhausted for r in results),
+            "elapsed_ms": elapsed_ms,
+            "executor": {
+                "strategy": report.strategy,
+                "jobs": report.jobs,
+                "batch": report.batch,
+                "searches": report.searches,
+                "chunks": report.chunks,
+                "chunks_retried": report.chunks_retried,
+            },
+        }
+
+    def healthz(self) -> Tuple[int, Dict[str, object]]:
+        """``GET /healthz``: liveness + live admission occupancy."""
+        status = 503 if self.draining else 200
+        return status, {
+            "status": "draining" if self.draining else "ok",
+            "graphs": self.catalog.names(),
+            "uptime_ms": (time.monotonic() - self._started) * 1000.0,
+            "admission": self.admission.describe(),
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """``GET /metrics``: the full registry snapshot plus catalog facts."""
+        return {
+            "uptime_ms": (time.monotonic() - self._started) * 1000.0,
+            "metrics": self.instrumentation.metrics.snapshot(),
+            "catalog": self.catalog.describe(),
+        }
+
+    # -- request lifecycle ---------------------------------------------
+    def handle_post(
+        self, path: str, read_payload: Callable[[], Dict[str, object]]
+    ) -> Tuple[int, Dict[str, object], Optional[float]]:
+        """Admission-gated dispatch; returns ``(status, body, retry_after_s)``.
+
+        Every failure mode is funneled into a :class:`ServiceError` body:
+        unknown endpoint (404), draining (503), queue overflow (429 with
+        ``Retry-After``), parse/validation errors (400/404/413), and any
+        unexpected exception (500, logged with traceback, opaque body).
+        """
+        retry_after = None
+        try:
+            handler = self._post_handlers.get(path)
+            if handler is None:
+                raise ServiceError(404, "unknown_endpoint", f"no such endpoint: POST {path}")
+            if self.draining:
+                raise ServiceError(
+                    503, "draining", "server is draining; not accepting new requests"
+                )
+            payload = read_payload()
+            if not self.admission.acquire():
+                raise ServiceError(
+                    429,
+                    "overloaded",
+                    f"at capacity ({self.admission.max_in_flight} in flight, "
+                    f"{self.admission.max_queue} queued); retry later",
+                    retry_after_s=self.retry_after_s,
+                )
+            try:
+                body, status = handler(payload), 200
+            finally:
+                self.admission.release()
+        except ServiceError as exc:
+            body, status, retry_after = exc.to_body(), exc.status, exc.retry_after_s
+        except Exception:
+            logger.exception("unhandled error serving POST %s", path)
+            exc = ServiceError(500, "internal", "internal server error")
+            body, status = exc.to_body(), exc.status
+        return status, body, retry_after
+
+    def observe_request(self, method: str, path: str, status: int, elapsed_ms: float) -> None:
+        """Outcome counters for every request; latency histogram for /v1/*."""
+        metrics = self.instrumentation.metrics
+        metrics.counter("service.requests").inc()
+        metrics.counter(f"service.requests.{_outcome(status)}").inc()
+        if path.startswith("/v1/"):
+            metrics.histogram("service.latency_ms").observe(elapsed_ms)
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    # -- drain ----------------------------------------------------------
+    def begin_drain(self) -> None:
+        """Stop admitting new work; in-flight requests run to completion."""
+        self.draining = True
+
+    def close(self) -> None:
+        """Flush instrumentation (the trace sink, when one is attached)."""
+        self.instrumentation.close()
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    # block_on_close (inherited True) + an explicit server_close() is what
+    # makes drain wait for in-flight handler threads. That only works with
+    # non-daemon handler threads: ThreadingMixIn does not track daemon
+    # threads at all, so daemon_threads=True would turn the drain join into
+    # a no-op and let close() return with requests still executing. The
+    # handler's read timeout bounds how long a stuck client can delay it.
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def handle_error(self, request, client_address):  # pragma: no cover - client aborts
+        logger.warning("error handling connection from %s", client_address, exc_info=True)
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """One HTTP connection; ``service`` is bound on a per-server subclass."""
+
+    service: QueryService
+    server_version = "repro-service"
+    # Bound the read of a request so a silent client cannot pin a handler
+    # thread forever (which would also stall the drain join).
+    timeout = 30.0
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        logger.debug("%s %s", self.address_string(), format % args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(
+        self, status: int, body: Dict[str, object], retry_after: Optional[float] = None
+    ) -> None:
+        data = json.dumps(body, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_payload(self) -> Dict[str, object]:
+        length_text = self.headers.get("Content-Length")
+        try:
+            length = int(length_text)
+        except (TypeError, ValueError):
+            raise ServiceError(
+                400, "invalid_request", "POST requires a Content-Length header"
+            ) from None
+        return parse_json_body(self.rfile.read(length))
+
+    # -- methods -------------------------------------------------------
+    def do_GET(self) -> None:
+        service = self.service
+        path = self.path.split("?", 1)[0]
+        start = time.monotonic()
+        if path == "/healthz":
+            status, body = service.healthz()
+        elif path == "/metrics":
+            status, body = 200, service.metrics_snapshot()
+        else:
+            error = ServiceError(404, "unknown_endpoint", f"no such endpoint: GET {path}")
+            status, body = error.status, error.to_body()
+        service.observe_request("GET", path, status, (time.monotonic() - start) * 1000.0)
+        self._send_json(status, body)
+
+    def do_POST(self) -> None:
+        service = self.service
+        path = self.path.split("?", 1)[0]
+        start = time.monotonic()
+        request_id = service.next_request_id()
+        with service.instrumentation.span(
+            "service.request", query_id=None, request_id=request_id, path=path
+        ) as span:
+            status, body, retry_after = service.handle_post(path, self._read_payload)
+            span["status"] = status
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        service.observe_request("POST", path, status, elapsed_ms)
+        self._send_json(status, body, retry_after)
+
+
+class ServiceServer:
+    """Owns the listening socket, the serve loop, and the drain sequence.
+
+    Usage (in-process, e.g. tests and the load benchmark)::
+
+        server = ServiceServer(service, port=0).start()
+        ... requests against server.url ...
+        server.close()   # drain: finish in-flight, flush traces
+
+    or blocking (the CLI)::
+
+        server.install_signal_handlers()
+        server.serve_forever()   # returns once SIGTERM triggers the drain
+        server.close()
+    """
+
+    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        handler = type("BoundServiceHandler", (_ServiceHandler,), {"service": service})
+        self._http = _ServiceHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self._close_lock = threading.Lock()
+        self._closing = False
+        self._closed = threading.Event()
+
+    # -- addresses -----------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — port is the real one when 0 was asked."""
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- serving -------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the accept loop in the calling thread until the drain starts."""
+        self._serving = True
+        self._http.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ServiceServer":
+        """Run the accept loop on a background thread (in-process serving)."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-service", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    # -- drain ----------------------------------------------------------
+    def request_shutdown(self) -> None:
+        """Signal-safe drain trigger: runs :meth:`close` on a helper thread.
+
+        Needed because a signal handler executes on the main thread — the
+        very thread blocked in ``serve_forever`` — and ``shutdown()`` would
+        deadlock waiting for itself.
+        """
+        threading.Thread(target=self.close, name="repro-service-drain", daemon=True).start()
+
+    def close(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, flush traces.
+
+        Idempotent and thread-safe; late callers block until the first
+        drain completes.
+        """
+        with self._close_lock:
+            first = not self._closing
+            self._closing = True
+        if not first:
+            self._closed.wait()
+            return
+        logger.info("drain: stopping accept loop")
+        self.service.begin_drain()
+        if self._serving:
+            self._http.shutdown()
+        # Joins in-flight handler threads (ThreadingMixIn.block_on_close).
+        self._http.server_close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join()
+        self.service.close()
+        logger.info("drain: complete")
+        self._closed.set()
+
+    def install_signal_handlers(self, signals=(signal.SIGTERM, signal.SIGINT)) -> Dict:
+        """Route SIGTERM/SIGINT to the graceful drain; returns prior handlers."""
+        previous = {}
+        for sig in signals:
+            previous[sig] = signal.signal(sig, lambda *_: self.request_shutdown())
+        return previous

@@ -1,0 +1,40 @@
+"""Shared fixtures for the service tests: one warm in-process server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.datasets.registry import make_dataset
+from repro.queries.generator import query_set
+from repro.service import GraphCatalog, QueryService, ServiceClient, ServiceServer
+
+DATASET = "yeast"
+SCALE = 0.1
+SEED = 0
+DEFAULT_K = 5
+
+
+def tiny_graph():
+    """The deterministic graph the module server pins (rebuildable at will)."""
+    return make_dataset(DATASET, scale=SCALE, seed=SEED)
+
+
+def tiny_queries(count: int = 4, edges: int = 3, seed: int = 1):
+    return list(query_set(tiny_graph(), edges, count, seed=seed))
+
+
+@pytest.fixture(scope="module")
+def server():
+    """A running in-process server with one warm graph named ``tiny``."""
+    catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+    catalog.add_graph("tiny", tiny_graph(), source="fixture")
+    service = QueryService(catalog, max_in_flight=4, max_queue=8)
+    srv = ServiceServer(service, port=0).start()
+    yield srv
+    srv.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return ServiceClient(server.url, timeout=30.0)

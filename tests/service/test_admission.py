@@ -1,0 +1,110 @@
+"""Unit tests for the bounded admission controller."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.observability import MetricsRegistry
+from repro.service import AdmissionController
+
+
+class TestAcquireRelease:
+    def test_admits_up_to_capacity(self):
+        ctl = AdmissionController(max_in_flight=2, max_queue=0)
+        assert ctl.acquire() and ctl.acquire()
+        assert ctl.in_flight == 2
+
+    def test_rejects_beyond_capacity_with_empty_queue(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=0)
+        assert ctl.acquire()
+        assert not ctl.acquire()
+        assert ctl.rejected == 1
+
+    def test_release_reopens_slot(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=0)
+        assert ctl.acquire()
+        ctl.release()
+        assert ctl.acquire()
+
+    def test_release_without_acquire_raises(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=0)
+        with pytest.raises(RuntimeError):
+            ctl.release()
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_in_flight=0, max_queue=0)
+        with pytest.raises(ConfigError):
+            AdmissionController(max_in_flight=1, max_queue=-1)
+
+
+class TestQueueing:
+    def test_waiter_admitted_after_release(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=1)
+        assert ctl.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            assert ctl.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        # The waiter must be queued, not rejected.
+        for _ in range(1000):
+            if ctl.waiting == 1:
+                break
+            threading.Event().wait(0.001)
+        assert ctl.waiting == 1
+        assert not admitted.is_set()
+        ctl.release()
+        thread.join(timeout=5)
+        assert admitted.is_set()
+        assert ctl.in_flight == 1
+
+    def test_full_queue_rejects_immediately(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=1)
+        assert ctl.acquire()
+        blocker = threading.Thread(target=ctl.acquire, daemon=True)
+        blocker.start()
+        for _ in range(1000):
+            if ctl.waiting == 1:
+                break
+            threading.Event().wait(0.001)
+        # in_flight full, queue full -> third caller is turned away at once.
+        assert not ctl.acquire()
+        ctl.release()
+        blocker.join(timeout=5)
+
+    def test_wait_timeout_counts_as_rejection(self):
+        ctl = AdmissionController(max_in_flight=1, max_queue=1)
+        assert ctl.acquire()
+        assert not ctl.acquire(timeout=0.01)
+        assert ctl.rejected == 1
+        assert ctl.waiting == 0
+
+
+class TestIntrospection:
+    def test_gauges_track_occupancy(self):
+        registry = MetricsRegistry()
+        ctl = AdmissionController(max_in_flight=2, max_queue=2, metrics=registry)
+        ctl.acquire()
+        assert registry.gauge("service.in_flight").value == 1
+        ctl.release()
+        assert registry.gauge("service.in_flight").value == 0
+        assert registry.gauge("service.queue_depth").value == 0
+
+    def test_describe_snapshot(self):
+        ctl = AdmissionController(max_in_flight=3, max_queue=5)
+        ctl.acquire()
+        info = ctl.describe()
+        assert info == {
+            "max_in_flight": 3,
+            "max_queue": 5,
+            "in_flight": 1,
+            "queue_depth": 0,
+            "rejected_total": 0,
+        }

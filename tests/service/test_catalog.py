@@ -1,0 +1,150 @@
+"""Catalog tests: loading specs, warm sessions, and memo-correct answering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.exceptions import ConfigError, DatasetError
+from repro.graph.io import dump_edge_list, dump_json
+from repro.service import GraphCatalog, ServiceError, build_catalog
+from repro.service.catalog import CatalogEntry
+from tests.service.conftest import DEFAULT_K, tiny_graph, tiny_queries
+
+
+@pytest.fixture(scope="module")
+def entry():
+    catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+    return catalog.add_graph("tiny", tiny_graph())
+
+
+class TestCatalogPopulation:
+    def test_add_graph_and_lookup(self):
+        catalog = GraphCatalog()
+        catalog.add_graph("g", tiny_graph())
+        assert "g" in catalog
+        assert len(catalog) == 1
+        assert catalog.get("g").name == "g"
+
+    def test_unknown_graph_is_404(self):
+        catalog = GraphCatalog()
+        catalog.add_graph("g", tiny_graph())
+        with pytest.raises(ServiceError) as info:
+            catalog.get("nope")
+        assert (info.value.status, info.value.code) == (404, "unknown_graph")
+        assert "'g'" in info.value.message  # the body names what *is* loaded
+
+    def test_duplicate_and_empty_names_refused(self):
+        catalog = GraphCatalog()
+        catalog.add_graph("g", tiny_graph())
+        with pytest.raises(ConfigError):
+            catalog.add_graph("g", tiny_graph())
+        with pytest.raises(ConfigError):
+            catalog.add_graph("", tiny_graph())
+
+    def test_add_dataset_with_scale(self):
+        catalog = GraphCatalog(seed=0)
+        entry = catalog.add_dataset("yeast@0.1")
+        assert entry.source == "dataset:yeast@0.1"
+        reference = tiny_graph()
+        assert entry.graph.num_vertices == reference.num_vertices
+        assert entry.graph.num_edges == reference.num_edges
+
+    def test_bad_dataset_scale(self):
+        with pytest.raises(DatasetError):
+            GraphCatalog().add_dataset("yeast@huge")
+
+    def test_add_file_both_formats(self, tmp_path):
+        graph = tiny_graph()
+        edge_path = tmp_path / "g.txt"
+        json_path = tmp_path / "g.json"
+        dump_edge_list(graph, edge_path)
+        dump_json(graph, json_path)
+        catalog = GraphCatalog()
+        from_edges = catalog.add_file(f"edges={edge_path}")
+        from_json = catalog.add_file(f"json={json_path}")
+        for entry in (from_edges, from_json):
+            assert entry.graph.num_vertices == graph.num_vertices
+            assert entry.graph.num_edges == graph.num_edges
+
+    @pytest.mark.parametrize("spec", ["nopath", "=path", "name=", "name=/no/such/file"])
+    def test_bad_file_specs(self, spec):
+        with pytest.raises(DatasetError):
+            GraphCatalog().add_file(spec)
+
+    def test_build_catalog_reports_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        dump_edge_list(tiny_graph(), path)
+        catalog, lines = build_catalog(
+            datasets=["yeast@0.1"], graph_files=[f"extra={path}"]
+        )
+        assert catalog.names() == ["extra", "yeast"]
+        assert len(lines) == 2
+        assert all("|V|=" in line for line in lines)
+
+
+class TestSessions:
+    def test_default_session_pinned(self, entry):
+        assert entry.session() is entry.default_session
+        assert entry.session(entry.default_config) is entry.default_session
+
+    def test_override_sessions_cached(self, entry):
+        config = entry.request_config(k=3)
+        assert entry.session(config) is entry.session(config)
+        assert entry.session(config) is not entry.default_session
+
+    def test_session_lru_never_evicts_default(self):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        small = CatalogEntry(
+            "tiny", tiny_graph(), catalog.default_config, max_sessions=2
+        )
+        for k in (2, 3, 4):  # one more distinct config than the LRU holds
+            small.session(small.request_config(k=k))
+        assert small.describe()["sessions"] == 1 + 2
+        assert small.session() is small.default_session
+
+    def test_request_config_overrides(self, entry):
+        config = entry.request_config(k=3, alpha=0.25, time_budget_ms=500)
+        assert (config.k, config.alpha, config.time_budget_ms) == (3, 0.25, 500)
+        assert entry.request_config() is entry.default_config
+
+    def test_bad_override_is_400_invalid_config(self, entry):
+        with pytest.raises(ServiceError) as info:
+            entry.request_config(alpha=-1.0)
+        assert (info.value.status, info.value.code) == (400, "invalid_config")
+
+
+class TestAnswering:
+    def test_answers_match_direct_session(self, entry):
+        queries = tiny_queries(count=3)
+        reference = DSQL(tiny_graph(), config=entry.default_config)
+        for query in queries:
+            got = entry.answer(query)
+            want = reference.query(query)
+            assert got.embeddings == want.embeddings
+            assert got.coverage == want.coverage
+
+    def test_repeat_answer_is_memo_hit(self, entry):
+        query = tiny_queries(count=1, seed=7)[0]
+        first = entry.answer(query)
+        second = entry.answer(query)
+        assert not first.from_cache
+        assert second.from_cache
+        assert second.embeddings == first.embeddings
+
+    def test_override_config_does_not_share_memo(self, entry):
+        query = tiny_queries(count=1, seed=8)[0]
+        entry.answer(query)  # populate the default-config memo
+        other = entry.answer(query, entry.request_config(k=2))
+        assert not other.from_cache  # distinct session, distinct memo
+        assert other.k == 2
+
+    def test_answer_batch_matches_query_many(self, entry):
+        queries = tiny_queries(count=4, seed=9)
+        results, report = entry.answer_batch(queries, strategy="thread", jobs=2)
+        reference = DSQL(tiny_graph(), config=entry.default_config)
+        expected = reference.query_many(queries)
+        assert [r.embeddings for r in results] == [r.embeddings for r in expected]
+        assert report.strategy == "thread"
+        assert report.batch == len(queries)

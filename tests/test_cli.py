@@ -191,3 +191,53 @@ class TestExperimentCommand:
             main(["experiment", "table2", "--dataset", "yeast", "--jobs", "2"])
         with pytest.raises(SystemExit):
             main(["experiment", "fig9", "--dataset", "yeast", "--time-budget-ms", "5"])
+
+
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        from repro import __version__
+
+        assert __version__ in out
+
+    def test_module_invocation_prints_version(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[1]
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(root / "src"), "PATH": ""},
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("repro ")
+
+
+class TestServeCommand:
+    def test_serve_without_graphs_rejected(self):
+        with pytest.raises(SystemExit) as info:
+            main(["serve"])
+        assert info.value.code != 0
+
+    def test_bad_graph_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--graph", "no-equals-sign"])
+
+    def test_missing_graph_file_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--graph", "g=/no/such/file.txt"])
+
+    def test_bad_dataset_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--dataset", "yeast@huge"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--dataset", "not-a-dataset"])

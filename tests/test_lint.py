@@ -76,3 +76,37 @@ def test_doc_python_snippets_compile(doc: Path, tmp_path: Path):
             raise AssertionError(
                 f"{doc.name} python block #{i} does not compile:\n{block}\n{exc}"
             ) from None
+
+
+# ----------------------------------------------------------------------
+# Gate-coverage guards: the globs above are recursive/implicit, so a
+# rename could silently drop a tree from the gates. Pin the trees the
+# service PR added.
+# ----------------------------------------------------------------------
+def test_compile_gate_covers_service_package():
+    service_files = sorted((REPO / "src" / "repro" / "service").rglob("*.py"))
+    assert service_files, "service package missing from src/repro"
+    names = {p.name for p in service_files}
+    assert {"admission.py", "catalog.py", "client.py", "schemas.py", "server.py"} <= names
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    assert all(str(p) in gated for p in service_files)
+
+
+def test_docs_gate_covers_service_doc():
+    service_doc = REPO / "docs" / "service.md"
+    assert service_doc.exists(), "docs/service.md missing"
+    assert service_doc in DOC_FILES
+    # The doc must actually exercise the gate: at least one python block.
+    assert extract_python_blocks(service_doc.read_text(encoding="utf-8"))
+
+
+def test_service_tests_collected_from_testpaths():
+    tests_dir = REPO / "tests" / "service"
+    assert (tests_dir / "__init__.py").exists()
+    assert sorted(p.name for p in tests_dir.glob("test_*.py")) == [
+        "test_admission.py",
+        "test_catalog.py",
+        "test_concurrency.py",
+        "test_schemas.py",
+        "test_server.py",
+    ]
