@@ -86,6 +86,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="DSQL variant or baseline",
     )
     q.add_argument("--no-phase2", action="store_true", help="disable DSQL-P2")
+    _add_plan_flags(q)
     _add_executor_flags(q)
     _add_observability_flags(q)
 
@@ -131,6 +132,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint attached to 429 rejections",
     )
     v.add_argument("--seed", type=int, default=0, help="seed for dataset stand-in builds")
+    _add_plan_flags(v)
     _add_observability_flags(v)
 
     e = sub.add_parser("experiment", help="run one paper experiment")
@@ -145,9 +147,19 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("--edges", type=int, default=5)
     e.add_argument("--queries", type=int, default=10)
     e.add_argument("--seed", type=int, default=0)
+    _add_plan_flags(e)
     _add_executor_flags(e)
     _add_observability_flags(e)
     return parser
+
+
+def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="recompile the query plan per query instead of memoizing it "
+        "(escape hatch; see docs/performance.md)",
+    )
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -233,6 +245,7 @@ def _cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             args.k,
             run_phase2=not args.no_phase2,
             time_budget_ms=args.time_budget_ms,
+            plan_cache=not args.no_plan_cache,
         )
         summary = run_executor_batch(
             graph,
@@ -309,7 +322,11 @@ def _cmd_serve(
 
     if not args.dataset and not args.graph:
         parser.error("serve requires at least one --dataset or --graph")
-    config = DSQLConfig(k=args.k, time_budget_ms=args.time_budget_ms)
+    config = DSQLConfig(
+        k=args.k,
+        time_budget_ms=args.time_budget_ms,
+        plan_cache=not args.no_plan_cache,
+    )
     try:
         catalog, lines = build_catalog(
             datasets=args.dataset,
@@ -362,7 +379,11 @@ def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -
         )
     elif args.name == "table3":
         firstk = paper.table3_firstk(graph, queries, args.k)
-        config = DSQLConfig(k=args.k, time_budget_ms=args.time_budget_ms)
+        config = DSQLConfig(
+            k=args.k,
+            time_budget_ms=args.time_budget_ms,
+            plan_cache=not args.no_plan_cache,
+        )
         dsql = run_executor_batch(
             graph,
             queries,

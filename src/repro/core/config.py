@@ -79,6 +79,16 @@ class DSQLConfig:
         LRU cap on the :meth:`repro.core.dsql.DSQL.query_many` result memo
         (keyed by :meth:`QueryGraph.canonical_key`). ``None`` means
         unbounded, ``0`` disables memoization.
+    use_plans:
+        Compile a :class:`~repro.indexes.plans.QueryPlan` per query and run
+        the plan-driven engines (bitset/merge join kernels, precomputed
+        search order). Results are bit-identical to the plan-free path; the
+        toggle exists as an escape hatch and for the A/A benchmarks.
+    plan_cache:
+        Memoize compiled plans in the graph's shared
+        :class:`~repro.indexes.plans.PlanCache`. Off = recompile per query
+        (the ``--no-plan-cache`` CLI escape hatch); only meaningful when
+        ``use_plans`` is on.
     seed:
         Seed for the random candidate retention of Section 5.2. Fixed by
         default so runs are reproducible; set ``None`` for entropy.
@@ -98,6 +108,8 @@ class DSQLConfig:
     time_budget_ms: Optional[float] = None
     validate_results: bool = False
     query_cache_size: Optional[int] = 128
+    use_plans: bool = True
+    plan_cache: bool = True
     seed: Optional[int] = 0
 
     def __post_init__(self) -> None:

@@ -46,6 +46,7 @@ from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.graph.validation import validate_embedding
 from repro.indexes.candidates import CandidateIndex
+from repro.indexes.plans import compile_plan
 from repro.observability import (
     Instrumentation,
     get_default_instrumentation,
@@ -150,11 +151,21 @@ class DSQL:
         config = self.config
         graph = self.graph
         stats = SearchStats()
+        # Plan acquisition: memoized in the graph's shared PlanCache unless
+        # the --no-plan-cache escape hatch asked for a per-query recompile.
+        plan = None
+        if config.use_plans:
+            if config.plan_cache:
+                plan = self.index_cache.plan_cache.get_or_compile(query, self.index_cache)
+            else:
+                plan = compile_plan(query, self.index_cache)
         if instr is not None:
             with instr.span("candidate_build", query_id=query_id):
-                candidates = CandidateIndex(graph, query, cache=self.index_cache)
+                candidates = CandidateIndex(
+                    graph, query, cache=self.index_cache, plan=plan
+                )
         else:
-            candidates = CandidateIndex(graph, query, cache=self.index_cache)
+            candidates = CandidateIndex(graph, query, cache=self.index_cache, plan=plan)
         # The wall-clock deadline is anchored once and shared by both phases:
         # time_budget_ms bounds the whole query, not each phase.
         deadline = None
@@ -175,6 +186,7 @@ class DSQL:
                 deadline=deadline,
                 instrumentation=instr,
                 query_id=query_id,
+                plan=plan,
             )
         state = phase1.state
         k, q = config.k, query.size
@@ -221,6 +233,7 @@ class DSQL:
                     deadline=deadline,
                     instrumentation=instr,
                     query_id=query_id,
+                    plan=plan,
                 )
             embeddings = phase2.embeddings
             coverage = phase2.coverage

@@ -54,6 +54,17 @@ def tcand_snapshot(
     return {u: candidates.candidate_set(u) & covered for u in range(q)}
 
 
+def tcand_snapshot_scan(plan, covered: Set[int], q: int) -> Dict[int, Set[int]]:
+    """Plan-mode ``TcandS``: the same sets, from the plan's pool views.
+
+    Identical values to :func:`tcand_snapshot`, but intersecting against the
+    plan's memoized pool frozensets — no per-query ``candS(u)`` set view is
+    ever materialized, which keeps the lazy-set invariant of the plan-driven
+    engine while staying ``O(min(|pool|, |cover|))`` per node.
+    """
+    return {u: plan.pool_set(u) & covered for u in range(q)}
+
+
 def run_phase1(
     graph: LabeledGraph,
     query: QueryGraph,
@@ -63,6 +74,7 @@ def run_phase1(
     deadline: Optional[float] = None,
     instrumentation=None,
     query_id: Optional[int] = None,
+    plan=None,
 ) -> Phase1Output:
     """Execute DSQL-P1 and return the collected solution.
 
@@ -72,9 +84,12 @@ def run_phase1(
     derived from ``config.time_budget_ms`` (``None`` disables).
     ``instrumentation`` brackets every level (``phase1.level`` spans, the
     ``phase1.level_expansions`` histogram, ``on_level_start``) and reports
-    accepted embeddings through ``on_embedding_emitted``.
+    accepted embeddings through ``on_embedding_emitted``. ``plan`` is the
+    compiled :class:`~repro.indexes.plans.QueryPlan` when plans are enabled:
+    its precomputed selectivity ranking replaces the per-call
+    ``selectivity_order`` and the engine runs the kernel fast paths.
     """
-    qlist = selectivity_order(query, candidates)
+    qlist = list(plan.qlist) if plan is not None else selectivity_order(query, candidates)
     state = SolutionState()
     engine = LevelSearchEngine(
         graph,
@@ -86,6 +101,7 @@ def run_phase1(
         deadline=deadline,
         instrumentation=instrumentation,
         query_id=query_id,
+        plan=plan,
     )
     q = query.size
     instr = instrumentation
@@ -124,7 +140,10 @@ def run_phase1(
             try:
                 while True:
                     before = len(state)
-                    tcand = tcand_snapshot(candidates, state.covered, q)
+                    if plan is not None:
+                        tcand = tcand_snapshot_scan(plan, state.covered, q)
+                    else:
+                        tcand = tcand_snapshot(candidates, state.covered, q)
                     keep = engine.run_level(level, qlist, tcand, on_embedding)
                     if not keep:
                         return Phase1Output(

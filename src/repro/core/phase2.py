@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.config import DSQLConfig
-from repro.core.phase1 import Phase1Output, tcand_snapshot
+from repro.core.phase1 import Phase1Output, tcand_snapshot, tcand_snapshot_scan
 from repro.core.search import LevelSearchEngine
 from repro.core.state import SearchStats
 from repro.coverage.core import CoverageTracker
@@ -60,6 +60,7 @@ def run_phase2(
     deadline: Optional[float] = None,
     instrumentation=None,
     query_id: Optional[int] = None,
+    plan=None,
 ) -> Phase2Output:
     """Execute DSQL-P2 starting from the Phase-1 solution.
 
@@ -92,9 +93,13 @@ def run_phase2(
         deadline=deadline,
         instrumentation=instrumentation,
         query_id=query_id,
+        plan=plan,
     )
     # TcandS comes from T1 for the entire phase (Algorithm 5 line 5).
-    tcand = tcand_snapshot(candidates, set(t1_cover), q)
+    if plan is not None:
+        tcand = tcand_snapshot_scan(plan, set(t1_cover), q)
+    else:
+        tcand = tcand_snapshot(candidates, set(t1_cover), q)
 
     out = Phase2Output(
         embeddings=list(phase1.state.embeddings), coverage=tracker.coverage

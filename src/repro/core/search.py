@@ -91,6 +91,14 @@ class LevelSearchEngine:
         phases, so the disabled path adds no per-expansion work.
     query_id:
         Session-assigned id stamped onto this engine's trace events/hooks.
+    plan:
+        Optional compiled :class:`~repro.indexes.plans.QueryPlan`. When
+        given, candidate generation and the joinability test run through the
+        :mod:`repro.kernels` fast paths (sorted-slice intersection, bitset
+        AND over matched-neighbor adjacency masks). The plan changes *how*
+        the same candidate pools are computed, never which candidates are
+        iterated or in what order, so results — including budget/deadline
+        trip points — are bit-identical to the plan-free engine.
     """
 
     def __init__(
@@ -104,6 +112,7 @@ class LevelSearchEngine:
         deadline: Optional[float] = None,
         instrumentation=None,
         query_id: Optional[int] = None,
+        plan=None,
     ) -> None:
         self.graph = graph
         self.query = query
@@ -114,6 +123,8 @@ class LevelSearchEngine:
         self.deadline = deadline
         self.instrumentation = instrumentation
         self.query_id = query_id
+        self._plan = plan
+        self._cache = candidates.cache
         self.rng = random.Random(config.seed)
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
@@ -142,7 +153,10 @@ class LevelSearchEngine:
         """Generate all level-``level`` embeddings, feeding ``on_embedding``.
 
         ``tcand`` maps each query node to ``candS(u) ∩ V(T)`` for the
-        relevant solution snapshot. Returns ``False`` when the callback asked
+        relevant solution snapshot (see
+        :func:`~repro.core.phase1.tcand_snapshot` and its plan-mode twin
+        :func:`~repro.core.phase1.tcand_snapshot_scan`). Returns ``False``
+        when the callback asked
         to stop (k reached / early termination), ``True`` when the level was
         exhausted. Raises :class:`BudgetExceeded` if the node budget trips.
         """
@@ -166,19 +180,42 @@ class LevelSearchEngine:
     # Candidate generation (setCandidates, Section 5.1)
     # ------------------------------------------------------------------
     def _rcand(self, u: int, father: int, is_overlap: bool) -> List[int]:
-        """``Rcand`` for node ``u``: localized, then overlap-restricted."""
-        if (
+        """``Rcand`` for node ``u``: localized, then overlap-restricted.
+
+        Plan-free path: membership filters against the candidate *set* view
+        the index materializes per query. Plan path: the same intersection
+        against the plan's memoized pool sets — built once per cached plan
+        and shared across sessions, so repeated queries pay no per-query set
+        construction at all. Same vertices, same ascending order.
+        """
+        localized = (
             self.config.localized_search
             and father != NO_FATHER
             and self._assignment[father] != UNMATCHED
-        ):
+        )
+        if self._plan is not None:
+            stats = self.stats
+            if localized:
+                stats.kernel_merge += 1
+                pool = self._plan.pool_set(u)
+                base = [
+                    w
+                    for w in self.graph.neighbors(self._assignment[father])
+                    if w in pool
+                ]
+            else:
+                stats.kernel_scan += 1
+                base = list(self.candidates.candidates(u))
+            if is_overlap:
+                allowed = self._tcand[u]
+                return [v for v in base if v in allowed]
+            return base
+        if localized:
             vf = self._assignment[father]
             is_candidate = self.candidates.is_candidate
             # Neighbor rows are sorted tuples, so the filtered list stays
             # sorted without an explicit sort.
-            base: List[int] = [
-                w for w in self.graph.neighbors(vf) if is_candidate(u, w)
-            ]
+            base = [w for w in self.graph.neighbors(vf) if is_candidate(u, w)]
         else:
             base = list(self.candidates.candidates(u))
         if is_overlap:
@@ -222,6 +259,44 @@ class LevelSearchEngine:
             if v2 != UNMATCHED and not has_edge(v, v2):
                 return False
         return True
+
+    def _kernel_join_test(self, u: int) -> Optional[Callable[[int], object]]:
+        """A per-frame joinability predicate ``v -> bool-ish`` or ``None``.
+
+        Within one candidate loop at node ``u`` the set of already-assigned
+        query neighbors is invariant (deeper assignments unwind before the
+        next candidate is tried), so the bitset AND of their adjacency masks
+        can be folded **once per frame** instead of per candidate. Dispatch:
+
+        * no plan, or exactly one assigned neighbor — ``None``; the caller
+          keeps the scalar :meth:`_joinable` loop (one ``has_edge`` probe
+          beats a big-int bit test);
+        * zero assigned neighbors — injectivity is the whole test;
+        * two or more — one mask AND per frame, then a single
+          ``(mask >> v) & 1`` probe per candidate.
+        """
+        if self._plan is None:
+            return None
+        assignment = self._assignment
+        matched = [
+            assignment[u2]
+            for u2 in self.query.neighbors(u)
+            if assignment[u2] != UNMATCHED
+        ]
+        stats = self.stats
+        if len(matched) >= 2:
+            stats.kernel_bitset += 1
+            adj_mask = self._cache.adjacency_mask
+            mask = -1
+            for v2 in matched:
+                mask &= adj_mask(v2)
+            used = self._used
+            return lambda v: v not in used and (mask >> v) & 1
+        stats.kernel_scalar += 1
+        if matched:
+            return None
+        used = self._used
+        return lambda v: v not in used
 
     # ------------------------------------------------------------------
     # Conflict tables (Section 5.3)
@@ -289,12 +364,17 @@ class LevelSearchEngine:
         """Overlap node inside the multi regime: recurse per candidate."""
         assignment, used = self._assignment, self._used
         bad = self._bad[depth]
-        for v in self._rcand(u, father, is_overlap=True):
+        rcand = self._rcand(u, father, is_overlap=True)
+        kj = self._kernel_join_test(u)
+        for v in rcand:
             self._charge()
             if v in bad:
                 self.stats.bad_vertex_skips += 1
                 continue
-            if not self._joinable(u, v):
+            if kj is not None:
+                if not kj(v):
+                    continue
+            elif not self._joinable(u, v):
                 continue
             assignment[u] = v
             used.add(v)
@@ -319,14 +399,19 @@ class LevelSearchEngine:
         assignment, used = self._assignment, self._used
         matched = self.matched
         bad = self._bad[depth]
-        for v in self._rcand(u, father, is_overlap=False):
+        rcand = self._rcand(u, father, is_overlap=False)
+        kj = self._kernel_join_test(u)
+        for v in rcand:
             self._charge()
             if v in matched:
                 continue
             if v in bad:
                 self.stats.bad_vertex_skips += 1
                 continue
-            if not self._joinable(u, v):
+            if kj is not None:
+                if not kj(v):
+                    continue
+            elif not self._joinable(u, v):
                 continue
             assignment[u] = v
             used.add(v)
@@ -387,6 +472,7 @@ class LevelSearchEngine:
         assignment, used = self._assignment, self._used
         matched = self.matched
         bad = self._bad[depth]
+        kj = self._kernel_join_test(u)
         tried_valid = 0
         inherited: Set[int] = set()
         for v in rcand:
@@ -398,7 +484,10 @@ class LevelSearchEngine:
                 self.stats.bad_vertex_skips += 1
                 inherited |= mark
                 continue
-            if not self._joinable(u, v):
+            if kj is not None:
+                if not kj(v):
+                    continue
+            elif not self._joinable(u, v):
                 continue
             tried_valid += 1
             assignment[u] = v

@@ -33,6 +33,10 @@ class SearchStats:
     deadline_exhausted: bool = False
     query_cache_hits: int = 0
     query_cache_misses: int = 0
+    kernel_scan: int = 0
+    kernel_merge: int = 0
+    kernel_bitset: int = 0
+    kernel_scalar: int = 0
     per_level_added: Dict[int, int] = field(default_factory=dict)
 
     def record_added(self, level: int) -> None:
@@ -63,6 +67,10 @@ class SearchStats:
             "phase2_early_termination": self.phase2_early_termination,
             "budget_exhausted": self.budget_exhausted,
             "deadline_exhausted": self.deadline_exhausted,
+            "kernel_scan": self.kernel_scan,
+            "kernel_merge": self.kernel_merge,
+            "kernel_bitset": self.kernel_bitset,
+            "kernel_scalar": self.kernel_scalar,
             "per_level_added": dict(self.per_level_added),
         }
 

@@ -29,6 +29,20 @@ class QueryError(ReproError):
     """
 
 
+class InvalidQueryError(QueryError):
+    """Raised when a query graph is disconnected (or otherwise unsearchable).
+
+    Subclasses :class:`QueryError` so every existing handler — including the
+    service layer's 400 ``invalid_query`` mapping — already catches it; the
+    typed form additionally carries the offending :attr:`component` so
+    callers can report *which* nodes are unreachable from the search root.
+    """
+
+    def __init__(self, message: str, component=()):
+        super().__init__(message)
+        self.component = tuple(component)
+
+
 class ConfigError(ReproError):
     """Raised for invalid algorithm configuration values.
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Tuple
 
-from repro.exceptions import QueryError
+from repro.exceptions import InvalidQueryError, QueryError
 from repro.graph.labeled_graph import Edge, Label, LabeledGraph
 
 
@@ -52,9 +52,13 @@ class QueryGraph(LabeledGraph):
         if self.num_vertices == 0:
             raise QueryError("query graph must have at least one node")
         if not self.is_connected():
-            raise QueryError(
+            components = self.connected_components()
+            component = sorted(components[-1])
+            raise InvalidQueryError(
                 "query graph must be connected "
-                f"(found {len(self.connected_components())} components)"
+                f"(found {len(components)} components; nodes {component} "
+                "are separated from node 0)",
+                component=component,
             )
 
     @property
@@ -81,6 +85,11 @@ class QueryGraph(LabeledGraph):
 
         Two queries with the same node count, label table, and edge set get
         equal keys. This is *not* a canonical form under isomorphism; it is a
-        cheap identity for caching candidate sets per query object.
+        cheap identity for caching candidate sets per query object. Memoized
+        (graphs are immutable): warm cache lookups — result memo and plan
+        cache — cost one dict probe, not an edge sort.
         """
-        return (tuple(self.labels), self.edge_tuples())
+        key = getattr(self, "_canonical_key", None)
+        if key is None:
+            key = self._canonical_key = (tuple(self.labels), self.edge_tuples())
+        return key

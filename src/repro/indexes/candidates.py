@@ -10,26 +10,30 @@ u in V_Q based on these filters" — label, degree and neighborhood signature.
   keyed by filter profile ``(label, min_degree, signature_mask)``;
 * the **per-query part** (this class) is a cheap restriction: each query
   node's filter profile is computed from the query graph alone and resolved
-  against the cached pools.
+  against the cached pools — or taken straight from a compiled
+  :class:`~repro.indexes.plans.QueryPlan`, which has already resolved both.
 
 The search phases get the same derived views as before:
 
 * ``candS[u]`` as an ordered list (iteration order is deterministic);
-* membership tests (set form) for dynamic validity checks;
+* membership tests (set form) for dynamic validity checks — materialized
+  **lazily**, since plan-driven engines intersect sorted pools directly and
+  never need a set;
 * ``TcandS[u] = candS[u] & V(T)`` restriction used at each DSQL level.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.indexes.graph_cache import GraphIndexCache
+from repro.kernels import intersect_sorted
 
 
 class CandidateIndex:
-    """Per-query candidate sets with set and list views.
+    """Per-query candidate sets with list and (lazy) set views.
 
     Parameters
     ----------
@@ -42,6 +46,12 @@ class CandidateIndex:
     cache:
         The per-graph :class:`GraphIndexCache` to resolve pools against;
         defaults to the graph's pinned cache.
+    plan:
+        Optional compiled :class:`~repro.indexes.plans.QueryPlan` for this
+        (graph, query, filters) triple; when given, its resolved profiles
+        and pools are adopted directly instead of being recomputed. The
+        caller is responsible for key consistency (the plan must have been
+        compiled with the same filter toggles).
     """
 
     def __init__(
@@ -51,17 +61,24 @@ class CandidateIndex:
         use_degree_filter: bool = True,
         use_signature_filter: bool = True,
         cache: Optional[GraphIndexCache] = None,
+        plan=None,
     ) -> None:
         self.graph = graph
         self.query = query
         self.use_degree_filter = use_degree_filter
         self.use_signature_filter = use_signature_filter
         self.cache = cache if cache is not None else graph.index_cache()
+        self.set_views_built = 0
+        if plan is not None:
+            self._profiles = list(plan.profiles)
+            self._lists = list(plan.pools)
+            self._sets: List[Optional[Set[int]]] = [None] * query.size
+            return
         # Per-node full filter profile (label, query degree, signature mask);
         # mask is None when the query requires a label absent from the graph.
         self._profiles: List[Tuple[object, int, Optional[int]]] = []
         self._lists: List[Tuple[int, ...]] = []
-        self._sets: List[Set[int]] = []
+        self._sets = [None] * query.size
         c = self.cache
         for u in range(query.size):
             label = query.label(u)
@@ -77,15 +94,28 @@ class CandidateIndex:
                     signature_mask=mask if use_signature_filter else 0,
                 )
             self._lists.append(pool)
-            self._sets.append(set(pool))
 
     def candidates(self, u: int) -> Tuple[int, ...]:
         """``candS(u)`` in deterministic (label-index) order."""
         return self._lists[u]
 
+    def _set_view(self, u: int) -> Set[int]:
+        """The set form of ``candS(u)``, materialized on first use.
+
+        Plan-driven engines intersect the sorted list views instead, so a
+        whole query can run without building a single set;
+        :attr:`set_views_built` counts materializations for the regression
+        test that pins this.
+        """
+        s = self._sets[u]
+        if s is None:
+            s = self._sets[u] = set(self._lists[u])
+            self.set_views_built += 1
+        return s
+
     def candidate_set(self, u: int) -> Set[int]:
         """``candS(u)`` as a set for O(1) membership tests."""
-        return self._sets[u]
+        return self._set_view(u)
 
     def size(self, u: int) -> int:
         """``|candS(u)|`` — used by the qList selectivity ranking."""
@@ -101,7 +131,7 @@ class CandidateIndex:
         This is the *static* filter view; a vertex dropped by in-search
         refinement (Algorithm 4 line 10) is removed from the set too.
         """
-        return v in self._sets[u]
+        return v in self._set_view(u)
 
     def discard(self, u: int, v: int) -> None:
         """Remove a vertex that failed a dynamic re-check (Algorithm 4 l.10).
@@ -110,11 +140,20 @@ class CandidateIndex:
         original iteration order; the search consults :meth:`is_candidate`
         before using a listed vertex.
         """
-        self._sets[u].discard(v)
+        self._set_view(u).discard(v)
 
-    def restricted(self, u: int, allowed: Set[int]) -> List[int]:
-        """``candS(u)`` intersected with ``allowed`` (builds ``TcandS[u]``)."""
-        return [v for v in self._lists[u] if v in allowed]
+    def restricted(self, u: int, allowed) -> List[int]:
+        """``candS(u)`` intersected with ``allowed`` (builds ``TcandS[u]``).
+
+        ``allowed`` may be an ascending sequence (the kernel path: one
+        :func:`~repro.kernels.intersect_sorted` call) or any unordered
+        collection, which is sorted first. Either way the result preserves
+        the pool's ascending order, exactly like the seed's
+        filter-by-membership list.
+        """
+        if not isinstance(allowed, (list, tuple)):
+            allowed = sorted(allowed)
+        return intersect_sorted(self._lists[u], allowed)
 
     def any_empty(self) -> bool:
         """Whether some query node has no candidates (query is unsatisfiable)."""

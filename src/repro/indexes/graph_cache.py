@@ -23,6 +23,7 @@ restriction over these pools instead of a per-query full scan.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import OrderedDict
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
@@ -32,6 +33,18 @@ import numpy as np
 Label = Hashable
 
 DEFAULT_CANDIDATE_MEMO_SIZE = 2048
+
+DEFAULT_ADJACENCY_MEMO_SIZE = 4096
+"""Cap on memoized per-vertex neighbor bitsets (LRU eviction).
+
+A mask costs O(num_vertices / 8) bytes, so materializing one per vertex
+would be quadratic in graph size; in practice only the vertices matched to
+query nodes near the search root ever need a mask, and they repeat heavily
+across frames and queries.
+"""
+
+_EPOCHS = itertools.count()
+"""Process-wide monotonic epoch source for :attr:`GraphIndexCache.epoch`."""
 
 
 class GraphIndexCache:
@@ -57,11 +70,16 @@ class GraphIndexCache:
         "signature_masks",
         "candidate_memo_hits",
         "candidate_memo_misses",
+        "epoch",
+        "plan_cache",
         "_signatures",
         "_mask_signatures",
         "_pool_memo",
         "_pool_memo_size",
         "_pool_lock",
+        "_adj_masks",
+        "_adj_memo_size",
+        "_adj_lock",
         "_metrics",
     )
 
@@ -118,19 +136,41 @@ class GraphIndexCache:
         self.candidate_memo_misses = 0
         self._metrics = None
 
+        # Lazy per-vertex neighbor bitsets (big ints) for the join kernels.
+        self._adj_masks: "OrderedDict[int, int]" = OrderedDict()
+        self._adj_memo_size = DEFAULT_ADJACENCY_MEMO_SIZE
+        self._adj_lock = threading.Lock()
+
+        # Compiled query plans are keyed by (epoch, canonical query key,
+        # filter toggles); the epoch makes keys from different cache
+        # generations of the "same" graph distinguishable even if a plan
+        # cache instance were ever shared.
+        self.epoch = next(_EPOCHS)
+        # Late import: repro.indexes.plans reaches back through the
+        # isomorphism package (for the search-order construction), which
+        # imports this module — a top-level import here would cycle.
+        from repro.indexes.plans import PlanCache
+
+        self.plan_cache = PlanCache()
+
     # ------------------------------------------------------------------
     # Pickling: locks cannot cross process boundaries; a fresh lock is
     # equivalent because a just-unpickled cache has no concurrent users yet.
     # An attached metrics registry (which also holds locks) is session
     # state, not graph state, so it is dropped the same way.
     def __getstate__(self) -> dict:
-        skip = ("_pool_lock", "_metrics")
+        # The adjacency-mask memo is also dropped: it is a pure cache of big
+        # ints that rebuilds lazily, and shipping megabytes of masks to a
+        # worker is worse than recomputing the few it touches.
+        skip = ("_pool_lock", "_adj_lock", "_adj_masks", "_metrics")
         return {s: getattr(self, s) for s in self.__slots__ if s not in skip}
 
     def __setstate__(self, state: dict) -> None:
         for name, value in state.items():
             setattr(self, name, value)
         self._pool_lock = threading.Lock()
+        self._adj_lock = threading.Lock()
+        self._adj_masks = OrderedDict()
         self._metrics = None
 
     # ------------------------------------------------------------------
@@ -142,9 +182,11 @@ class GraphIndexCache:
         :class:`~repro.observability.MetricsRegistry` (``cache.pool.hit`` /
         ``cache.pool.miss``). Passing ``None`` detaches. The plain integer
         counters (:attr:`candidate_memo_hits`/``misses``) keep counting
-        either way.
+        either way. The hosted :attr:`plan_cache` is attached alongside
+        (``plan.cache.hits`` / ``plan.cache.misses``).
         """
         self._metrics = registry
+        self.plan_cache.attach_metrics(registry)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -232,6 +274,41 @@ class GraphIndexCache:
         if min_degree:
             return tuple(v for v in base if degrees[v] >= min_degree)
         return base
+
+    # ------------------------------------------------------------------
+    # Adjacency views for the join kernels
+    # ------------------------------------------------------------------
+    def adjacency_slice(self, v: int) -> Tuple[int, ...]:
+        """The sorted adjacency row of ``v`` (ascending vertex ids).
+
+        This is the backend's own sorted tuple — CSR rows and set-backend
+        rows alike — surfaced here so kernel call sites depend on one
+        accessor with a documented ordering guarantee.
+        """
+        return self.graph.neighbors(v)
+
+    def adjacency_mask(self, v: int) -> int:
+        """The neighbor bitset of ``v``: bit ``w`` set iff ``(v, w)`` is an edge.
+
+        Built lazily per vertex and memoized behind a bounded LRU
+        (:data:`DEFAULT_ADJACENCY_MEMO_SIZE`): a mask is O(|V|/8) bytes, so
+        the full table would be quadratic, while the search only ever masks
+        the vertices currently matched near the root of a frame.
+        """
+        memo = self._adj_masks
+        with self._adj_lock:
+            mask = memo.get(v)
+            if mask is not None:
+                memo.move_to_end(v)
+                return mask
+        mask = 0
+        for w in self.graph.neighbors(v):
+            mask |= 1 << w
+        with self._adj_lock:
+            memo[v] = mask
+            if len(memo) > self._adj_memo_size:
+                memo.popitem(last=False)
+        return mask
 
     # ------------------------------------------------------------------
     def memo_info(self) -> Dict[str, int]:

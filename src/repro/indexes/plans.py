@@ -1,0 +1,303 @@
+"""Compiled query plans and the per-graph plan cache.
+
+TurboISO-family search orders are stable per ``(graph, query, filters)``:
+the selectivity ranking, the connectivity-aware search order, the per-depth
+matched-neighbor lists, and the filter profiles all depend only on inputs
+that do not change between repeated queries — yet the seed engines recompute
+every one of them per ``query()`` call. :class:`QueryPlan` captures that
+work once; :class:`PlanCache` memoizes plans behind a bounded LRU keyed by
+``(graph epoch, query canonical key, filter toggles)`` and lives on the
+shared :class:`~repro.indexes.graph_cache.GraphIndexCache`, so DSQL
+sessions, the :class:`~repro.parallel.executor.BatchExecutor`, and the
+service catalog all share compiled plans exactly the way they already share
+candidate pools.
+
+The plan also records a **kernel choice per search depth** (see
+:mod:`repro.kernels` and ``docs/performance.md``): depths with no matched
+backward neighbor scan their pool; depths with one use the sorted-slice
+merge kernel; depths with two or more matched neighbors and a pool large
+enough to amortize the mask work use the bitset kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.kernels import (
+    BITSET,
+    BITSET_MIN_POOL,
+    MERGE,
+    SCAN,
+    bitset_members,
+    bitset_of,
+    intersect_sorted,
+    joinable_kernel,
+)
+
+DEFAULT_PLAN_CACHE_SIZE = 128
+"""LRU cap on memoized plans per graph (each plan is a few tuples)."""
+
+
+class QueryPlan:
+    """Everything per-(graph, query) the engines would otherwise recompute.
+
+    Attributes
+    ----------
+    key:
+        The cache key this plan was compiled under.
+    qlist:
+        The selectivity ranking (Section 4's ``qList``), ascending score.
+    order:
+        The connectivity-aware search order derived from ``qlist``.
+    backward:
+        Per search depth, the query neighbors of ``order[depth]`` already
+        matched when that depth is reached.
+    profiles:
+        Per query node, the full filter profile ``(label, query_degree,
+        signature_mask)`` — ``mask is None`` when the query needs a label
+        absent from the graph.
+    pools:
+        Per query node, the resolved candidate pool (ascending tuple).
+    kernels:
+        Per search depth, the chosen expansion kernel kind
+        (:data:`~repro.kernels.SCAN` / :data:`~repro.kernels.MERGE` /
+        :data:`~repro.kernels.BITSET`).
+    """
+
+    __slots__ = (
+        "key",
+        "qlist",
+        "order",
+        "backward",
+        "profiles",
+        "pools",
+        "kernels",
+        "_cand_masks",
+        "_pool_sets",
+    )
+
+    def __init__(self, key, qlist, order, backward, profiles, pools, kernels):
+        self.key = key
+        self.qlist: Tuple[int, ...] = tuple(qlist)
+        self.order: Tuple[int, ...] = tuple(order)
+        self.backward: Tuple[Tuple[int, ...], ...] = tuple(tuple(b) for b in backward)
+        self.profiles = tuple(profiles)
+        self.pools: Tuple[Tuple[int, ...], ...] = tuple(pools)
+        self.kernels: Tuple[str, ...] = tuple(kernels)
+        self._cand_masks: List[Optional[int]] = [None] * len(self.pools)
+        self._pool_sets: List[Optional[frozenset]] = [None] * len(self.pools)
+
+    def pool(self, u: int) -> Tuple[int, ...]:
+        """``candS(u)`` under this plan's filter toggles (ascending)."""
+        return self.pools[u]
+
+    def pool_set(self, u: int) -> frozenset:
+        """Frozenset view of ``pool(u)``, built lazily and memoized.
+
+        Unlike the per-query set views :class:`CandidateIndex` used to
+        materialize, these live on the plan — one build amortized across
+        every session and repeated query sharing the cached plan. Benign
+        under races (equal values; last store wins).
+        """
+        view = self._pool_sets[u]
+        if view is None:
+            view = frozenset(self.pools[u])
+            self._pool_sets[u] = view
+        return view
+
+    def cand_mask(self, u: int) -> int:
+        """Bitset form of ``pool(u)``, built lazily and memoized.
+
+        Benign under races: two threads may both build the same mask; the
+        last store wins and both values are equal.
+        """
+        mask = self._cand_masks[u]
+        if mask is None:
+            mask = bitset_of(self.pools[u])
+            self._cand_masks[u] = mask
+        return mask
+
+    def __getstate__(self):
+        lazies = ("_cand_masks", "_pool_sets")
+        return {s: getattr(self, s) for s in self.__slots__ if s not in lazies}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._cand_masks = [None] * len(self.pools)
+        self._pool_sets = [None] * len(self.pools)
+
+
+def plan_key(cache, query, use_degree_filter: bool, use_signature_filter: bool):
+    """The memo key: graph epoch + canonical query structure + filters."""
+    return (cache.epoch, query.canonical_key(), use_degree_filter, use_signature_filter)
+
+
+def compile_plan(
+    query,
+    cache,
+    use_degree_filter: bool = True,
+    use_signature_filter: bool = True,
+) -> QueryPlan:
+    """Compile a :class:`QueryPlan` against a graph's index cache.
+
+    Reproduces the seed's per-query preprocessing exactly — same pools,
+    same selectivity scores and tie-breaks, same connectivity-aware order —
+    so plan-driven engines are bit-identical to plan-free ones. Raises
+    :class:`~repro.exceptions.InvalidQueryError` on disconnected queries
+    (via the search-order construction).
+    """
+    # Late import: the isomorphism package imports repro.indexes.candidates,
+    # which imports graph_cache, which lazily imports this module.
+    from repro.isomorphism.qsearch import connected_search_order
+
+    q = query.size
+    profiles = []
+    pools: List[Tuple[int, ...]] = []
+    for u in range(q):
+        label = query.label(u)
+        qdeg = query.degree(u)
+        mask = cache.mask_for(query.neighborhood_signature(u))
+        profiles.append((label, qdeg, mask))
+        if use_signature_filter and mask is None:
+            pool: Tuple[int, ...] = ()
+        else:
+            pool = cache.candidate_pool(
+                label,
+                min_degree=qdeg if use_degree_filter else 0,
+                signature_mask=mask if use_signature_filter else 0,
+            )
+        pools.append(pool)
+
+    # Selectivity ranking: |candS(u)| / degree(u), ties by node id
+    # (matches repro.queries.ordering.selectivity_order).
+    def score(u: int) -> float:
+        deg = query.degree(u)
+        return len(pools[u]) / deg if deg else float(len(pools[u]))
+
+    qlist = sorted(range(q), key=lambda u: (score(u), u))
+    order = connected_search_order(query, qlist)
+    position = {u: i for i, u in enumerate(order)}
+    backward = [
+        tuple(w for w in query.neighbors(u) if position[w] < position[u]) for u in order
+    ]
+    kernels = []
+    for depth, u in enumerate(order):
+        if not backward[depth]:
+            kernels.append(SCAN)
+        elif len(backward[depth]) >= 2 and len(pools[u]) >= BITSET_MIN_POOL:
+            kernels.append(BITSET)
+        else:
+            kernels.append(MERGE)
+    key = plan_key(cache, query, use_degree_filter, use_signature_filter)
+    return QueryPlan(key, qlist, order, backward, profiles, pools, kernels)
+
+
+def expand_pool(plan: QueryPlan, depth: int, assignment, cache):
+    """Candidate pool at ``depth`` via the plan's chosen kernel.
+
+    Returns ``(kind, pool)`` where ``pool`` is the ascending candidate list —
+    the same vertices in the same order as the seed engines' set-intersection
+    path (``sorted(∩ neighbor rows)`` filtered by candidate membership), so
+    plan-driven enumeration is bit-identical. ``assignment`` maps query nodes
+    to matched data vertices; every backward neighbor at ``depth`` must
+    already be assigned.
+    """
+    u = plan.order[depth]
+    kind = plan.kernels[depth]
+    if kind == SCAN:
+        return kind, list(plan.pool(u))
+    backward = plan.backward[depth]
+    if kind == BITSET:
+        mask = joinable_kernel(cache.adjacency_mask(assignment[w]) for w in backward)
+        return kind, bitset_members(mask & plan.cand_mask(u))
+    rows = sorted((cache.adjacency_slice(assignment[w]) for w in backward), key=len)
+    out = rows[0]
+    for row in rows[1:]:
+        out = intersect_sorted(out, row)
+        if not out:
+            return kind, []
+    return kind, intersect_sorted(out, plan.pool(u))
+
+
+class PlanCache:
+    """Bounded LRU of compiled plans, shared per graph.
+
+    Mirrors the candidate-pool memo's concurrency pattern: lookups and
+    stores are serialized under one lock, compilation happens outside it
+    (two racing threads may both compile; the second store wins with an
+    equal plan). Plain :attr:`hits`/:attr:`misses` counters always count;
+    :meth:`attach_metrics` additionally mirrors them into a session
+    metrics registry as ``plan.cache.hits`` / ``plan.cache.misses``.
+    """
+
+    __slots__ = ("_memo", "_size", "_lock", "hits", "misses", "_metrics")
+
+    def __init__(self, size: Optional[int] = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        self._memo: "OrderedDict[tuple, QueryPlan]" = OrderedDict()
+        self._size = size
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self._metrics = None
+
+    def attach_metrics(self, registry) -> None:
+        """Mirror hits/misses into ``registry`` from now on (None detaches)."""
+        self._metrics = registry
+
+    def get_or_compile(
+        self,
+        query,
+        cache,
+        use_degree_filter: bool = True,
+        use_signature_filter: bool = True,
+    ) -> QueryPlan:
+        """The memoized plan for ``(cache, query, filters)``, compiling on miss."""
+        key = plan_key(cache, query, use_degree_filter, use_signature_filter)
+        memo = self._memo
+        metrics = self._metrics
+        with self._lock:
+            plan = memo.get(key)
+            if plan is not None:
+                self.hits += 1
+                if metrics is not None:
+                    metrics.counter("plan.cache.hits").inc()
+                memo.move_to_end(key)
+                return plan
+            self.misses += 1
+            if metrics is not None:
+                metrics.counter("plan.cache.misses").inc()
+        plan = compile_plan(
+            query,
+            cache,
+            use_degree_filter=use_degree_filter,
+            use_signature_filter=use_signature_filter,
+        )
+        with self._lock:
+            memo[key] = plan
+            if self._size is not None and len(memo) > self._size:
+                memo.popitem(last=False)
+        return plan
+
+    def clear(self) -> None:
+        """Drop every memoized plan (used by the cold-path benchmarks)."""
+        with self._lock:
+            self._memo.clear()
+
+    def info(self) -> Dict[str, int]:
+        """Hit/miss/size counters for the plan memo."""
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._memo)}
+
+    # Locks cannot cross process boundaries; an attached registry is
+    # session state. Same rules as GraphIndexCache.
+    def __getstate__(self) -> dict:
+        skip = ("_lock", "_metrics")
+        return {s: getattr(self, s) for s in self.__slots__ if s not in skip}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._lock = threading.Lock()
+        self._metrics = None

@@ -26,9 +26,11 @@ from repro.exceptions import BudgetExceeded, DeadlineExceeded
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.indexes.candidates import CandidateIndex
+from repro.indexes.plans import expand_pool
 from repro.isomorphism.joinable import UNMATCHED
 from repro.isomorphism.match import Mapping
 from repro.isomorphism.qsearch import connected_search_order
+from repro.kernels import KERNEL_KINDS
 from repro.queries.ordering import selectivity_order
 
 
@@ -51,10 +53,11 @@ class OptimizedQSearchEngine:
         bad_vertex_skipping: bool = True,
         instrumentation=None,
         query_id: Optional[int] = None,
+        plan=None,
     ) -> None:
         self.graph = graph
         self.query = query
-        self.candidates = candidates or CandidateIndex(graph, query)
+        self.candidates = candidates or CandidateIndex(graph, query, plan=plan)
         self.node_budget = node_budget
         self.time_budget_ms = time_budget_ms
         # Anchored at construction: the deadline caps the whole enumeration,
@@ -77,13 +80,19 @@ class OptimizedQSearchEngine:
         self.bad_vertex_skips = 0
         self.budget_exhausted = False
         self.deadline_exhausted = False
-        qlist = selectivity_order(query, self.candidates)
-        self.order = connected_search_order(query, qlist)
-        position = {u: i for i, u in enumerate(self.order)}
-        self._backward: List[List[int]] = [
-            [w for w in query.neighbors(u) if position[w] < position[u]]
-            for u in self.order
-        ]
+        self._plan = plan
+        self.kernel_dispatch: Dict[str, int] = dict.fromkeys(KERNEL_KINDS, 0)
+        if plan is not None:
+            self.order = list(plan.order)
+            self._backward: List[List[int]] = [list(b) for b in plan.backward]
+        else:
+            qlist = selectivity_order(query, self.candidates)
+            self.order = connected_search_order(query, qlist)
+            position = {u: i for i, u in enumerate(self.order)}
+            self._backward = [
+                [w for w in query.neighbors(u) if position[w] < position[u]]
+                for u in self.order
+            ]
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
         self._used: Set[int] = set()
@@ -122,6 +131,9 @@ class OptimizedQSearchEngine:
             metrics.counter("prune.conflict_skip").inc(self.conflict_skips)
         if self.bad_vertex_skips:
             metrics.counter("prune.bad_vertex_skip").inc(self.bad_vertex_skips)
+        for kind, count in self.kernel_dispatch.items():
+            if count:
+                metrics.counter(f"kernel.dispatch.{kind}").inc(count)
         if instr.tracer is not None:
             instr.tracer.emit_span(
                 "sq.enumerate",
@@ -157,6 +169,12 @@ class OptimizedQSearchEngine:
                     )
 
     def _pool(self, depth: int) -> List[int]:
+        if self._plan is not None:
+            kind, pool = expand_pool(
+                self._plan, depth, self._assignment, self.candidates.cache
+            )
+            self.kernel_dispatch[kind] += 1
+            return pool
         u = self.order[depth]
         backward = self._backward[depth]
         if not backward:

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Set
 
-from repro.exceptions import BudgetExceeded
+from repro.exceptions import BudgetExceeded, InvalidQueryError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.indexes.candidates import CandidateIndex
+from repro.indexes.plans import expand_pool
 from repro.isomorphism.joinable import UNMATCHED
 from repro.isomorphism.match import Mapping, distinct_by_vertex_set
+from repro.kernels import KERNEL_KINDS
 from repro.queries.ordering import selectivity_order
 
 
@@ -47,7 +49,17 @@ def connected_search_order(query: QueryGraph, qlist: Sequence[int]) -> List[int]
     placed = {qlist[0]}
     frontier: Set[int] = set(query.neighbors(qlist[0]))
     while len(order) < query.size:
-        best = min(frontier - placed, key=lambda u: ranks[u])
+        reachable = frontier - placed
+        if not reachable:
+            # The query is disconnected: every remaining node is unreachable
+            # from the search root, so no connectivity-aware order exists.
+            component = sorted(set(range(query.size)) - placed)
+            raise InvalidQueryError(
+                "query graph is disconnected: nodes "
+                f"{component} are unreachable from node {qlist[0]}",
+                component=component,
+            )
+        best = min(reachable, key=lambda u: ranks[u])
         order.append(best)
         placed.add(best)
         frontier.update(query.neighbors(best))
@@ -67,6 +79,12 @@ class QSearchEngine:
         Maximum number of candidate expansions before enumeration stops. The
         engine raises :class:`BudgetExceeded` internally and converts it to a
         clean stop; :attr:`budget_exhausted` records whether it tripped.
+    plan:
+        Optional compiled :class:`~repro.indexes.plans.QueryPlan` (default
+        filter toggles). Supplies the precomputed search order and drives
+        candidate expansion through the :mod:`repro.kernels` fast paths;
+        the enumerated embedding stream is bit-identical either way.
+        Per-kind dispatch counts accumulate in :attr:`kernel_dispatch`.
     """
 
     def __init__(
@@ -75,19 +93,26 @@ class QSearchEngine:
         query: QueryGraph,
         candidates: Optional[CandidateIndex] = None,
         node_budget: Optional[int] = None,
+        plan=None,
     ) -> None:
         self.graph = graph
         self.query = query
-        self.candidates = candidates or CandidateIndex(graph, query)
+        self.candidates = candidates or CandidateIndex(graph, query, plan=plan)
         self.node_budget = node_budget
         self.nodes_expanded = 0
         self.budget_exhausted = False
+        self._plan = plan
+        self.kernel_dispatch: dict = dict.fromkeys(KERNEL_KINDS, 0)
+        if plan is not None:
+            self.order = list(plan.order)
+            self._backward: List[List[int]] = [list(b) for b in plan.backward]
+            return
         qlist = selectivity_order(query, self.candidates)
         self.order = connected_search_order(query, qlist)
         # Pre-split query adjacency into backward (already matched when the
         # node is reached) and forward neighbors, per search position.
         position = {u: i for i, u in enumerate(self.order)}
-        self._backward: List[List[int]] = [
+        self._backward = [
             [w for w in query.neighbors(u) if position[w] < position[u]]
             for u in self.order
         ]
@@ -111,6 +136,13 @@ class QSearchEngine:
 
     def _candidate_pool(self, depth: int, assignment: List[int]) -> Iterator[int]:
         """Candidates for the node at ``depth`` under the current assignment."""
+        if self._plan is not None:
+            kind, pool = expand_pool(
+                self._plan, depth, assignment, self.candidates.cache
+            )
+            self.kernel_dispatch[kind] += 1
+            yield from pool
+            return
         u = self.order[depth]
         backward = self._backward[depth]
         if not backward:

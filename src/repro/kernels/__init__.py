@@ -1,0 +1,44 @@
+"""Join kernels for the enumeration hot path.
+
+Every embedding the engines emit is paid for in two inner loops: the
+per-candidate ``has_edge`` probe loop of the joinable test and the
+per-level list/set intersections that build candidate pools (``Rcand``,
+``TcandS``). This package rewrites both as *adjacency intersections* —
+the formulation of the paper's localized search (Section 5.1) — with three
+kernels that all emit vertices in ascending id order, so swapping them in
+for the scalar paths changes nothing observable (the bit-identity contract
+pinned by ``tests/property/test_plan_equivalence.py``).
+
+See ``docs/performance.md`` for the selection heuristic and the measured
+speedups (``benchmarks/bench_join_kernels.py`` / ``BENCH_join.json``).
+"""
+
+from repro.kernels.join import (
+    BITSET,
+    BITSET_MIN_POOL,
+    GALLOP_RATIO,
+    KERNEL_KINDS,
+    MERGE,
+    SCALAR,
+    SCAN,
+    bitset_and_members,
+    bitset_members,
+    bitset_of,
+    intersect_sorted,
+    joinable_kernel,
+)
+
+__all__ = [
+    "BITSET",
+    "BITSET_MIN_POOL",
+    "GALLOP_RATIO",
+    "KERNEL_KINDS",
+    "MERGE",
+    "SCALAR",
+    "SCAN",
+    "bitset_and_members",
+    "bitset_members",
+    "bitset_of",
+    "intersect_sorted",
+    "joinable_kernel",
+]

@@ -250,6 +250,10 @@ _STATS_COUNTERS: Tuple[Tuple[str, str], ...] = (
     ("candidate_cap_hits", "prune.candidate_cap"),
     ("embeddings_generated_phase2", "phase2.generated"),
     ("phase2_swaps", "phase2.swap_accept"),
+    ("kernel_scan", "kernel.dispatch.scan"),
+    ("kernel_merge", "kernel.dispatch.merge"),
+    ("kernel_bitset", "kernel.dispatch.bitset"),
+    ("kernel_scalar", "kernel.dispatch.scalar"),
 )
 """``SearchStats`` field -> metric name (see docs/observability.md)."""
 

@@ -180,6 +180,7 @@ class CatalogEntry:
             "labels": len(self.index_cache.label_table),
             "sessions": 1 + extra_sessions,
             "default_k": self.default_config.k,
+            "plan_cache": self.index_cache.plan_cache.info(),
         }
 
 

@@ -1,0 +1,63 @@
+"""Typed rejection of disconnected queries (InvalidQueryError)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidQueryError, QueryError, ReproError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.isomorphism.qsearch import connected_search_order
+
+
+class _RawQuery:
+    """Query-shaped view of a plain graph, bypassing QueryGraph validation."""
+
+    def __init__(self, graph: LabeledGraph) -> None:
+        self._graph = graph
+
+    @property
+    def size(self) -> int:
+        return self._graph.num_vertices
+
+    def neighbors(self, u: int):
+        return self._graph.neighbors(u)
+
+
+def test_query_graph_rejects_disconnected_with_component():
+    with pytest.raises(InvalidQueryError) as info:
+        QueryGraph(["A", "B", "C"], [(0, 1)])
+    err = info.value
+    assert err.component == (2,)
+    assert "connected" in str(err)
+    assert "[2]" in str(err)
+
+
+def test_invalid_query_error_is_a_query_error():
+    # The service layer maps QueryError -> HTTP 400; the subclass rides along.
+    assert issubclass(InvalidQueryError, QueryError)
+    assert issubclass(InvalidQueryError, ReproError)
+
+
+def test_connected_search_order_rejects_disconnected_with_component():
+    raw = _RawQuery(LabeledGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)]))
+    with pytest.raises(InvalidQueryError) as info:
+        connected_search_order(raw, [0, 1, 2, 3])
+    err = info.value
+    assert err.component == (2, 3)
+    assert "unreachable" in str(err)
+    assert "[2, 3]" in str(err)
+
+
+def test_connected_search_order_component_follows_root():
+    raw = _RawQuery(LabeledGraph(["A", "B", "C", "D"], [(0, 1), (2, 3)]))
+    with pytest.raises(InvalidQueryError) as info:
+        connected_search_order(raw, [2, 3, 0, 1])
+    assert info.value.component == (0, 1)
+
+
+def test_connected_query_still_ordered():
+    query = QueryGraph(["A", "B", "C"], [(0, 1), (1, 2)])
+    order = connected_search_order(query, [0, 1, 2])
+    assert sorted(order) == [0, 1, 2]
+    assert order[0] == 0

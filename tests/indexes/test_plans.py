@@ -1,0 +1,179 @@
+"""Compiled query plans and the per-graph PlanCache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.registry import make_dataset
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.candidates import CandidateIndex
+from repro.indexes.graph_cache import GraphIndexCache
+from repro.indexes.plans import PlanCache, compile_plan, plan_key
+from repro.isomorphism.qsearch import connected_search_order
+from repro.kernels import KERNEL_KINDS, SCAN
+from repro.observability.metrics import MetricsRegistry
+from repro.queries.generator import query_set
+from repro.queries.ordering import selectivity_order
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return make_dataset("dblp", scale=0.001, seed=7)
+
+
+@pytest.fixture(scope="module")
+def queries(graph):
+    return list(query_set(graph, 3, 4, seed=11))
+
+
+def test_compile_plan_matches_seed_preprocessing(graph, queries):
+    """Plan order/pools must equal what the engines compute per call."""
+    cache = graph.index_cache()
+    for query in queries:
+        plan = compile_plan(query, cache)
+        candidates = CandidateIndex(graph, query, cache=cache)
+        assert list(plan.qlist) == selectivity_order(query, candidates)
+        assert list(plan.order) == connected_search_order(query, list(plan.qlist))
+        assert [list(p) for p in plan.pools] == [
+            list(candidates.candidates(u)) for u in range(query.size)
+        ]
+        position = {u: i for i, u in enumerate(plan.order)}
+        for depth, u in enumerate(plan.order):
+            assert sorted(plan.backward[depth]) == sorted(
+                w for w in query.neighbors(u) if position[w] < position[u]
+            )
+            assert plan.kernels[depth] in KERNEL_KINDS
+        # The root depth has no matched neighbor: always a pool scan.
+        assert plan.kernels[0] == SCAN
+
+
+def test_plan_cache_hits_and_misses(graph, queries):
+    cache = GraphIndexCache(graph)
+    pc = cache.plan_cache
+    p1 = pc.get_or_compile(queries[0], cache)
+    p2 = pc.get_or_compile(queries[0], cache)
+    assert p1 is p2
+    assert pc.info() == {"hits": 1, "misses": 1, "size": 1}
+    pc.get_or_compile(queries[1], cache)
+    assert pc.info()["misses"] == 2
+
+
+def test_plan_key_distinguishes_cache_epochs(graph, queries):
+    c1, c2 = GraphIndexCache(graph), GraphIndexCache(graph)
+    assert c1.epoch != c2.epoch
+    assert plan_key(c1, queries[0], True, True) != plan_key(c2, queries[0], True, True)
+    # Filter toggles are part of the key too.
+    assert plan_key(c1, queries[0], True, True) != plan_key(c1, queries[0], False, True)
+
+
+def test_plan_cache_lru_eviction(graph, queries):
+    cache = graph.index_cache()
+    pc = PlanCache(size=2)
+    for query in queries[:3]:
+        pc.get_or_compile(query, cache)
+    assert pc.info()["size"] == 2
+    # The oldest entry was evicted: asking for it again recompiles.
+    pc.get_or_compile(queries[0], cache)
+    assert pc.info()["misses"] == 4
+
+
+def test_plan_cache_metrics_mirroring(graph, queries):
+    cache = GraphIndexCache(graph)
+    registry = MetricsRegistry()
+    cache.attach_metrics(registry)
+    pc = cache.plan_cache
+    pc.get_or_compile(queries[0], cache)
+    pc.get_or_compile(queries[0], cache)
+    snap = registry.snapshot()
+    assert snap["plan.cache.misses"] == 1
+    assert snap["plan.cache.hits"] == 1
+
+
+def test_plan_cache_pickle_roundtrip(graph, queries):
+    cache = graph.index_cache()
+    pc = PlanCache()
+    plan = pc.get_or_compile(queries[0], cache)
+    mask = plan.cand_mask(0)
+    clone = pickle.loads(pickle.dumps(pc))
+    replayed = clone.get_or_compile(queries[0], cache)
+    assert replayed.key == plan.key
+    assert clone.info()["hits"] == pc.info()["hits"] + 1
+    # Lazy cand-mask memo is rebuilt, not shipped.
+    assert replayed.cand_mask(0) == mask
+
+
+def test_plan_cache_clear(graph, queries):
+    cache = graph.index_cache()
+    pc = PlanCache()
+    pc.get_or_compile(queries[0], cache)
+    pc.clear()
+    assert pc.info()["size"] == 0
+
+
+def test_session_shares_plan_cache_through_index_cache(graph, queries):
+    config = DSQLConfig(k=2, node_budget=50_000)
+    s1 = DSQL(graph, config=config)
+    s2 = DSQL(graph, config=config)
+    assert s1.index_cache.plan_cache is s2.index_cache.plan_cache
+    before = s1.index_cache.plan_cache.info()["misses"]
+    s1.query(queries[0])
+    s2.query(queries[0])
+    info = s1.index_cache.plan_cache.info()
+    assert info["misses"] == before + 1  # second session hit the shared plan
+    assert info["hits"] >= 1
+
+
+def test_no_plan_cache_escape_hatch_recompiles(graph, queries):
+    config = DSQLConfig(k=2, node_budget=50_000, plan_cache=False)
+    session = DSQL(graph, config=config)
+    before = session.index_cache.plan_cache.info()
+    session.query(queries[0])
+    session.query(queries[0])
+    after = session.index_cache.plan_cache.info()
+    assert (after["hits"], after["misses"]) == (before["hits"], before["misses"])
+
+
+# ----------------------------------------------------------------------
+# Lazy candidate set views
+# ----------------------------------------------------------------------
+def test_candidate_index_construction_builds_no_sets(graph, queries):
+    ci = CandidateIndex(graph, queries[0])
+    assert ci.set_views_built == 0
+    ci.candidate_set(0)
+    assert ci.set_views_built == 1
+    ci.is_candidate(0, 0)
+    assert ci.set_views_built == 1  # same node, memoized
+
+
+def test_plan_driven_query_materializes_no_set_views(graph, queries, monkeypatch):
+    """The kernel paths never touch the set views — pinned end to end."""
+    import repro.core.dsql as dsql_mod
+
+    built = []
+    orig = dsql_mod.CandidateIndex
+
+    def capture(*args, **kwargs):
+        ci = orig(*args, **kwargs)
+        built.append(ci)
+        return ci
+
+    monkeypatch.setattr(dsql_mod, "CandidateIndex", capture)
+    config = DSQLConfig(k=4, node_budget=200_000)
+    session = DSQL(graph, config=config)
+    for query in queries:
+        session.query(query)
+    assert built and all(ci.set_views_built == 0 for ci in built)
+
+
+def test_restricted_accepts_sorted_and_unordered_input():
+    graph = LabeledGraph(["A", "A", "A", "B"], [(0, 3), (1, 3), (2, 3)])
+    query = QueryGraph(["A", "B"], [(0, 1)])
+    ci = CandidateIndex(graph, query)
+    assert ci.restricted(0, [0, 2]) == [0, 2]
+    assert ci.restricted(0, {2, 0}) == [0, 2]
+    assert ci.set_views_built == 0

@@ -1,0 +1,133 @@
+"""Property tests: the join kernels against their scalar reference paths.
+
+Every kernel in :mod:`repro.kernels` must agree — contents *and* order —
+with the naive computation it replaces in the engines: sorted-list
+intersection vs set-membership filtering, bitset AND vs the per-neighbor
+``has_edge`` loop of ``is_joinable``. These tests pin that contract on
+randomized inputs, including the gallop/merge regime crossover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.kernels import (
+    GALLOP_RATIO,
+    KERNEL_KINDS,
+    bitset_and_members,
+    bitset_members,
+    bitset_of,
+    intersect_sorted,
+    joinable_kernel,
+)
+
+ids = st.lists(st.integers(min_value=0, max_value=2_000), unique=True, max_size=200)
+
+
+@given(ids, ids)
+def test_intersect_sorted_matches_set_intersection(a, b):
+    a, b = sorted(a), sorted(b)
+    assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+
+
+@given(ids, ids)
+def test_intersect_sorted_is_symmetric(a, b):
+    a, b = sorted(a), sorted(b)
+    assert intersect_sorted(a, b) == intersect_sorted(b, a)
+
+
+@given(st.lists(st.integers(0, 50), unique=True, max_size=5), st.data())
+def test_galloping_regime_matches(a, data):
+    # Force the galloping branch: |b| >= GALLOP_RATIO * |a| and |a| small.
+    a = sorted(a)
+    needed = max(GALLOP_RATIO * max(len(a), 1), 1)
+    b = sorted(
+        data.draw(
+            st.lists(
+                st.integers(0, 10_000), unique=True, min_size=needed, max_size=needed + 40
+            )
+        )
+    )
+    assert len(b) >= GALLOP_RATIO * max(len(a), 1)
+    assert intersect_sorted(a, b) == sorted(set(a) & set(b))
+
+
+def test_intersect_sorted_empty_sides():
+    assert intersect_sorted([], [1, 2]) == []
+    assert intersect_sorted((1, 2), ()) == []
+    assert intersect_sorted([], []) == []
+
+
+@given(ids)
+def test_bitset_roundtrip(vertices):
+    mask = bitset_of(vertices)
+    assert bitset_members(mask) == sorted(vertices)
+
+
+@given(st.lists(ids, min_size=1, max_size=4))
+def test_bitset_and_members_matches_set_intersection(sets):
+    expected = set(sets[0])
+    for s in sets[1:]:
+        expected &= set(s)
+    masks = [bitset_of(s) for s in sets]
+    assert bitset_and_members(*masks) == sorted(expected)
+
+
+def test_bitset_and_members_empty_is_identity():
+    # AND over zero masks is the all-ones identity; members of -1 would be
+    # infinite, so callers always AND at least one finite mask in.
+    assert joinable_kernel([]) == -1
+    assert bitset_and_members() == []
+
+
+@given(st.lists(st.integers(0, 300), unique=True, min_size=1, max_size=6))
+def test_joinable_kernel_folds_and(members):
+    masks = [bitset_of([m]) | bitset_of(members) for m in members]
+    folded = joinable_kernel(masks)
+    expected = -1
+    for m in masks:
+        expected &= m
+    assert folded == expected
+
+
+def _random_graph(rng: random.Random, n: int = 60, p: float = 0.15) -> LabeledGraph:
+    labels = [f"L{rng.randrange(3)}" for _ in range(n)]
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < p]
+    return LabeledGraph(labels, edges)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_mask_and_matches_scalar_joinable_loop(seed):
+    """The engine invariant: one mask AND + bit probe == per-neighbor has_edge.
+
+    For a random graph and a random set of "matched neighbor vertices" S
+    (a partial assignment's image), the folded adjacency mask must answer
+    exactly like the scalar loop for every probe vertex v.
+    """
+    rng = random.Random(seed)
+    graph = _random_graph(rng)
+    cache = graph.index_cache()
+    size = rng.randrange(1, 5)
+    matched = rng.sample(range(graph.num_vertices), size)
+    mask = joinable_kernel(cache.adjacency_mask(w) for w in matched)
+    for v in range(graph.num_vertices):
+        scalar = all(graph.has_edge(v, w) for w in matched)
+        assert bool((mask >> v) & 1) == scalar
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_adjacency_mask_matches_adjacency_slice(seed):
+    rng = random.Random(100 + seed)
+    graph = _random_graph(rng, n=40, p=0.2)
+    cache = graph.index_cache()
+    for v in range(graph.num_vertices):
+        assert bitset_members(cache.adjacency_mask(v)) == list(cache.adjacency_slice(v))
+
+
+def test_kernel_kinds_are_distinct():
+    assert len(set(KERNEL_KINDS)) == len(KERNEL_KINDS) == 4

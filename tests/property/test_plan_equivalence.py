@@ -1,0 +1,146 @@
+"""Plans on vs off: every engine must be result-*identical*.
+
+The compiled-plan / join-kernel path is a pure mechanism change: it may
+alter how candidate pools are computed (bitset AND, sorted-slice merges)
+but never which candidates are iterated, in what order, or when the budget
+charges fire. These tests pin that contract — DSQL end to end across every
+registry dataset and both storage backends, the plain and optimized SQ
+engines stream-for-stream, and random hypothesis instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.registry import dataset_names, make_dataset
+from repro.exceptions import DatasetError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.indexes.plans import compile_plan
+from repro.isomorphism.optimized import OptimizedQSearchEngine
+from repro.isomorphism.qsearch import QSearchEngine
+from repro.kernels import BITSET
+from repro.queries.generator import query_set
+
+PLANS_OFF = {"use_plans": False}
+
+
+def assert_results_identical(r1, r2):
+    assert r1.embeddings == r2.embeddings
+    assert r1.coverage == r2.coverage
+    assert r1.optimal == r2.optimal
+    assert r1.optimal_reason == r2.optimal_reason
+    assert r1.level == r2.level
+
+
+@pytest.mark.parametrize("dataset", dataset_names())
+@pytest.mark.parametrize("backend", ["csr", "set"])
+def test_plans_identical_on_registry_dataset(dataset, backend):
+    graph = make_dataset(dataset, scale=0.001, seed=7)
+    if backend != graph.backend_name:
+        graph = graph.with_backend(backend)
+    queries = query_set(graph, 3, 3, seed=11)
+    config = DSQLConfig(k=4, node_budget=200_000)
+    on = DSQL(graph, config=config)
+    off = DSQL(graph, config=replace(config, **PLANS_OFF))
+    for query in queries:
+        r_on, r_off = on.query(query), off.query(query)
+        assert_results_identical(r_on, r_off)
+        # The kernel counters separate the two paths beyond the result view.
+        s_on, s_off = r_on.stats, r_off.stats
+        assert s_on.nodes_expanded == s_off.nodes_expanded
+        assert s_on.kernel_scan + s_on.kernel_merge + s_on.kernel_bitset > 0
+        assert (
+            s_off.kernel_scan
+            + s_off.kernel_merge
+            + s_off.kernel_bitset
+            + s_off.kernel_scalar
+            == 0
+        )
+
+
+@pytest.mark.parametrize("engine_cls", [QSearchEngine, OptimizedQSearchEngine])
+def test_sq_engines_identical_with_plan(engine_cls):
+    graph = make_dataset("yeast", scale=0.001, seed=3)
+    cache = graph.index_cache()
+    for query in query_set(graph, 3, 3, seed=5):
+        plan = compile_plan(query, cache)
+        plain = list(engine_cls(graph, query).embeddings())
+        planned_engine = engine_cls(graph, query, plan=plan)
+        planned = list(planned_engine.embeddings())
+        assert planned == plain
+        assert sum(planned_engine.kernel_dispatch.values()) > 0
+
+
+def _dense_instance():
+    """A dense single-label graph whose pools trip the bitset kernel."""
+    rng = random.Random(99)
+    n = 120
+    labels = ["X"] * n
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.25]
+    graph = LabeledGraph(labels, edges)
+    query = QueryGraph(["X", "X", "X"], [(0, 1), (1, 2), (2, 0)])
+    return graph, query
+
+
+def test_bitset_kernel_fires_and_stays_identical():
+    graph, query = _dense_instance()
+    plan = compile_plan(query, graph.index_cache())
+    assert BITSET in plan.kernels  # the triangle's last node has 2 backward
+    planned_engine = QSearchEngine(graph, query, plan=plan)
+    planned = list(planned_engine.embeddings())
+    plain = list(QSearchEngine(graph, query).embeddings())
+    assert planned == plain
+    assert planned_engine.kernel_dispatch[BITSET] > 0
+
+    config = DSQLConfig(k=4, node_budget=200_000)
+    r_on = DSQL(graph, config=config).query(query)
+    r_off = DSQL(graph, config=replace(config, **PLANS_OFF)).query(query)
+    assert_results_identical(r_on, r_off)
+    assert r_on.stats.kernel_bitset > 0
+
+
+@st.composite
+def instances(draw):
+    n = draw(st.integers(min_value=4, max_value=14))
+    num_labels = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    labels = [f"L{rng.randrange(num_labels)}" for _ in range(n)]
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < 0.35]
+    graph = LabeledGraph(labels, edges, backend="csr")
+    if graph.num_edges == 0:
+        query = QueryGraph([labels[0]])
+    else:
+        from repro.queries.generator import random_query
+
+        z = min(draw(st.integers(min_value=1, max_value=3)), graph.num_edges)
+        query = None
+        while z >= 1:
+            try:
+                query = random_query(graph, z, rng=rng)
+                break
+            except DatasetError:
+                z -= 1
+        if query is None:
+            query = QueryGraph([labels[0]])
+    k = draw(st.integers(min_value=1, max_value=5))
+    return graph, query, k
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances())
+def test_plans_identical_on_random_instances(instance):
+    graph, query, k = instance
+    for factory in (DSQLConfig.dsql0, lambda kk: DSQLConfig(k=kk)):
+        config = factory(k)
+        r_on = DSQL(graph, config=config).query(query)
+        r_off = DSQL(graph, config=replace(config, **PLANS_OFF)).query(query)
+        assert_results_identical(r_on, r_off)

@@ -86,6 +86,16 @@ class TestQueryGraphCodec:
             query_graph_from_json({"labels": ["A", "B"], "edges": []})
         assert (info.value.status, info.value.code) == (400, "invalid_query")
 
+    def test_disconnected_query_reports_component(self):
+        # The typed InvalidQueryError carries the offending component; its
+        # message — component included — survives into the 400 body.
+        payload = {"labels": ["A", "B", "C", "D"], "edges": [[0, 1], [0, 2]]}
+        with pytest.raises(ServiceError) as info:
+            query_graph_from_json(payload)
+        assert (info.value.status, info.value.code) == (400, "invalid_query")
+        assert "connected" in info.value.message
+        assert "[3]" in info.value.message
+
     @pytest.mark.parametrize(
         "bad",
         [
