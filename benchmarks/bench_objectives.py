@@ -1,0 +1,199 @@
+"""Objective-seam gate: the default objective must stay free, others useful.
+
+The `repro.coverage.objectives` seam routes every coverage quantity through
+an `Objective`, so the headline risk is a hidden per-query (or worse,
+per-embedding) cost on the default path. This benchmark holds the seam to
+its two promises on the DBLP stand-in workload and writes
+``BENCH_objectives.json`` at the repo root:
+
+* **A/A overhead gate** — two interleaved, identical ``objective="vertex"``
+  series. The pre-seam code cannot run in-process, but the seam's vertex
+  path *is* the pre-seam path (golden-gated bit-identical in
+  ``tests/property/test_objective_equivalence.py``), so what remains to
+  measure is that the dispatch indirection stays under the <5% bar relative
+  to measurement noise: a real per-embedding regression would surface as an
+  off-vs-off asymmetry far above the A/A floor.
+* **Quality rows** — each adversarial scenario pack
+  (:func:`repro.datasets.paper_figures.objective_packs`) run under both its
+  own objective and plain ``vertex``, reporting both answers' coverage in
+  the pack objective's units. The pack objective must strictly beat the
+  vertex answer in its own units — that is the seam's reason to exist.
+
+Also reports per-objective wall time on the shared workload (edge and
+weighted-vertex pay for non-integer/composite elements; that cost is
+allowed, only the default path is gated).
+
+Runs standalone (``python benchmarks/bench_objectives.py``) or under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import json
+import timeit
+from pathlib import Path
+
+from common import bench_graph, bench_queries, dsql_config
+from repro.core.dsql import DSQL
+from repro.coverage.objectives import OBJECTIVE_NAMES, make_objective
+from repro.datasets.paper_figures import objective_packs
+from repro.experiments.report import render_table
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_objectives.json"
+
+DATASET = "dblp"
+NUM_QUERIES = 20
+QUERY_EDGES = 4
+K = 10
+REPEATS = 5
+AA_GATE_PCT = 5.0
+
+
+def _run_batch(graph, queries, config):
+    session = DSQL(graph, config=config)
+    for query in queries:
+        session.query(query)
+
+
+def _pack_quality(pack):
+    """Both answers on one pack, scored in the pack objective's units."""
+    base = DSQL(pack.graph, config=dsql_config(pack.k)).query(pack.query)
+    alt_config = dsql_config(
+        pack.k,
+        objective=pack.objective,
+        vertex_weights=pack.vertex_weights,
+    )
+    alt = DSQL(pack.graph, config=alt_config).query(pack.query)
+    scorer = make_objective(
+        pack.objective,
+        query=pack.query,
+        graph=pack.graph,
+        vertex_weights=pack.vertex_weights,
+    )
+    vertex_scorer = make_objective("vertex", query=pack.query)
+    return {
+        "pack": pack.name,
+        "objective": pack.objective,
+        "answers_differ": set(base.embeddings) != set(alt.embeddings),
+        "objective_coverage": scorer.collection_coverage(alt.embeddings),
+        "vertex_answer_scored_by_objective": scorer.collection_coverage(base.embeddings),
+        "vertex_coverage_of_vertex_answer": vertex_scorer.collection_coverage(
+            base.embeddings
+        ),
+        "vertex_coverage_of_objective_answer": vertex_scorer.collection_coverage(
+            alt.embeddings
+        ),
+        "objective_max": scorer.max_coverage(pack.k),
+    }
+
+
+def run_objective_bench():
+    graph = bench_graph(DATASET)
+    graph.index_cache()  # prewarm: measure queries, not index construction
+    queries = list(bench_queries(DATASET, QUERY_EDGES, NUM_QUERIES))
+
+    def batch(objective):
+        config = dsql_config(K, objective=objective)
+        return lambda: _run_batch(graph, queries, config)
+
+    vertex = batch("vertex")
+    vertex()  # warm every code path before timing
+
+    # Interleave two identical vertex series (A/A) so drift hits both alike;
+    # their ratio bounds what any seam overhead claim can resolve.
+    series_a, series_b = [], []
+    for _ in range(REPEATS):
+        series_a.append(timeit.timeit(vertex, number=1))
+        series_b.append(timeit.timeit(vertex, number=1))
+    baseline = min(series_a)
+    aa_pct = 100.0 * (min(series_b) - baseline) / baseline
+
+    timings = {"vertex": baseline}
+    for name in OBJECTIVE_NAMES:
+        if name == "vertex":
+            continue
+        fn = batch(name)
+        fn()  # warm
+        timings[name] = min(timeit.repeat(fn, number=1, repeat=REPEATS))
+
+    payload = {
+        "dataset": DATASET,
+        "batch": len(queries),
+        "k": K,
+        "repeats": REPEATS,
+        "vertex_seconds": baseline,
+        "aa_overhead_pct": aa_pct,
+        "gate_aa_pct": AA_GATE_PCT,
+        "objective_seconds": {
+            name: timings[name] for name in OBJECTIVE_NAMES
+        },
+        "objective_overhead_pct": {
+            name: 100.0 * (timings[name] - baseline) / baseline
+            for name in OBJECTIVE_NAMES
+        },
+        "packs": [_pack_quality(pack) for pack in objective_packs().values()],
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload) -> str:
+    rows = [
+        ["dataset / batch / k", f"{payload['dataset']} / {payload['batch']} / {payload['k']}"],
+        ["vertex (s)", f"{payload['vertex_seconds']:.4f}"],
+        ["vertex A/A overhead", f"{payload['aa_overhead_pct']:+.2f}% (gate < {payload['gate_aa_pct']:.0f}%)"],
+    ]
+    for name, pct in payload["objective_overhead_pct"].items():
+        if name != "vertex":
+            rows.append([f"{name} vs vertex", f"{pct:+.2f}%"])
+    timing = render_table(["metric", "value"], rows)
+
+    quality_rows = [
+        [
+            p["pack"],
+            p["objective"],
+            "yes" if p["answers_differ"] else "NO",
+            f"{p['objective_coverage']:g}",
+            f"{p['vertex_answer_scored_by_objective']:g}",
+            f"{p['vertex_coverage_of_objective_answer']:g} / {p['vertex_coverage_of_vertex_answer']:g}",
+        ]
+        for p in payload["packs"]
+    ]
+    quality = render_table(
+        [
+            "pack",
+            "objective",
+            "differ",
+            "obj cov (own answer)",
+            "obj cov (vertex answer)",
+            "vertex cov (own/vertex)",
+        ],
+        quality_rows,
+    )
+    return timing + "\n\n" + quality
+
+
+def _assert_gates(payload):
+    assert abs(payload["aa_overhead_pct"]) < AA_GATE_PCT
+    for p in payload["packs"]:
+        assert p["answers_differ"], f"pack {p['pack']} no longer diverges"
+        # In its own units the pack objective must do at least as well as the
+        # vertex answer (strictly better on the weighted pack; the edge pack
+        # ties on edges while spending fewer vertices).
+        assert p["objective_coverage"] >= p["vertex_answer_scored_by_objective"]
+        assert p["objective_coverage"] <= p["objective_max"]
+
+
+def test_objective_seam_overhead_and_quality(benchmark):
+    from common import emit
+
+    payload = benchmark.pedantic(run_objective_bench, rounds=1, iterations=1)
+    emit("objectives", _report(payload))
+    _assert_gates(payload)
+
+
+if __name__ == "__main__":
+    out = run_objective_bench()
+    print(_report(out))
+    _assert_gates(out)
+    print(f"\nwrote {OUT_PATH}")

@@ -5,6 +5,11 @@ The paper's Table 4 compares DSQL against the two-stage approach: generate
 k-coverage algorithm (GreedyDSQ or a streaming SWAP) over them. The
 generation step dominates — that is the point of the table — so this module
 reports the two stages' times separately, like the paper's ``X + t`` rows.
+
+Every pipeline accepts an optional :class:`~repro.coverage.objectives.
+Objective`; selection then optimizes that objective's weighted element
+coverage instead of distinct vertices, and ``members`` holds the selected
+embeddings' *element* sets (vertex sets under the default).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.coverage.core import EmbeddingSet, coverage as coverage_of
 from repro.coverage.greedy import greedy_max_coverage
+from repro.coverage.objectives import Objective
 from repro.coverage.swap import Swap0, Swap1, Swap2, SwapA, SwapAlpha, swap_stream
 from repro.exceptions import ConfigError
 from repro.graph.labeled_graph import LabeledGraph
@@ -38,10 +44,12 @@ class PipelineResult:
     num_embeddings: int
     k: int
     q: int
+    max_coverage: Optional[int] = None
 
     def approx_ratio_lower_bound(self) -> float:
-        """``|C(A)| / (kq)``."""
-        return self.coverage / (self.k * self.q)
+        """``|C(A)| / MAX`` (``MAX = kq`` for the default vertex objective)."""
+        max_cov = self.max_coverage if self.max_coverage is not None else self.k * self.q
+        return self.coverage / max_cov if max_cov else 1.0
 
 
 def generate_all(
@@ -60,10 +68,18 @@ def select_top_k(
     k: int,
     strategy: str,
     alpha: float = 1.0,
+    objective: Optional[Objective] = None,
 ) -> List[EmbeddingSet]:
-    """Stage 2: pick up to ``k`` embeddings with the named strategy."""
+    """Stage 2: pick up to ``k`` embeddings with the named strategy.
+
+    Returns the selected members as element sets of ``objective`` (vertex
+    sets when ``objective`` is ``None``).
+    """
     if strategy == "Greedy":
-        return greedy_max_coverage(embeddings, k)
+        chosen = greedy_max_coverage(embeddings, k, objective=objective)
+        if objective is None:
+            return chosen
+        return [objective.elements(e) for e in chosen]
     conditions = {
         "SWAP0": Swap0(),
         "SWAP1": Swap1(),
@@ -77,7 +93,7 @@ def select_top_k(
         raise ConfigError(
             f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
         ) from None
-    return swap_stream(embeddings, k, condition).members
+    return swap_stream(embeddings, k, condition, objective=objective).members
 
 
 def run_pipeline(
@@ -88,6 +104,7 @@ def run_pipeline(
     node_budget: Optional[int] = None,
     embeddings: Optional[Sequence[Mapping]] = None,
     generation_seconds: float = 0.0,
+    objective: Optional[Objective] = None,
 ) -> PipelineResult:
     """Run both stages; pass pre-generated ``embeddings`` to share stage 1.
 
@@ -100,18 +117,28 @@ def run_pipeline(
         generation_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    members = select_top_k(embeddings, k, strategy)
+    members = select_top_k(embeddings, k, strategy, objective=objective)
     selection_seconds = time.perf_counter() - start
+
+    if objective is None:
+        cov, max_cov = coverage_of(members), None
+    else:
+        # Members are already element sets, so the union measures directly.
+        union: set = set()
+        for elems in members:
+            union.update(elems)
+        cov, max_cov = objective.measure(union), objective.max_coverage(k)
 
     return PipelineResult(
         strategy=strategy,
         members=members,
-        coverage=coverage_of(members),
+        coverage=cov,
         generation_seconds=generation_seconds,
         selection_seconds=selection_seconds,
         num_embeddings=len(embeddings),
         k=k,
         q=query.size,
+        max_coverage=max_cov,
     )
 
 
@@ -120,6 +147,7 @@ def run_all_strategies(
     query: QueryGraph,
     k: int,
     node_budget: Optional[int] = None,
+    objective: Optional[Objective] = None,
 ) -> Dict[str, PipelineResult]:
     """Table-4 helper: one shared generation, every selection strategy."""
     start = time.perf_counter()
@@ -133,6 +161,7 @@ def run_all_strategies(
             strategy,
             embeddings=embeddings,
             generation_seconds=generation_seconds,
+            objective=objective,
         )
         for strategy in STRATEGIES
     }

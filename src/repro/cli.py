@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro import __version__
 from repro.core.config import VARIANTS, DSQLConfig, variant_config
 from repro.coverage.bounds import alpha_gamma_schedule
+from repro.coverage.objectives import OBJECTIVE_NAMES
 from repro.datasets.registry import dataset_names, get_profile, make_dataset
 from repro.graph.csr import BACKEND_NAMES, set_default_backend
 from repro.experiments.report import SUMMARY_HEADERS, render_table, summary_row
@@ -86,6 +87,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="DSQL variant or baseline",
     )
     q.add_argument("--no-phase2", action="store_true", help="disable DSQL-P2")
+    _add_objective_flag(q)
     _add_plan_flags(q)
     _add_executor_flags(q)
     _add_observability_flags(q)
@@ -132,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="Retry-After hint attached to 429 rejections",
     )
     v.add_argument("--seed", type=int, default=0, help="seed for dataset stand-in builds")
+    _add_objective_flag(v, help_extra=" (requests may override per call)")
     _add_plan_flags(v)
     _add_observability_flags(v)
 
@@ -147,10 +150,21 @@ def _build_parser() -> argparse.ArgumentParser:
     e.add_argument("--edges", type=int, default=5)
     e.add_argument("--queries", type=int, default=10)
     e.add_argument("--seed", type=int, default=0)
+    _add_objective_flag(e)
     _add_plan_flags(e)
     _add_executor_flags(e)
     _add_observability_flags(e)
     return parser
+
+
+def _add_objective_flag(parser: argparse.ArgumentParser, help_extra: str = "") -> None:
+    parser.add_argument(
+        "--objective",
+        choices=sorted(OBJECTIVE_NAMES),
+        default="vertex",
+        help="diversity objective (docs/objectives.md); 'vertex' is the paper's"
+        + help_extra,
+    )
 
 
 def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
@@ -246,6 +260,7 @@ def _cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             run_phase2=not args.no_phase2,
             time_budget_ms=args.time_budget_ms,
             plan_cache=not args.no_plan_cache,
+            objective=args.objective,
         )
         summary = run_executor_batch(
             graph,
@@ -257,6 +272,11 @@ def _cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
         )
     else:
         _check_executor_flags(parser, args, f"baseline {args.solver}")
+        if args.objective != "vertex":
+            parser.error(
+                f"--objective is not supported with baseline {args.solver} "
+                "(baselines optimize the paper's vertex coverage)"
+            )
         if args.solver == "COM":
             solver = com_solver(args.k, seed=args.seed)
         elif args.solver == "FIRSTK":
@@ -326,6 +346,7 @@ def _cmd_serve(
         k=args.k,
         time_budget_ms=args.time_budget_ms,
         plan_cache=not args.no_plan_cache,
+        objective=args.objective,
     )
     try:
         catalog, lines = build_catalog(
@@ -364,8 +385,11 @@ def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -
     if args.name != "table3":
         # Only table3's DSQL batch goes through the executor; the other
         # experiments time their solvers per-query and would silently
-        # ignore (or misreport under) these flags.
+        # ignore (or misreport under) these flags. Same for --objective:
+        # the other experiments build their own configs internally.
         _check_executor_flags(parser, args, f"experiment {args.name}")
+        if args.objective != "vertex":
+            parser.error(f"--objective is not supported with experiment {args.name}")
 
     graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
     queries = list(query_set(graph, args.edges, args.queries, seed=args.seed))
@@ -383,6 +407,7 @@ def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -
             k=args.k,
             time_budget_ms=args.time_budget_ms,
             plan_cache=not args.no_plan_cache,
+            objective=args.objective,
         )
         dsql = run_executor_batch(
             graph,

@@ -16,8 +16,9 @@ the Appendix B.4 ablation (Figure 9) can be reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro.coverage.objectives import OBJECTIVE_NAMES
 from repro.exceptions import ConfigError
 
 
@@ -92,6 +93,23 @@ class DSQLConfig:
     seed:
         Seed for the random candidate retention of Section 5.2. Fixed by
         default so runs are reproducible; set ``None`` for entropy.
+    objective:
+        The diversity objective (see :mod:`repro.coverage.objectives`):
+        ``"vertex"`` (the paper, default — bit-identical to the pre-seam
+        pipeline), ``"edge"`` (TED-style covered data edges), or
+        ``"weighted-vertex"`` (per-vertex weights). Part of the frozen
+        config's identity, so the per-config session LRU of the service
+        catalog and the ``query_many`` memo (which is per-session, hence
+        per-config) never mix results across objectives. The
+        :class:`~repro.indexes.plans.PlanCache` key deliberately excludes
+        the objective: plans encode *generation* mechanics (search order,
+        join kernels), which are objective-independent.
+    vertex_weights:
+        Optional ``(vertex, weight)`` pairs for ``objective=
+        "weighted-vertex"``; unlisted vertices weigh 1. ``None`` (default)
+        derives weights from the dataset as ``1 + degree(v)``. Normalized
+        to a sorted tuple of pairs so the config stays hashable and two
+        equal weightings compare equal.
     """
 
     k: int
@@ -111,10 +129,50 @@ class DSQLConfig:
     use_plans: bool = True
     plan_cache: bool = True
     seed: Optional[int] = 0
+    objective: str = "vertex"
+    vertex_weights: Optional[Tuple[Tuple[int, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigError(f"k must be >= 1, got {self.k}")
+        if self.objective not in OBJECTIVE_NAMES:
+            raise ConfigError(
+                f"unknown objective {self.objective!r}; choose from "
+                f"{sorted(OBJECTIVE_NAMES)}"
+            )
+        if self.vertex_weights is not None:
+            if self.objective != "weighted-vertex":
+                raise ConfigError(
+                    "vertex_weights is only meaningful with "
+                    f"objective='weighted-vertex', got {self.objective!r}"
+                )
+            items = (
+                self.vertex_weights.items()
+                if isinstance(self.vertex_weights, dict)
+                else self.vertex_weights
+            )
+            normalized = []
+            for pair in items:
+                try:
+                    v, w = pair
+                except (TypeError, ValueError):
+                    raise ConfigError(
+                        f"vertex_weights entries must be (vertex, weight) pairs, got {pair!r}"
+                    ) from None
+                if isinstance(v, bool) or not isinstance(v, int) or v < 0:
+                    raise ConfigError(
+                        f"vertex_weights vertex ids must be non-negative ints, got {v!r}"
+                    )
+                if isinstance(w, bool) or not isinstance(w, (int, float)) or w <= 0:
+                    raise ConfigError(
+                        f"vertex_weights weights must be positive numbers, got {w!r}"
+                    )
+                normalized.append((v, w))
+            normalized.sort()
+            for (v1, _), (v2, _) in zip(normalized, normalized[1:]):
+                if v1 == v2:
+                    raise ConfigError(f"vertex_weights lists vertex {v1} twice")
+            object.__setattr__(self, "vertex_weights", tuple(normalized))
         if self.alpha < 0:
             raise ConfigError(f"alpha must be >= 0, got {self.alpha}")
         if not 0.0 < self.phase2_ratio_target <= 1.0:

@@ -24,6 +24,14 @@ The phase dispatch follows Section 6.2 exactly:
 4. if ``|C(T)| / (kq)`` already meets the 0.5 target — good enough
    (SWAPα cannot certify beyond 0.5), stop;
 5. otherwise run DSQL-P2 (swapping with early termination).
+
+Every step is parameterized by ``config.objective`` (see
+:mod:`repro.coverage.objectives`): coverage/benefit/loss become the
+objective's weighted element quantities, ``kq`` becomes
+``objective.max_coverage(k)``, and the optimality certificates of steps 2
+and 3 only fire when the objective's flags say they are sound (``edge``
+forfeits the exhausted certificate, ``weighted-vertex`` the disjoint one).
+The default ``vertex`` objective is bit-identical to the pre-seam dispatch.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from repro.core.phase1 import run_phase1
 from repro.core.phase2 import run_phase2
 from repro.core.result import DSQResult
 from repro.core.state import SearchStats
+from repro.coverage.objectives import build_weight_profile, make_objective
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.graph.validation import validate_embedding
@@ -108,6 +117,13 @@ class DSQL:
         self.graph = graph
         self.config = config
         self.index_cache = graph.index_cache()
+        # The weighted-vertex weight table is a per-graph artifact; build it
+        # once per session so per-query objective binding stays O(q).
+        self._weight_profile = (
+            build_weight_profile(graph, config.vertex_weights)
+            if config.objective == "weighted-vertex"
+            else None
+        )
         self.stats = SearchStats()
         self._query_cache: "OrderedDict[tuple, DSQResult]" = OrderedDict()
         if instrumentation is None:
@@ -134,6 +150,11 @@ class DSQL:
         instr.metrics.histogram("query.coverage_ratio", (0.25, 0.5, 0.75, 0.9, 1.0)).observe(
             result.approx_ratio_lower_bound()
         )
+        instr.metrics.counter(f"objective.{self.config.objective}.queries").inc()
+        if result.stats.phase2_swaps:
+            instr.metrics.counter(
+                f"objective.{self.config.objective}.swap_accept"
+            ).inc(result.stats.phase2_swaps)
         logger.debug(
             "query %d: %d/%d embeddings, coverage %d, %d expansions%s",
             query_id,
@@ -191,6 +212,9 @@ class DSQL:
         state = phase1.state
         k, q = config.k, query.size
         truncated = stats.budget_exhausted or stats.deadline_exhausted
+        objective = make_objective(
+            config.objective, query=query, weight_profile=self._weight_profile
+        )
 
         optimal = False
         reason = ""
@@ -199,18 +223,29 @@ class DSQL:
             and len(state) < k
             and not config.relaxed_bad_vertices
             and not truncated
+            and objective.certifies_exhausted_optimal
         ):
             # Theorem 3's |A| < k case. The DSQLh relaxation skips vertices
-            # that may still extend to embeddings, so it forfeits this claim.
+            # that may still extend to embeddings, so it forfeits this claim;
+            # so do objectives whose elements outlive vertex exhaustion
+            # (a vertex-covered embedding can still add fresh data edges).
             optimal, reason = True, "exhausted"
-        elif len(state) == k and state.is_disjoint():
+        elif (
+            len(state) == k
+            and state.is_disjoint()
+            and objective.certifies_disjoint_optimal
+        ):
             optimal, reason = True, "disjoint"
 
         embeddings = list(state.embeddings)
-        coverage = state.coverage
+        is_vertex = config.objective == "vertex"
+        coverage = (
+            state.coverage if is_vertex else objective.collection_coverage(embeddings)
+        )
         level = phase1.level
 
-        ratio = coverage / (k * q)
+        max_cov = objective.max_coverage(k)
+        ratio = coverage / max_cov if max_cov else 1.0
         if (
             not optimal
             and config.run_phase2
@@ -234,6 +269,7 @@ class DSQL:
                     instrumentation=instr,
                     query_id=query_id,
                     plan=plan,
+                    objective=objective if not is_vertex else None,
                 )
             embeddings = phase2.embeddings
             coverage = phase2.coverage
@@ -250,6 +286,8 @@ class DSQL:
             optimal=optimal,
             optimal_reason=reason,
             stats=stats,
+            objective=config.objective,
+            coverage_bound=None if is_vertex else max_cov,
         )
         if config.validate_results:
             for emb in result.embeddings:

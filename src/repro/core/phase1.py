@@ -6,6 +6,17 @@ stops the moment ``|T| = k`` (early termination) or when all levels are
 exhausted. Stopping at level ``i`` guarantees the Theorem 3 ratio
 ``(q - i)/q + i/(kq)``; exhausting all levels with ``|T| < k`` yields an
 optimal solution.
+
+Phase 1 is *objective-independent by design*: levels, the shared
+``matched`` set, and the candidate snapshots all count **vertex** overlap
+regardless of ``config.objective``, because they describe how embeddings
+are *generated*, not how they are valued (Section 3's structure). The
+objective seam (:mod:`repro.coverage.objectives`) only changes selection —
+benefit/loss/coverage in Phase 2 and the dispatcher — so this module takes
+no objective parameter. Consequences for non-vertex objectives (e.g. the
+``exhausted`` certificate surviving only when vertex exhaustion implies
+element exhaustion) are handled where the certificates are issued, in
+:mod:`repro.core.dsql`.
 """
 
 from __future__ import annotations

@@ -20,6 +20,15 @@ Two Phase-1 fidelity points carry over:
    vertices and benefits at most ``q - j``;
 2. every member's loss satisfies ``L(f, T) >= (q - j) / (1 + alpha)`` — so
    no future benefit can satisfy the swap criterion.
+
+Both points generalize through the objective seam: benefit/loss are the
+objective's weighted element quantities, and the ``q - j`` future-benefit
+cap becomes :meth:`~repro.coverage.objectives.Objective.
+future_benefit_bound` (``q - j`` for vertex, ``(q - j) * w_max`` for
+weighted-vertex, the level-independent ``|E(Q)|`` for edge — and ``None``
+forfeits early termination entirely). *Generation* stays vertex-structured
+for every objective: levels, the ``matched`` set, and ``TcandS`` all count
+vertex overlap, exactly as Phase 1 does.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.core.phase1 import Phase1Output, tcand_snapshot, tcand_snapshot_scan
 from repro.core.search import LevelSearchEngine
 from repro.core.state import SearchStats
 from repro.coverage.core import CoverageTracker
+from repro.coverage.objectives import Objective, VertexCoverage
 from repro.exceptions import BudgetExceeded
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
@@ -61,11 +71,14 @@ def run_phase2(
     instrumentation=None,
     query_id: Optional[int] = None,
     plan=None,
+    objective: Optional[Objective] = None,
 ) -> Phase2Output:
     """Execute DSQL-P2 starting from the Phase-1 solution.
 
     Precondition (checked by the dispatcher): ``|T| == k`` — Phase 1 only
     hands over a full collection; undersized collections are already optimal.
+    ``objective`` selects the coverage objective (``None`` = the paper's
+    vertex coverage, bound to this query's ``q``).
     ``instrumentation`` brackets every level (``phase2.level`` spans and the
     ``phase2.level_expansions`` histogram) and reports every generated
     embedding (``on_embedding_emitted``) and every SWAPα decision on a
@@ -74,10 +87,12 @@ def run_phase2(
     stats.phase2_ran = True
     q = query.size
     alpha = config.alpha
+    if objective is None:
+        objective = VertexCoverage(q=q)
     t1_cover: FrozenSet[int] = frozenset(phase1.state.covered)
     instr = instrumentation
 
-    tracker = CoverageTracker()
+    tracker = CoverageTracker(objective=objective)
     slot_to_mapping: Dict[int, Mapping] = {}
     for mapping in phase1.state.embeddings:
         slot = tracker.add(mapping)
@@ -106,9 +121,14 @@ def run_phase2(
     )
 
     def termination_reached(level: int) -> bool:
-        if not t1_cover <= tracker.cover_set():
+        # The V(T1) ⊆ V(T) premise only types when the tracker's elements
+        # *are* vertices; otherwise the bound must hold unconditionally
+        # (edge objective) or early termination is off (bound = None).
+        preserved = objective.vertex_elements and t1_cover <= tracker.cover_set()
+        bound = objective.future_benefit_bound(level, preserved)
+        if bound is None:
             return False
-        threshold = (q - level) / (1.0 + alpha)
+        threshold = bound / (1.0 + alpha)
         return all(tracker.loss(slot) >= threshold for slot in tracker.slots())
 
     current_level = phase1.level

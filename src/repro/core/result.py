@@ -44,6 +44,15 @@ class DSQResult:
         ``True`` when this result was served from the ``query_many`` memo
         without running a search; timing/counter consumers must not
         attribute ``stats`` to the current call when set.
+    objective:
+        The diversity objective this result was computed under (see
+        :mod:`repro.coverage.objectives`). ``coverage`` is a weighted
+        element total under non-default objectives.
+    coverage_bound:
+        The objective's ``MAX`` upper bound on any solution's coverage.
+        ``None`` (always the case for ``objective="vertex"``) means the
+        paper's ``k * q`` — kept implicit so the default result is, field
+        for field, the pre-seam result.
     """
 
     embeddings: Tuple[Mapping, ...]
@@ -55,6 +64,8 @@ class DSQResult:
     optimal_reason: str = ""
     stats: SearchStats = field(default_factory=SearchStats)
     from_cache: bool = False
+    objective: str = "vertex"
+    coverage_bound: object = None
 
     def __post_init__(self) -> None:
         # Accept any iterable of mappings but store an immutable snapshot.
@@ -80,10 +91,13 @@ class DSQResult:
     def max_value(self) -> int:
         """The ``MAX`` reference value of Section 7.3.
 
-        ``|C(A)|`` when the solution is provably optimal, else the ``k*q``
-        upper bound on any solution's coverage.
+        ``|C(A)|`` when the solution is provably optimal, else the
+        objective's upper bound on any solution's coverage (``k*q`` for the
+        default vertex objective).
         """
-        return self.coverage if self.optimal else self.k * self.q
+        if self.optimal:
+            return self.coverage
+        return self.coverage_bound if self.coverage_bound is not None else self.k * self.q
 
     def approx_ratio_lower_bound(self) -> float:
         """``|C(A)| / MAX`` — a lower bound on the true approximation ratio.
@@ -95,8 +109,12 @@ class DSQResult:
         return self.coverage / max_value if max_value else 1.0
 
     def is_disjoint(self) -> bool:
-        """Whether the selected embeddings are pairwise vertex-disjoint."""
-        return sum(len(set(e)) for e in self.embeddings) == self.coverage
+        """Whether the selected embeddings are pairwise vertex-disjoint.
+
+        Computed from the vertex sets directly (not from ``coverage``, which
+        is a weighted element total under non-default objectives).
+        """
+        return sum(len(set(e)) for e in self.embeddings) == len(self.cover_set())
 
     def summary(self) -> str:
         """One-line human-readable summary."""
@@ -115,6 +133,7 @@ class DSQResult:
             "k": self.k,
             "q": self.q,
             "coverage": self.coverage,
+            "objective": self.objective,
             "level": self.level,
             "optimal": self.optimal,
             "optimal_reason": self.optimal_reason,

@@ -78,7 +78,54 @@ def greedy_ratio_bound() -> float:
 
 
 def coverage_upper_bound(k: int, q: int) -> int:
-    """``|C(OPT)| <= k * q`` — the MAX fallback of Section 7.3."""
+    """``|C(OPT)| <= k * q`` — the MAX fallback of Section 7.3.
+
+    This is the *vertex*-objective bound; :func:`objective_coverage_bound`
+    generalizes it to any :class:`~repro.coverage.objectives.Objective`.
+    """
     if k < 1 or q < 1:
         raise ConfigError(f"k and q must be >= 1, got k={k}, q={q}")
     return k * q
+
+
+def edge_coverage_upper_bound(k: int, num_query_edges: int) -> int:
+    """``|C(OPT)| <= k * |E(Q)|`` under the edge objective.
+
+    Injectivity gives every embedding exactly ``|E(Q)|`` distinct data
+    edges, so the no-overlap relaxation caps any ``k``-collection here.
+    """
+    if k < 1 or num_query_edges < 0:
+        raise ConfigError(
+            f"k must be >= 1 and |E(Q)| >= 0, got k={k}, |E(Q)|={num_query_edges}"
+        )
+    return k * num_query_edges
+
+
+def weighted_coverage_upper_bound(k: int, top_q_weight_sum) -> float:
+    """``|C(OPT)| <= k * (sum of the q largest vertex weights)``.
+
+    One embedding covers at most ``q`` vertices, so its weight is at most
+    the sum of the ``q`` heaviest vertices in the graph; ``k`` embeddings
+    cap at ``k`` times that. Reduces to ``k * q`` on unit weights.
+    """
+    if k < 1 or top_q_weight_sum < 0:
+        raise ConfigError(
+            f"k must be >= 1 and the weight sum >= 0, got k={k}, "
+            f"sum={top_q_weight_sum}"
+        )
+    return k * top_q_weight_sum
+
+
+def objective_coverage_bound(objective, k: int):
+    """``MAX`` for an arbitrary bound objective: ``objective.max_coverage(k)``.
+
+    Theorem-survival note: the Theorem 3 Phase-1 ratio
+    (:func:`phase1_ratio_bound`) and the Theorem 4/6 constants
+    (:func:`overall_ratio_bound`) are proven for unit-weight vertex
+    coverage; under other objectives the returned bound is still a valid
+    ``MAX`` denominator, but those ratio guarantees do not transfer
+    (see ``docs/objectives.md`` for the per-objective table).
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    return objective.max_coverage(k)

@@ -12,14 +12,19 @@ the "current coverage + sum of the ``slots_left`` largest gains" upper
 bound (exact on the no-overlap relaxation). Exponential in the worst case —
 callers guard instance sizes, and both an input-size and a search-node
 limit turn hopeless instances into explicit errors instead of hangs.
+
+Both entry points accept an :class:`~repro.coverage.objectives.Objective`:
+the search then runs over the objective's (weighted) element sets. The
+bound stays exact for any non-negative weights, and subset domination stays
+sound (a subset's weighted gain never exceeds its superset's).
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.coverage.core import EmbeddingSet, as_vertex_set
-from repro.coverage.greedy import greedy_max_coverage
+from repro.coverage.objectives import Objective
 from repro.exceptions import ConfigError
 
 _DEFAULT_MAX_EMBEDDINGS = 4000
@@ -30,22 +35,35 @@ def optimal_coverage(
     k: int,
     max_embeddings: int = _DEFAULT_MAX_EMBEDDINGS,
     max_nodes: int = 2_000_000,
+    objective: Optional[Objective] = None,
 ) -> Tuple[int, List[EmbeddingSet]]:
     """``(|C(OPT)|, OPT)`` for selecting at most ``k`` of ``embeddings``.
 
-    Raises :class:`~repro.exceptions.ConfigError` when the instance exceeds
-    ``max_embeddings`` candidates after deduplication, or when the search
-    tree exceeds ``max_nodes`` — raise the limits explicitly if you really
-    mean it (an exact answer on a hard instance can be exponential).
+    ``OPT`` is returned as element sets (vertex sets under the default
+    objective). Raises :class:`~repro.exceptions.ConfigError` when the
+    instance exceeds ``max_embeddings`` candidates after deduplication, or
+    when the search tree exceeds ``max_nodes`` — raise the limits explicitly
+    if you really mean it (an exact answer on a hard instance can be
+    exponential).
     """
     if k < 1:
         return 0, []
-    # Deduplicate by vertex set and drop dominated embeddings (subsets of
+    weight = None
+    if objective is not None and not objective.unit_weights:
+        weight = objective.weight
+    project = as_vertex_set if objective is None else objective.elements
+
+    def measure_of(elems: Iterable) -> int:
+        if weight is None:
+            return len(elems) if hasattr(elems, "__len__") else sum(1 for _ in elems)
+        return sum(weight(e) for e in elems)
+
+    # Deduplicate by element set and drop dominated embeddings (subsets of
     # another embedding can never be strictly needed when a superset fits).
     unique: List[EmbeddingSet] = []
     seen: Set[EmbeddingSet] = set()
     for emb in embeddings:
-        s = as_vertex_set(emb)
+        s = project(emb)
         if s not in seen:
             seen.add(s)
             unique.append(s)
@@ -57,16 +75,21 @@ def optimal_coverage(
         )
 
     # Greedy seed: a strong incumbent makes the bound bite immediately.
-    incumbent = greedy_max_coverage(unique, k)
-    best_cover = len(set().union(*incumbent)) if incumbent else 0
+    incumbent = _greedy_seed(unique, k, weight)
+    best_cover = measure_of(set().union(*incumbent)) if incumbent else 0
     best_sel: List[EmbeddingSet] = list(incumbent)
     nodes_visited = 0
 
-    def dfs(pool: List[EmbeddingSet], covered: Set[int], chosen: List[EmbeddingSet]) -> None:
+    def gain_of(emb: EmbeddingSet, covered: Set) -> int:
+        if weight is None:
+            return sum(1 for e in emb if e not in covered)
+        return sum(weight(e) for e in emb if e not in covered)
+
+    def dfs(pool: List[EmbeddingSet], covered: Set, covered_w, chosen: List[EmbeddingSet]) -> None:
         """Branch on the highest-gain remaining set with live gain bounds.
 
         Re-evaluating gains at every node is O(n*q) but collapses the node
-        count: the bound ``|covered| + sum of top slots_left gains`` is
+        count: the bound ``covered weight + sum of top slots_left gains`` is
         exact on the relaxation where sets may overlap arbitrarily.
         """
         nonlocal best_cover, best_sel, nodes_visited
@@ -76,46 +99,68 @@ def optimal_coverage(
                 f"exact max-coverage search exceeded {max_nodes} nodes; "
                 "the instance is too hard for an exact answer"
             )
-        if len(covered) > best_cover:
-            best_cover = len(covered)
+        if covered_w > best_cover:
+            best_cover = covered_w
             best_sel = list(chosen)
         slots_left = k - len(chosen)
         if slots_left == 0:
             return
         scored = sorted(
-            (
-                (sum(1 for v in emb if v not in covered), emb)
-                for emb in pool
-            ),
+            ((gain_of(emb, covered), emb) for emb in pool),
             key=lambda t: -t[0],
         )
         scored = [(g, emb) for g, emb in scored if g > 0]
         if not scored:
             return
-        if len(covered) + sum(g for g, _ in scored[:slots_left]) <= best_cover:
+        if covered_w + sum(g for g, _ in scored[:slots_left]) <= best_cover:
             return
         gain, emb = scored[0]
         rest = [e for _, e in scored[1:]]
         # Branch 1: take the best set.
-        added = [v for v in emb if v not in covered]
+        added = [e for e in emb if e not in covered]
         covered.update(added)
         chosen.append(emb)
-        dfs(rest, covered, chosen)
+        dfs(rest, covered, covered_w + gain, chosen)
         chosen.pop()
         covered.difference_update(added)
         # Branch 2: exclude it entirely.
-        dfs(rest, covered, chosen)
+        dfs(rest, covered, covered_w, chosen)
 
-    dfs(unique, set(), [])
+    dfs(unique, set(), 0, [])
     return best_cover, best_sel
+
+
+def _greedy_seed(
+    pool: Sequence[EmbeddingSet], k: int, weight
+) -> List[EmbeddingSet]:
+    """Greedy incumbent over element sets (ties toward earliest, as [Feige])."""
+    chosen: List[EmbeddingSet] = []
+    covered: Set = set()
+    remaining = list(range(len(pool)))
+    while remaining and len(chosen) < k:
+        best_index, best_gain = -1, 0
+        for idx in remaining:
+            if weight is None:
+                gain = sum(1 for e in pool[idx] if e not in covered)
+            else:
+                gain = sum(weight(e) for e in pool[idx] if e not in covered)
+            if gain > best_gain:
+                best_gain, best_index = gain, idx
+        if best_index < 0:
+            break
+        chosen.append(pool[best_index])
+        covered.update(pool[best_index])
+        remaining.remove(best_index)
+    return chosen
 
 
 def _drop_dominated(embeddings: List[EmbeddingSet]) -> List[EmbeddingSet]:
     """Remove embeddings that are strict subsets of another embedding.
 
-    Safe for maximum coverage: any solution using a dominated set is at most
-    as good with the dominating set substituted (duplicates were removed
-    upstream, so substitution never collides).
+    Safe for maximum coverage under any non-negative weights: any solution
+    using a dominated set is at most as good with the dominating set
+    substituted (duplicates were removed upstream, so substitution never
+    collides).
     """
     by_size = sorted(embeddings, key=len, reverse=True)
     kept: List[EmbeddingSet] = []
@@ -130,14 +175,22 @@ def exact_ratio(
     embeddings: Sequence[Iterable[int]],
     k: int,
     max_embeddings: int = _DEFAULT_MAX_EMBEDDINGS,
+    objective: Optional[Objective] = None,
 ) -> float:
     """True approximation ratio of ``solution`` against the exact optimum.
 
     Returns 1.0 when the optimum covers nothing (then any solution is
     trivially optimal).
     """
-    opt_cover, _ = optimal_coverage(embeddings, k, max_embeddings=max_embeddings)
+    opt_cover, _ = optimal_coverage(
+        embeddings, k, max_embeddings=max_embeddings, objective=objective
+    )
     if opt_cover == 0:
         return 1.0
-    achieved = len(set().union(*(set(e) for e in solution))) if solution else 0
+    if objective is None:
+        achieved = (
+            len(set().union(*(set(e) for e in solution))) if solution else 0
+        )
+    else:
+        achieved = objective.collection_coverage(solution)
     return achieved / opt_cover

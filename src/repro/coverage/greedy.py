@@ -8,14 +8,16 @@ scans over the whole embedding set — the cost the paper's DSQL avoids.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.coverage.core import EmbeddingSet, as_vertex_set
+from repro.coverage.objectives import Objective
 
 
 def greedy_max_coverage(
     embeddings: Sequence[Iterable[int]],
     k: int,
+    objective: Optional[Objective] = None,
 ) -> List[EmbeddingSet]:
     """Select up to ``k`` embeddings greedily by marginal coverage gain.
 
@@ -23,26 +25,41 @@ def greedy_max_coverage(
     output deterministic. Selection stops early when no remaining embedding
     adds coverage — extra overlapping results would not increase diversity.
 
-    Returns the selected embeddings as vertex sets, in selection order.
+    With the default (vertex) objective, returns the selected embeddings as
+    vertex sets, in selection order. With an explicit ``objective``, gains
+    are weighted element gains and the selected embeddings are returned *as
+    given* (element sets cannot stand in for mappings under, e.g., the edge
+    objective). The ``1 - 1/e`` guarantee holds for any non-negative-weight
+    coverage objective (weighted max coverage is still submodular).
     """
     if k < 1:
         return []
-    pool: List[EmbeddingSet] = [as_vertex_set(e) for e in embeddings]
-    chosen: List[EmbeddingSet] = []
-    covered: Set[int] = set()
+    if objective is None:
+        pool: List[EmbeddingSet] = [as_vertex_set(e) for e in embeddings]
+        returned: Sequence = pool
+        weight = None
+    else:
+        pool = [objective.elements(e) for e in embeddings]
+        returned = list(embeddings)
+        weight = None if objective.unit_weights else objective.weight
+    chosen: List = []
+    covered: Set = set()
     remaining = list(range(len(pool)))
 
     while remaining and len(chosen) < k:
         best_index = -1
         best_gain = 0
         for idx in remaining:
-            gain = sum(1 for v in pool[idx] if v not in covered)
+            if weight is None:
+                gain = sum(1 for e in pool[idx] if e not in covered)
+            else:
+                gain = sum(weight(e) for e in pool[idx] if e not in covered)
             if gain > best_gain:
                 best_gain = gain
                 best_index = idx
         if best_index < 0:
             break
-        chosen.append(pool[best_index])
+        chosen.append(returned[best_index])
         covered.update(pool[best_index])
         remaining.remove(best_index)
     return chosen

@@ -15,10 +15,11 @@ Two algorithms that assume the embeddings can be scanned repeatedly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.coverage.bounds import next_alpha, next_gamma
-from repro.coverage.core import EmbeddingSet, as_vertex_set, coverage
+from repro.coverage.core import EmbeddingSet, as_vertex_set
+from repro.coverage.objectives import Objective
 from repro.coverage.swap import SwapAlpha, SwapRun, swap_stream
 from repro.exceptions import ConfigError
 
@@ -104,6 +105,7 @@ def swap_alpha_multiscan(
     num_scans: int = 3,
     gamma0: float = 0.0,
     progressive_init: bool = True,
+    objective: Optional[Objective] = None,
 ) -> MultiScanResult:
     """Multi-pass SWAPα with the Theorem 5 α schedule.
 
@@ -112,11 +114,20 @@ def swap_alpha_multiscan(
     Passes stop early when γ reaches 0.5 (no further provable gain) or when a
     pass performs no swap (the collection is stable, so later identical
     passes cannot change it either).
+
+    ``objective`` selects the coverage objective for every pass (``None`` =
+    the paper's vertex coverage; the Theorem 5 γ schedule is proven for
+    unit weights only). :func:`dsq_ns` stays vertex-only by design: its
+    ``q - i`` admission thresholds *are* vertex counts (Section 3).
     """
     if num_scans < 1:
         raise ConfigError(f"num_scans must be >= 1, got {num_scans}")
     gamma = gamma0
     members: List[EmbeddingSet] = []
+    # Passes chain on the raw stream embeddings, not the element sets: a
+    # non-vertex objective cannot re-project an element set.
+    carry: List = []
+    coverage_now = 0
     per_scan: List[int] = []
     scans_done = 0
     for t in range(num_scans):
@@ -127,18 +138,21 @@ def swap_alpha_multiscan(
             embeddings,
             k,
             SwapAlpha(alpha=alpha),
-            initial=members if t else None,
+            initial=carry if t else None,
             progressive_init=progressive_init,
+            objective=objective,
         )
         scans_done += 1
         members = run.members
+        carry = run.embeddings
+        coverage_now = run.coverage
         per_scan.append(run.coverage)
         gamma = next_gamma(gamma)
         if t > 0 and run.swaps == 0:
             break
     return MultiScanResult(
         members=members,
-        coverage=coverage(members),
+        coverage=coverage_now,
         scans=scans_done,
         per_scan_coverage=per_scan,
     )

@@ -1,0 +1,318 @@
+"""Pluggable diversity objectives: what an embedding *covers*.
+
+The paper's coverage algebra (``C``, ``B``, ``L``, ``L+``; Sections 2 and 6)
+is defined over *data vertices*: an embedding covers its matched vertices
+and every quantity is a distinct-vertex count. That choice is baked into the
+algorithms but not essential to them — TED (arXiv 2212.07612) diversifies by
+covered data-graph **edges**, and volume-based diversity functions
+(arXiv 2509.11929) show the same swap machinery applies to a family of
+weighted coverage objectives.
+
+This module is the seam: an :class:`Objective` maps an embedding to a set of
+**coverage elements** plus a per-element weight, and everything downstream
+(:class:`~repro.coverage.core.CoverageTracker`, the SWAP conditions, the
+DSQL-P2 dispatch) speaks only in element terms. Three objectives ship:
+
+=====================  ===========================================  =========
+name                   elements of an embedding                      weights
+=====================  ===========================================  =========
+``vertex``             matched data vertices (the paper, default)   all 1
+``edge``               matched data edges, one per query edge       all 1
+``weighted-vertex``    matched data vertices                        per-vertex
+=====================  ===========================================  =========
+
+Guarantee survival (the full table lives in ``docs/objectives.md``):
+
+* ``vertex`` — every claim of the paper holds; the default pipeline is
+  bit-identical to the pre-seam implementation (equivalence-gated in
+  ``tests/property/test_objective_equivalence.py``).
+* ``edge`` — injectivity makes the per-embedding element count exactly
+  ``|E(Q)|``, and vertex-disjoint solutions are edge-disjoint, so the
+  *disjoint* optimality certificate survives; the *exhausted* certificate is
+  forfeited (an embedding inside ``V(T)`` can still contribute fresh edges,
+  but the level-wise generator never proposes vertex-covered embeddings).
+  Lemma-4 early termination survives only through the weak unconditional
+  bound ``B(h, T) <= |E(Q)|``.
+* ``weighted-vertex`` — the *exhausted* certificate survives (a vertex-
+  covered embedding has weighted benefit 0); the *disjoint* certificate is
+  forfeited (disjointness no longer implies maximum weight), as are the
+  Theorem 3/4/6 constants, which are proven for unit weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigError
+
+Element = Union[int, Tuple[int, int]]
+ElementSet = FrozenSet[Element]
+Number = Union[int, float]
+
+OBJECTIVE_NAMES: Tuple[str, ...] = ("vertex", "edge", "weighted-vertex")
+"""The supported objective names, in documentation order."""
+
+
+class Objective:
+    """Base class for diversity objectives.
+
+    Subclasses define what an embedding covers (:meth:`elements`) and how
+    much each element is worth (:meth:`weight`); the flags tell the DSQL
+    dispatcher which of the paper's shortcuts remain sound:
+
+    Attributes
+    ----------
+    name:
+        The registry name (one of :data:`OBJECTIVE_NAMES`).
+    unit_weights:
+        Every element weighs exactly 1. Enables the integer fast paths in
+        :class:`~repro.coverage.core.CoverageTracker` — the default vertex
+        objective must keep the paper's all-integer arithmetic.
+    vertex_elements:
+        Elements *are* data vertices. Required for the ``V(T1) ⊆ V(T)``
+        premise of Lemma 4 (the tracker's cover set is a vertex set only
+        when this holds).
+    certifies_disjoint_optimal:
+        ``k`` pairwise vertex-disjoint embeddings are provably optimal.
+    certifies_exhausted_optimal:
+        Exhausting all levels with ``|T| < k`` is provably optimal.
+    """
+
+    name: str = "abstract"
+    unit_weights: bool = True
+    vertex_elements: bool = True
+    certifies_disjoint_optimal: bool = True
+    certifies_exhausted_optimal: bool = True
+
+    def elements(self, embedding: Iterable[int]) -> ElementSet:
+        """The coverage elements of one embedding, as a frozen set."""
+        raise NotImplementedError
+
+    def weight(self, elem: Element) -> Number:
+        """The weight of one element (1 unless the objective is weighted)."""
+        return 1
+
+    def measure(self, elems: Iterable[Element]) -> Number:
+        """Total weight of an element set (``len`` on unit weights)."""
+        if self.unit_weights:
+            return len(elems) if hasattr(elems, "__len__") else sum(1 for _ in elems)
+        weight = self.weight
+        return sum(weight(e) for e in elems)
+
+    def collection_coverage(self, collection: Iterable[Iterable[int]]) -> Number:
+        """``|C(F)|`` under this objective: measure of the element union."""
+        union: set = set()
+        for emb in collection:
+            union.update(self.elements(emb))
+        return self.measure(union)
+
+    def max_coverage(self, k: int) -> Number:
+        """Upper bound on any ``k``-collection's coverage (replaces ``k*q``)."""
+        raise NotImplementedError
+
+    def future_benefit_bound(
+        self, level: int, snapshot_preserved: bool
+    ) -> Optional[Number]:
+        """Lemma-4 bound on ``B(h, T)`` for embeddings generated at ``level``.
+
+        ``snapshot_preserved`` is the dispatcher's ``V(T1) ⊆ V(T)`` test
+        (always ``False`` when :attr:`vertex_elements` is unset — the
+        tracker then has no vertex cover set to test against). ``None``
+        means no usable bound: early termination is forfeited.
+        """
+        raise NotImplementedError
+
+
+class VertexCoverage(Objective):
+    """The paper's objective: distinct matched data vertices, unit weight.
+
+    ``q`` (the query-node count) is only needed by the dispatch-side methods
+    (:meth:`max_coverage`, :meth:`future_benefit_bound`); an unbound
+    instance (``q=None``) still serves as a tracker/scratch-helper default.
+    """
+
+    name = "vertex"
+
+    def __init__(self, q: Optional[int] = None) -> None:
+        self.q = q
+
+    @staticmethod
+    def elements(embedding: Iterable[int]) -> ElementSet:
+        return embedding if isinstance(embedding, frozenset) else frozenset(embedding)
+
+    def max_coverage(self, k: int) -> int:
+        self._require_q()
+        return k * self.q
+
+    def future_benefit_bound(
+        self, level: int, snapshot_preserved: bool
+    ) -> Optional[int]:
+        self._require_q()
+        return self.q - level if snapshot_preserved else None
+
+    def _require_q(self) -> None:
+        if self.q is None:
+            raise ConfigError(
+                "this VertexCoverage is not bound to a query; construct it "
+                "with q=query.size for dispatch-side bounds"
+            )
+
+
+class EdgeCoverage(Objective):
+    """TED-style objective: the data edges an embedding maps ``E(Q)`` onto.
+
+    Each query edge ``(u, v)`` contributes the normalized data edge
+    ``(min(m[u], m[v]), max(m[u], m[v]))``. Injectivity makes the per-
+    embedding element count exactly ``|E(Q)|`` — which is why embeddings
+    must be passed as query-node-indexed mappings (tuples), never as bare
+    vertex sets: a set has forgotten which data edges were matched.
+    """
+
+    name = "edge"
+    vertex_elements = False
+    certifies_exhausted_optimal = False
+
+    def __init__(self, query) -> None:
+        self.query_edges: Tuple[Tuple[int, int], ...] = tuple(query.edges())
+        self.num_edges = len(self.query_edges)
+
+    def elements(self, embedding: Sequence[int]) -> ElementSet:
+        try:
+            return frozenset(
+                (embedding[u], embedding[v])
+                if embedding[u] < embedding[v]
+                else (embedding[v], embedding[u])
+                for u, v in self.query_edges
+            )
+        except TypeError:
+            raise TypeError(
+                "the edge objective needs query-node-indexed mappings "
+                f"(tuples), not {type(embedding).__name__!r}: a vertex set "
+                "has forgotten which data edges were matched"
+            ) from None
+
+    def max_coverage(self, k: int) -> int:
+        return k * self.num_edges
+
+    def future_benefit_bound(
+        self, level: int, snapshot_preserved: bool
+    ) -> Optional[int]:
+        # Unconditional but weak: every embedding covers exactly |E(Q)|
+        # edges, so B(h, T) <= |E(Q)| regardless of level or snapshot.
+        return self.num_edges
+
+
+class WeightedVertexCoverage(Objective):
+    """Per-vertex-weighted coverage: elements are vertices, weights vary.
+
+    Weights come from :func:`build_weight_profile` — either supplied
+    explicitly (``DSQLConfig.vertex_weights``) or derived from the dataset
+    as ``1 + degree(v)`` (hub vertices are worth more, a natural notion of
+    "important" coverage that needs no side-channel data). Integer-valued
+    weights keep the arithmetic exact.
+    """
+
+    name = "weighted-vertex"
+    unit_weights = False
+    certifies_disjoint_optimal = False
+
+    def __init__(self, profile: "WeightProfile", q: int) -> None:
+        self.profile = profile
+        self.q = q
+        self._weights = profile.weights
+        self._default = profile.default
+
+    elements = staticmethod(VertexCoverage.elements)
+
+    def weight(self, elem: int) -> Number:
+        return self._weights.get(elem, self._default)
+
+    def max_coverage(self, k: int) -> Number:
+        return k * self.profile.top_sum(self.q)
+
+    def future_benefit_bound(
+        self, level: int, snapshot_preserved: bool
+    ) -> Optional[Number]:
+        if not snapshot_preserved:
+            return None
+        return (self.q - level) * self.profile.max_weight
+
+
+class WeightProfile:
+    """A graph's vertex-weight table, precomputed once per DSQL session.
+
+    ``top_sum(q)`` — the sum of the ``q`` largest weights — is what bounds a
+    single embedding's coverage, so ``max_coverage(k) = k * top_sum(q)``.
+    """
+
+    def __init__(self, weights: Dict[int, Number], default: Number, num_vertices: int) -> None:
+        self.weights = weights
+        self.default = default
+        full: List[Number] = [weights.get(v, default) for v in range(num_vertices)]
+        full.sort(reverse=True)
+        self._sorted_desc = full
+        self.max_weight = full[0] if full else default
+
+    def top_sum(self, q: int) -> Number:
+        return sum(self._sorted_desc[:q])
+
+
+def build_weight_profile(graph, vertex_weights=None) -> WeightProfile:
+    """Build the weight table for ``graph``.
+
+    ``vertex_weights`` is ``DSQLConfig.vertex_weights`` — an iterable of
+    ``(vertex, weight)`` pairs overriding the default weight 1. When absent,
+    weights are derived from the dataset: ``1 + degree(v)``, all integers.
+    """
+    if vertex_weights:
+        weights: Dict[int, Number] = {}
+        for v, w in vertex_weights:
+            if not 0 <= v < graph.num_vertices:
+                raise ConfigError(
+                    f"vertex_weights names vertex {v}, but the graph has "
+                    f"{graph.num_vertices} vertices"
+                )
+            weights[v] = w
+        return WeightProfile(weights, default=1, num_vertices=graph.num_vertices)
+    weights = {v: 1 + graph.degree(v) for v in range(graph.num_vertices)}
+    return WeightProfile(weights, default=1, num_vertices=graph.num_vertices)
+
+
+def make_objective(
+    name: str,
+    query=None,
+    graph=None,
+    vertex_weights=None,
+    weight_profile: Optional[WeightProfile] = None,
+) -> Objective:
+    """Construct a bound objective by registry name.
+
+    ``vertex`` needs ``query`` only for the dispatch-side bounds (it may be
+    omitted for tracker-only use); ``edge`` needs ``query``;
+    ``weighted-vertex`` needs either a prebuilt ``weight_profile`` or a
+    ``graph`` (plus ``query`` for the bounds).
+    """
+    if name == "vertex":
+        return VertexCoverage(q=query.size if query is not None else None)
+    if name == "edge":
+        if query is None:
+            raise ConfigError("the edge objective requires the query graph")
+        return EdgeCoverage(query)
+    if name == "weighted-vertex":
+        if query is None:
+            raise ConfigError("the weighted-vertex objective requires the query graph")
+        if weight_profile is None:
+            if graph is None:
+                raise ConfigError(
+                    "the weighted-vertex objective requires the data graph "
+                    "(or a prebuilt WeightProfile)"
+                )
+            weight_profile = build_weight_profile(graph, vertex_weights)
+        return WeightedVertexCoverage(weight_profile, q=query.size)
+    raise ConfigError(
+        f"unknown objective {name!r}; choose from {sorted(OBJECTIVE_NAMES)}"
+    )
+
+
+VERTEX = VertexCoverage()
+"""Unbound vertex objective: the default for trackers and scratch helpers."""

@@ -17,6 +17,15 @@ embedding stream once, swapping a member out when its condition fires:
   ``B(h, F) >= (1 + alpha) * L(f, F)`` with the *h-independent* loss of
   Equation (1), which is what enables DSQL-P2's early termination.
 
+All conditions are written against the tracker's *element* algebra, so they
+work unchanged under any :class:`~repro.coverage.objectives.Objective`: the
+``h`` a condition receives is an already-projected element set, and every
+benefit/loss is a weighted element quantity. Under the default ``vertex``
+objective this is exactly the paper's vertex arithmetic. The streaming
+*guarantees* of [25]/[3] are weighted-max-coverage guarantees and survive
+any objective; the paper's Theorem 4/6 constants are proven for unit
+weights (see ``docs/objectives.md``).
+
 All algorithms support the **progressive initialization** of Section 6.1.3:
 start from an empty collection and admit embeddings with non-zero benefit
 (the fictitious swapped-out embedding has zero loss) until ``k`` members are
@@ -29,16 +38,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Protocol
 
-from repro.coverage.core import CoverageTracker, EmbeddingSet, as_vertex_set
+from repro.coverage.core import CoverageTracker
+from repro.coverage.objectives import ElementSet, Objective
 from repro.exceptions import ConfigError
 
 
 class SwapCondition(Protocol):
-    """Strategy interface: propose a member to evict for a scanned embedding."""
+    """Strategy interface: propose a member to evict for a scanned embedding.
+
+    ``h`` is the scanned embedding's *element set* (its vertex set under the
+    default objective), already projected by the caller.
+    """
 
     name: str
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
         """Slot id of the member to swap out for ``h``, or ``None`` to skip."""
 
 
@@ -47,24 +61,23 @@ class Swap0:
     """Swap whenever it strictly increases coverage (naive baseline).
 
     Evaluates the exact post-swap coverage for every member (crediting
-    private vertices that ``h`` re-covers) and evicts the member giving the
+    private elements that ``h`` re-covers) and evicts the member giving the
     largest strict improvement.
     """
 
     name: str = "SWAP0"
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
-        b = tracker.benefit(h)
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
+        b = tracker.benefit_elements(h)
         if b <= 0:
             return None
-        h_set = as_vertex_set(h)
         best_slot, best_after = None, tracker.coverage
         for slot in tracker.slots():
             after = (
                 tracker.coverage
                 - tracker.loss(slot)
                 + b
-                + _recovered_privates(tracker, slot, h_set)
+                + _recovered_privates(tracker, slot, h)
             )
             if after > best_after:
                 best_slot, best_after = slot, after
@@ -77,8 +90,8 @@ class Swap1:
 
     name: str = "SWAP1"
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
-        b = tracker.benefit(h)
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
+        b = tracker.benefit_elements(h)
         if b <= 0:
             return None
         # Fast path: L+(f, h) <= L(f), so if the benefit already doubles the
@@ -99,26 +112,34 @@ class Swap2:
 
     name: str = "SWAP2"
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
-        if tracker.benefit(h) <= 0:
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
+        b = tracker.benefit_elements(h)
+        if b <= 0:
             return None
         current = tracker.coverage
         slot, f_loss = tracker.min_loss_member()
         # Coverage after swapping out the min-loss f and adding h: the
-        # private vertices of f leave unless h re-covers them.
-        h_set = as_vertex_set(h)
-        after = current - f_loss + tracker.benefit(h) + _recovered_privates(tracker, slot, h_set)
+        # private elements of f leave unless h re-covers them.
+        after = current - f_loss + b + _recovered_privates(tracker, slot, h)
         if after * k >= (k + 1) * current:
             return slot
         return None
 
 
-def _recovered_privates(tracker: CoverageTracker, slot: int, h_set: EmbeddingSet) -> int:
-    """Private vertices of member ``slot`` that ``h`` would keep covered."""
+def _recovered_privates(tracker: CoverageTracker, slot: int, h_elems: ElementSet) -> int:
+    """Total weight of member ``slot``'s private elements that ``h`` re-covers."""
+    objective = tracker.objective
+    if objective.unit_weights:
+        return sum(
+            1
+            for e in tracker.member(slot)
+            if e in h_elems and tracker.multiplicity(e) == 1
+        )
+    weight = objective.weight
     return sum(
-        1
-        for v in tracker.member(slot)
-        if v in h_set and tracker.multiplicity(v) == 1
+        weight(e)
+        for e in tracker.member(slot)
+        if e in h_elems and tracker.multiplicity(e) == 1
     )
 
 
@@ -133,15 +154,14 @@ class SwapA:
     hybrid_weight: float = 0.5
     name: str = "SWAP_A"
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
-        b = tracker.benefit(h)
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
+        b = tracker.benefit_elements(h)
         if b <= 0:
             return None
-        h_set = as_vertex_set(h)
-        slot, lplus = tracker.min_loss_plus_member(h_set)
+        slot, lplus = tracker.min_loss_plus_member(h)
         margin1 = b - 2 * lplus
         current = tracker.coverage
-        after = current - tracker.loss(slot) + b + _recovered_privates(tracker, slot, h_set)
+        after = current - tracker.loss(slot) + b + _recovered_privates(tracker, slot, h)
         margin2 = (k * after - (k + 1) * current) / k
         w = self.hybrid_weight
         if w * margin1 + (1.0 - w) * margin2 >= 0:
@@ -164,8 +184,8 @@ class SwapAlpha:
         if self.alpha < 0:
             raise ConfigError(f"alpha must be >= 0, got {self.alpha}")
 
-    def propose(self, tracker: CoverageTracker, h: EmbeddingSet, k: int) -> Optional[int]:
-        b = tracker.benefit(h)
+    def propose(self, tracker: CoverageTracker, h: ElementSet, k: int) -> Optional[int]:
+        b = tracker.benefit_elements(h)
         if b <= 0:
             return None
         slot, f_loss = tracker.min_loss_member()
@@ -181,19 +201,24 @@ class SwapRun:
     Attributes
     ----------
     members:
-        Final collection as vertex sets.
+        Final collection as element sets (vertex sets by default).
     coverage:
-        ``|C(F_final)|``.
+        ``|C(F_final)|`` under the run's objective.
     examined, admitted, swaps:
         Stream statistics: embeddings scanned, admitted during progressive
         initialization, and swapped in after the collection filled.
+    embeddings:
+        The final members exactly as they arrived on the stream (needed to
+        chain passes under non-vertex objectives, where an element set
+        cannot be re-projected).
     """
 
-    members: List[EmbeddingSet]
+    members: List[ElementSet]
     coverage: int
     examined: int = 0
     admitted: int = 0
     swaps: int = 0
+    embeddings: List[Iterable[int]] = field(default_factory=list)
 
 
 def swap_stream(
@@ -202,13 +227,16 @@ def swap_stream(
     condition: SwapCondition,
     initial: Optional[Iterable[Iterable[int]]] = None,
     progressive_init: bool = True,
+    objective: Optional[Objective] = None,
 ) -> SwapRun:
     """Run one streaming pass of ``condition`` over ``stream``.
 
     Parameters
     ----------
     stream:
-        Embeddings (vertex iterables) in arrival order.
+        Embeddings in arrival order: vertex iterables by default, or
+        whatever ``objective.elements`` accepts (query-node-indexed mapping
+        tuples for the edge objective).
     k:
         Collection capacity.
     condition:
@@ -216,33 +244,36 @@ def swap_stream(
     initial:
         Optional pre-filled collection (used by multi-pass scans, where pass
         ``t`` starts from pass ``t-1``'s result, and by DSQL-P2 which starts
-        from the Phase-1 collection).
+        from the Phase-1 collection). Same embedding format as ``stream``.
     progressive_init:
         When the collection is not yet full: if ``True`` (Section 6.1.3),
         admit embeddings with positive benefit; if ``False``, admit the first
         ``k`` embeddings unconditionally (the plain [25]/[3] initialization).
+    objective:
+        The coverage objective; ``None`` means the paper's vertex coverage.
     """
     if k < 1:
         raise ConfigError(f"k must be >= 1, got {k}")
-    tracker = CoverageTracker(initial or ())
+    tracker = CoverageTracker(initial or (), objective=objective)
     if len(tracker) > k:
         raise ConfigError(f"initial collection has {len(tracker)} > k = {k} members")
     run = SwapRun(members=[], coverage=0)
 
     for raw in stream:
-        h = as_vertex_set(raw)
+        h = tracker.project(raw)
         run.examined += 1
         if len(tracker) < k:
-            if not progressive_init or tracker.benefit(h) > 0:
-                tracker.add(h)
+            if not progressive_init or tracker.benefit_elements(h) > 0:
+                tracker.add_projected(h, raw)
                 run.admitted += 1
             continue
         slot = condition.propose(tracker, h, k)
         if slot is not None:
             tracker.remove(slot)
-            tracker.add(h)
+            tracker.add_projected(h, raw)
             run.swaps += 1
 
     run.members = tracker.members()
+    run.embeddings = tracker.member_embeddings()
     run.coverage = tracker.coverage
     return run

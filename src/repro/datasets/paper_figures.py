@@ -12,11 +12,18 @@ These pin the Section 5 optimization examples:
 
 The graphs are built at a configurable width so tests can keep them small
 while benchmarks can reproduce the papers' ~1000-vertex fan-outs.
+
+This module also hosts the **objective scenario packs**
+(:data:`OBJECTIVE_PACKS`): small adversarial graph+query pairs on which a
+non-default objective (docs/objectives.md) provably selects a *different*
+answer than the paper's vertex objective — the fixtures behind the
+objective divergence tests and ``benchmarks/bench_objectives.py``.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.labeled_graph import LabeledGraph
@@ -170,3 +177,121 @@ def figure5(width: int = 30, teasers: int = 15) -> Tuple[LabeledGraph, QueryGrap
         [(v6, gb), (gb, ge), (v6, gc), (gb, gc), (gc, gd), (v6, gd)]
     )
     return b.build(name="figure5"), query
+
+
+# ----------------------------------------------------------------------
+# Objective scenario packs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectivePack:
+    """An adversarial fixture where one objective diverges from ``vertex``.
+
+    Running DSQL on ``(graph, query, k)`` under ``objective`` (with
+    ``vertex_weights`` when set) selects a provably different embedding set
+    than the default vertex run — see each pack constructor's docstring for
+    the mechanism. The packs are deliberately tiny and fully deterministic;
+    the divergence they encode is pinned by
+    ``tests/coverage/test_objectives.py``.
+    """
+
+    name: str
+    objective: str
+    graph: LabeledGraph
+    query: QueryGraph
+    k: int
+    vertex_weights: Optional[Tuple[Tuple[int, float], ...]] = None
+
+
+def edge_pack() -> ObjectivePack:
+    """The two-spine "book": edge diversity keeps what vertex diversity swaps.
+
+    Query: triangle ``a-b-c``. Data: spine ``a1-b1`` with eight pages
+    (each page closes a triangle with the spine), plus a second spine
+    ``a2-b2`` attached to one *shared* page — the page Phase 1's first
+    embedding lands on under the default retention seed (Section 5.2 caps
+    the page candidates randomly with ``seed = 0``; the attachment point is
+    tuned to coincide, which is what makes this pack adversarial rather
+    than generic).
+
+    With ``k = 7``, Phase 1 collects the first spine-1 triangle at level 0,
+    the spine-2 triangle at level 1 (it overlaps ``V(T)`` only at the shared
+    page) and five more spine-1 triangles at level 2 — 10 distinct vertices,
+    vertex ratio ``10/21 < 0.5``, so the **vertex** run enters Phase 2 and
+    swaps: the first triangle has vertex loss 0 (``a1``/``b1`` live in every
+    other spine-1 triangle, the shared page in the spine-2 one), so a spare
+    page's triangle is accepted with benefit 1 against ``(1 + alpha) * 0``.
+    The **edge** run covers 16 of ``k * |E(Q)| = 21`` data edges after
+    Phase 1 — ratio above the 0.5 dispatch target — so it keeps the Phase-1
+    answer with the loss-0 sharing structure intact: the two runs return
+    different embedding sets, the vertex one strictly better in distinct
+    vertices (11 vs 10), the edge one no worse in distinct edges (16 each).
+    """
+    query = QueryGraph(["a", "b", "c"], [(0, 1), (0, 2), (1, 2)], name="edge-pack-query")
+    b = GraphBuilder()
+    a1 = b.add_vertex("a")
+    b1 = b.add_vertex("b")
+    a2 = b.add_vertex("a")
+    b2 = b.add_vertex("b")
+    b.add_edge(a1, b1)
+    b.add_edge(a2, b2)
+    pages = [b.add_vertex("c") for _ in range(8)]
+    for page in pages:
+        b.add_edge(a1, page)
+        b.add_edge(b1, page)
+    # The second spine closes its triangle through the shared page (index
+    # 4 = the first page retained by the seed-0 candidate cap).
+    b.add_edge(a2, pages[4])
+    b.add_edge(b2, pages[4])
+    return ObjectivePack(
+        name="edge-pack",
+        objective="edge",
+        graph=b.build(name="edge-pack"),
+        query=query,
+        k=7,
+    )
+
+
+def weighted_pack() -> ObjectivePack:
+    """The heavy-vertex pair: weight mass overrules the disjoint certificate.
+
+    Query: single edge ``a-b``. Data: two disjoint matches ``a1-b1`` and
+    ``a2-b2`` plus ``a3-b4`` where ``b4`` carries explicit weight 100.
+
+    With ``k = 2``, Phase 1 fills ``T`` with the two disjoint matches at
+    level 0, and the **vertex** run stops right there: ``k`` pairwise
+    disjoint embeddings are provably optimal (ratio 1). The
+    **weighted-vertex** run forfeits that certificate — disjointness bounds
+    *counts*, not weight mass — so it proceeds to Phase 2, where
+    ``(a3, b4)`` arrives with benefit 101 against a minimum loss of 2 and is
+    swapped in: the runs return different answers, and the weighted one has
+    weighted coverage 103 against the vertex answer's 4.
+    """
+    query = QueryGraph(["a", "b"], [(0, 1)], name="weighted-pack-query")
+    b = GraphBuilder()
+    a1 = b.add_vertex("a")
+    b1 = b.add_vertex("b")
+    a2 = b.add_vertex("a")
+    b2 = b.add_vertex("b")
+    a3 = b.add_vertex("a")
+    heavy = b.add_vertex("b")
+    b.add_edges([(a1, b1), (a2, b2), (a3, heavy)])
+    return ObjectivePack(
+        name="weighted-pack",
+        objective="weighted-vertex",
+        graph=b.build(name="weighted-pack"),
+        query=query,
+        k=2,
+        vertex_weights=((heavy, 100.0),),
+    )
+
+
+OBJECTIVE_PACKS: Dict[str, "ObjectivePack"] = {}
+"""Objective name -> built pack; populated lazily by :func:`objective_packs`."""
+
+
+def objective_packs() -> Dict[str, ObjectivePack]:
+    """Build (and memoize) every objective scenario pack, keyed by objective."""
+    if not OBJECTIVE_PACKS:
+        for pack in (edge_pack(), weighted_pack()):
+            OBJECTIVE_PACKS[pack.objective] = pack
+    return OBJECTIVE_PACKS

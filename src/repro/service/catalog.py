@@ -88,8 +88,18 @@ class CatalogEntry:
         k: Optional[int] = None,
         alpha: Optional[float] = None,
         time_budget_ms: Optional[float] = None,
+        objective: Optional[str] = None,
     ) -> DSQLConfig:
-        """The default config with per-request overrides applied (400 on bad values)."""
+        """The default config with per-request overrides applied (400 on bad values).
+
+        An ``objective`` override yields a distinct config — and therefore a
+        distinct session in the per-config LRU — so results computed under
+        different objectives can never share a ``query_many`` memo.
+        Weighted-vertex requests use degree-derived weights: per-vertex
+        weight tables never cross the wire, and the default config's
+        ``vertex_weights`` (if any) is dropped when the objective changes
+        away from ``weighted-vertex``.
+        """
         overrides: Dict[str, object] = {}
         if k is not None:
             overrides["k"] = k
@@ -97,6 +107,10 @@ class CatalogEntry:
             overrides["alpha"] = alpha
         if time_budget_ms is not None:
             overrides["time_budget_ms"] = time_budget_ms
+        if objective is not None and objective != self.default_config.objective:
+            overrides["objective"] = objective
+            if objective != "weighted-vertex":
+                overrides["vertex_weights"] = None
         if not overrides:
             return self.default_config
         try:

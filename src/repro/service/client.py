@@ -72,6 +72,7 @@ class ServiceClient:
         k: Optional[int] = None,
         alpha: Optional[float] = None,
         time_budget_ms: Optional[float] = None,
+        objective: Optional[str] = None,
     ) -> Dict[str, object]:
         """``POST /v1/query``; returns the response body (raises on non-200)."""
         payload: Dict[str, object] = {"graph": graph, "query": _encode_query(query)}
@@ -81,6 +82,8 @@ class ServiceClient:
             payload["alpha"] = alpha
         if time_budget_ms is not None:
             payload["time_budget_ms"] = time_budget_ms
+        if objective is not None:
+            payload["objective"] = objective
         return self._call("POST", "/v1/query", payload)
 
     def batch(
@@ -92,6 +95,7 @@ class ServiceClient:
         time_budget_ms: Optional[float] = None,
         strategy: Optional[str] = None,
         jobs: Optional[int] = None,
+        objective: Optional[str] = None,
     ) -> Dict[str, object]:
         """``POST /v1/batch``; returns the batch body with ``results`` in order."""
         payload: Dict[str, object] = {
@@ -108,6 +112,8 @@ class ServiceClient:
             payload["strategy"] = strategy
         if jobs is not None:
             payload["jobs"] = jobs
+        if objective is not None:
+            payload["objective"] = objective
         return self._call("POST", "/v1/batch", payload)
 
     def healthz(self) -> Dict[str, object]:

@@ -31,6 +31,7 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.coverage.objectives import OBJECTIVE_NAMES
 from repro.exceptions import GraphError, QueryError, ReproError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
@@ -90,6 +91,7 @@ class QueryRequest:
     k: Optional[int] = None
     alpha: Optional[float] = None
     time_budget_ms: Optional[float] = None
+    objective: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +105,7 @@ class BatchRequest:
     time_budget_ms: Optional[float] = None
     strategy: str = "serial"
     jobs: Optional[int] = None
+    objective: Optional[str] = None
 
 
 # ----------------------------------------------------------------------
@@ -147,6 +150,25 @@ def _optional_number(payload: Dict[str, object], name: str, positive: bool) -> O
     if not positive and value < 0:
         raise ServiceError(400, "invalid_request", f"{name!r} must be >= 0, got {value}")
     return float(value)
+
+
+def _optional_objective(payload: Dict[str, object]) -> Optional[str]:
+    """Validate the ``objective`` field against the registry (typed 400).
+
+    Weighted-vertex requests use the server-side *degree-derived* weights
+    (``1 + degree(v)``): explicit per-vertex weight tables do not cross the
+    wire — they are graph-sized, and the catalog owns the graphs.
+    """
+    value = payload.get("objective")
+    if value is None:
+        return None
+    if not isinstance(value, str) or value not in OBJECTIVE_NAMES:
+        raise ServiceError(
+            400,
+            "invalid_objective",
+            f"'objective' must be one of {sorted(OBJECTIVE_NAMES)}, got {value!r}",
+        )
+    return value
 
 
 # ----------------------------------------------------------------------
@@ -213,8 +235,17 @@ def query_graph_from_json(obj: object, where: str = "query") -> QueryGraph:
 # ----------------------------------------------------------------------
 # Request parsers
 # ----------------------------------------------------------------------
-_QUERY_FIELDS = ("graph", "query", "k", "alpha", "time_budget_ms")
-_BATCH_FIELDS = ("graph", "queries", "k", "alpha", "time_budget_ms", "strategy", "jobs")
+_QUERY_FIELDS = ("graph", "query", "k", "alpha", "time_budget_ms", "objective")
+_BATCH_FIELDS = (
+    "graph",
+    "queries",
+    "k",
+    "alpha",
+    "time_budget_ms",
+    "strategy",
+    "jobs",
+    "objective",
+)
 
 
 def parse_query_request(payload: Dict[str, object]) -> QueryRequest:
@@ -226,6 +257,7 @@ def parse_query_request(payload: Dict[str, object]) -> QueryRequest:
         k=_optional_int(payload, "k", minimum=1),
         alpha=_optional_number(payload, "alpha", positive=False),
         time_budget_ms=_optional_number(payload, "time_budget_ms", positive=True),
+        objective=_optional_objective(payload),
     )
 
 
@@ -260,6 +292,7 @@ def parse_batch_request(payload: Dict[str, object]) -> BatchRequest:
         time_budget_ms=_optional_number(payload, "time_budget_ms", positive=True),
         strategy=strategy,
         jobs=_optional_int(payload, "jobs", minimum=1),
+        objective=_optional_objective(payload),
     )
 
 

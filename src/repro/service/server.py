@@ -38,6 +38,7 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.coverage.objectives import OBJECTIVE_NAMES
 from repro.service.admission import AdmissionController
 from repro.service.catalog import GraphCatalog
 from repro.service.schemas import (
@@ -110,7 +111,10 @@ class QueryService:
         request = parse_query_request(payload)
         entry = self.catalog.get(request.graph)
         config = entry.request_config(
-            k=request.k, alpha=request.alpha, time_budget_ms=request.time_budget_ms
+            k=request.k,
+            alpha=request.alpha,
+            time_budget_ms=request.time_budget_ms,
+            objective=request.objective,
         )
         start = time.perf_counter()
         result = entry.answer(request.query, config)
@@ -122,7 +126,10 @@ class QueryService:
         request = parse_batch_request(payload)
         entry = self.catalog.get(request.graph)
         config = entry.request_config(
-            k=request.k, alpha=request.alpha, time_budget_ms=request.time_budget_ms
+            k=request.k,
+            alpha=request.alpha,
+            time_budget_ms=request.time_budget_ms,
+            objective=request.objective,
         )
         start = time.perf_counter()
         results, report = entry.answer_batch(
@@ -152,6 +159,7 @@ class QueryService:
         return status, {
             "status": "draining" if self.draining else "ok",
             "graphs": self.catalog.names(),
+            "objectives": sorted(OBJECTIVE_NAMES),
             "uptime_ms": (time.monotonic() - self._started) * 1000.0,
             "admission": self.admission.describe(),
         }

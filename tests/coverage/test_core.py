@@ -31,11 +31,15 @@ class TestFreeFunctions:
         assert benefit({9}, []) == 1
 
     def test_loss_private_vertices(self):
-        assert loss({1, 2}, [{1, 2}, {2, 3}]) == 1  # vertex 1 is private
+        assert loss([{1, 2}, {2, 3}], 0) == 1  # vertex 1 is private
 
-    def test_loss_requires_membership(self):
-        with pytest.raises(ValueError, match="element"):
-            loss({9}, [{1, 2}])
+    def test_loss_duplicate_member_is_zero(self):
+        # Slot-based semantics: removing one copy of a duplicate loses 0.
+        assert loss([{1, 2}, {1, 2}], 0) == 0
+
+    def test_loss_requires_valid_index(self):
+        with pytest.raises(ValueError, match="index"):
+            loss([{1, 2}], 1)
 
     def test_as_vertex_set_idempotent(self):
         s = frozenset({1})
@@ -132,8 +136,8 @@ class TestTrackerQuantities:
         t = CoverageTracker(members)
         assert t.coverage == coverage(members)
         assert t.benefit({4, 5, 6}) == benefit({4, 5, 6}, members)
-        for slot, m in zip(t.slots(), members):
-            assert t.loss(slot) == loss(set(m), members)
+        for i, slot in enumerate(t.slots()):
+            assert t.loss(slot) == loss(members, i)
 
     def test_incremental_consistency_random(self):
         """Tracker quantities stay consistent under add/remove churn."""

@@ -127,6 +127,21 @@ class TestParseQueryRequest:
         )
         assert (req.k, req.alpha, req.time_budget_ms) == (3, 0.5, 250.0)
 
+    def test_objective_override(self):
+        req = parse_query_request(_query_payload(objective="edge"))
+        assert req.objective == "edge"
+
+    def test_objective_defaults_to_none(self):
+        assert parse_query_request(_query_payload()).objective is None
+
+    @pytest.mark.parametrize("bad", ["treewidth", 7, ""])
+    def test_unknown_objective_is_typed_400(self, bad):
+        with pytest.raises(ServiceError) as info:
+            parse_query_request(_query_payload(objective=bad))
+        assert (info.value.status, info.value.code) == (400, "invalid_objective")
+        # The message names the valid set so clients can self-correct.
+        assert "edge" in info.value.message and "vertex" in info.value.message
+
     def test_unknown_field_names_the_typo(self):
         with pytest.raises(ServiceError) as info:
             parse_query_request(_query_payload(tiem_budget_ms=10))
@@ -181,6 +196,15 @@ class TestParseBatchRequest:
         with pytest.raises(ServiceError) as info:
             parse_batch_request(payload)
         assert info.value.code == "invalid_request"
+
+    def test_objective_override(self):
+        req = parse_batch_request(_batch_payload(objective="weighted-vertex"))
+        assert req.objective == "weighted-vertex"
+
+    def test_unknown_objective_is_typed_400(self):
+        with pytest.raises(ServiceError) as info:
+            parse_batch_request(_batch_payload(objective="treewidth"))
+        assert (info.value.status, info.value.code) == (400, "invalid_objective")
 
     def test_bad_query_position_is_reported(self):
         payload = _batch_payload(queries=[dict(TRIANGLE), {"labels": []}])

@@ -56,6 +56,26 @@ class TestQueryEndpoint:
         body = client.query("tiny", query_graph_to_json(query))
         assert body["coverage"] >= 1
 
+    def test_objective_override(self, client):
+        query = tiny_queries(count=1, seed=25)[0]
+        body = client.query("tiny", query, objective="edge")
+        assert body["objective"] == "edge"
+        want = DSQL(tiny_graph(), config=DSQLConfig(k=DEFAULT_K, objective="edge")).query(
+            query
+        )
+        assert body["embeddings"] == [list(e) for e in want.embeddings]
+        assert body["coverage"] == want.coverage
+
+    def test_objective_sessions_do_not_cross_memo(self, client):
+        # Same query under two objectives: distinct sessions, distinct memos.
+        query = tiny_queries(count=1, seed=26)[0]
+        base = client.query("tiny", query)
+        alt = client.query("tiny", query, objective="edge")
+        again = client.query("tiny", query)
+        assert alt["objective"] == "edge"
+        assert again["objective"] == "vertex"
+        assert again["embeddings"] == base["embeddings"]
+
 
 class TestBatchEndpoint:
     def test_batch_matches_serial_query_many(self, client):
@@ -84,6 +104,11 @@ class TestOpsEndpoints:
         assert body["graphs"] == ["tiny"]
         assert body["admission"]["in_flight"] == 0
         assert body["uptime_ms"] > 0
+
+    def test_healthz_lists_objectives(self, client):
+        # Feature detection for clients: the supported objective registry.
+        body = client.healthz()
+        assert body["objectives"] == ["edge", "vertex", "weighted-vertex"]
 
     def test_metrics_reflect_traffic(self, client):
         query = tiny_queries(count=1, seed=41)[0]
@@ -117,6 +142,19 @@ class TestTypedErrors:
         with pytest.raises(ServiceClientError) as info:
             client._call("GET", "/nope", None)
         assert info.value.status == 404
+
+    def test_invalid_objective_400_on_query(self, client):
+        query = tiny_queries(count=1)[0]
+        with pytest.raises(ServiceClientError) as info:
+            client.query("tiny", query, objective="treewidth")
+        assert (info.value.status, info.value.code) == (400, "invalid_objective")
+        assert "treewidth" in info.value.message
+
+    def test_invalid_objective_400_on_batch(self, client):
+        queries = tiny_queries(count=1)
+        with pytest.raises(ServiceClientError) as info:
+            client.batch("tiny", queries, objective="treewidth")
+        assert (info.value.status, info.value.code) == (400, "invalid_objective")
 
     def test_process_strategy_rejected(self, client):
         queries = tiny_queries(count=1)

@@ -115,6 +115,26 @@ class TestQueryCommand:
         assert code == 0
         assert "DSQL" in capsys.readouterr().out
 
+    def test_objective_edge_smoke(self, capsys):
+        code = main(
+            ["query", "--dataset", "yeast", "--scale", "0.2",
+             "--queries", "2", "--edges", "3", "--k", "5",
+             "--objective", "edge"]
+        )
+        assert code == 0
+        assert "DSQL" in capsys.readouterr().out
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["query", "--dataset", "yeast", "--objective", "treewidth"])
+
+    def test_baseline_rejects_objective(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--dataset", "yeast", "--solver", "COM",
+                 "--objective", "edge"]
+            )
+
     def test_time_budget_accepted(self, capsys):
         code = main(
             ["query", "--dataset", "yeast", "--scale", "0.2",

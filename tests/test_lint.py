@@ -100,6 +100,21 @@ def test_docs_gate_covers_service_doc():
     assert extract_python_blocks(service_doc.read_text(encoding="utf-8"))
 
 
+def test_compile_gate_covers_objectives_module():
+    objectives = REPO / "src" / "repro" / "coverage" / "objectives.py"
+    assert objectives.exists(), "coverage/objectives.py missing"
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    assert str(objectives) in gated
+
+
+def test_docs_gate_covers_objectives_doc():
+    objectives_doc = REPO / "docs" / "objectives.md"
+    assert objectives_doc.exists(), "docs/objectives.md missing"
+    assert objectives_doc in DOC_FILES
+    # The doc must actually exercise the gate: at least one python block.
+    assert extract_python_blocks(objectives_doc.read_text(encoding="utf-8"))
+
+
 def test_service_tests_collected_from_testpaths():
     tests_dir = REPO / "tests" / "service"
     assert (tests_dir / "__init__.py").exists()
