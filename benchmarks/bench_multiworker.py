@@ -1,0 +1,220 @@
+"""Multi-worker service benchmark: N pre-forked workers vs a single worker.
+
+Boots two service fronts over the same warm DBLP stand-in catalog — a
+:class:`~repro.service.MultiWorkerServer` with ``WORKERS`` pre-forked
+processes sharing one SO_REUSEPORT port (graph segments published once,
+attached zero-copy by every worker), and a plain single-process
+:class:`~repro.service.ServiceServer` — then drives each with the same
+closed-loop client pool and compares throughput. Results land in
+``BENCH_multiworker.json`` at the repo root.
+
+Gates:
+
+* **correctness** (always) — every response from every worker must carry
+  exactly the embeddings a direct serial session produces, regardless of
+  which worker the kernel picked;
+* **scaling** (recorded in ``scaling_gate``) — ``"enforced"`` when
+  ``os.cpu_count() >= 2``: the multi-worker front must not fall far behind
+  the single worker (floor ``SCALING_FLOOR``x). ``"skipped_1cpu"`` on a
+  single-core box, where N processes time-slice one core and no scaling
+  claim is honest (numbers still recorded).
+
+Runs standalone (``python benchmarks/bench_multiworker.py``) or under
+``pytest benchmarks/ --benchmark-only``. Skipped where the platform lacks
+SO_REUSEPORT or the fork start method.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from common import bench_graph, bench_queries, dsql_config
+from repro.core.dsql import DSQL
+from repro.experiments.report import render_table
+from repro.service import (
+    GraphCatalog,
+    MultiWorkerServer,
+    QueryService,
+    ServiceClient,
+    ServiceServer,
+)
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_multiworker.json"
+
+DATASET = "dblp"
+NUM_QUERIES = 12
+QUERY_EDGES = 4
+K = 10
+WORKERS = 2
+THREADS = 4
+ROUNDS = 2  # each client thread replays the stream this many times
+SCALING_FLOOR = 0.8
+
+
+def _platform_supported() -> bool:
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform-dependent
+        return False
+    return True
+
+
+def _drive(url: str, queries, expected):
+    """Closed-loop load: THREADS clients replay the stream; returns stats."""
+    latencies = []
+    mismatches = []
+    lock = threading.Lock()
+
+    def closed_loop():
+        client = ServiceClient(url, timeout=120.0)
+        local = []
+        for _ in range(ROUNDS):
+            for query in queries:
+                start = time.perf_counter()
+                body = client.query(DATASET, query)
+                local.append(time.perf_counter() - start)
+                if body["embeddings"] != expected[query.canonical_key()]:
+                    with lock:
+                        mismatches.append(query.canonical_key())
+        with lock:
+            latencies.extend(local)
+
+    workers = [threading.Thread(target=closed_loop) for _ in range(THREADS)]
+    wall_start = time.perf_counter()
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    wall = time.perf_counter() - wall_start
+    return {
+        "requests": len(latencies),
+        "mismatches": len(mismatches),
+        "mean_ms": 1e3 * sum(latencies) / len(latencies) if latencies else 0.0,
+        "throughput_rps": len(latencies) / wall if wall else 0.0,
+    }
+
+
+def _catalog(graph, config):
+    catalog = GraphCatalog(default_config=config)
+    catalog.add_graph(DATASET, graph, source="bench")
+    return catalog
+
+
+def run_multiworker_bench():
+    graph = bench_graph(DATASET)
+    graph.index_cache()
+    queries = list(bench_queries(DATASET, QUERY_EDGES, NUM_QUERIES))
+    config = dsql_config(K)
+    expected = {
+        q.canonical_key(): [list(e) for e in r.embeddings]
+        for q, r in zip(queries, DSQL(graph, config=config).query_many(queries))
+    }
+
+    multi = MultiWorkerServer(_catalog(graph, config), workers=WORKERS).start()
+    try:
+        multi_stats = _drive(multi.url, queries, expected)
+        metrics = multi.merged_metrics()
+        multi_stats["per_worker_requests"] = [
+            {
+                "worker": row.get("worker"),
+                "requests": (row.get("metrics") or {}).get("service.requests", 0),
+            }
+            for row in metrics["per_worker"]
+        ]
+        multi_stats["shared_bytes"] = metrics["shared_bytes"]
+    finally:
+        multi.close()
+
+    single_service = QueryService(
+        _catalog(graph, config), max_in_flight=THREADS, max_queue=THREADS * 4
+    )
+    single_server = ServiceServer(single_service, port=0).start()
+    try:
+        single_stats = _drive(single_server.url, queries, expected)
+    finally:
+        single_server.close()
+
+    cpus = os.cpu_count() or 1
+    payload = {
+        "dataset": DATASET,
+        "num_vertices": graph.num_vertices,
+        "num_edges": graph.num_edges,
+        "k": K,
+        "workers": WORKERS,
+        "threads": THREADS,
+        "cpus": cpus,
+        "scaling_gate": "enforced" if cpus >= 2 else "skipped_1cpu",
+        "scaling_floor": SCALING_FLOOR,
+        "multi": multi_stats,
+        "single": single_stats,
+        "multi_vs_single_throughput": (
+            multi_stats["throughput_rps"] / single_stats["throughput_rps"]
+            if single_stats["throughput_rps"]
+            else float("inf")
+        ),
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload) -> str:
+    multi, single = payload["multi"], payload["single"]
+    per_worker = " ".join(
+        f"w{row['worker']}:{int(row['requests'])}"
+        for row in multi.get("per_worker_requests", [])
+    )
+    rows = [
+        ["dataset", payload["dataset"]],
+        ["workers / threads / cpus",
+         f"{payload['workers']} / {payload['threads']} / {payload['cpus']}"],
+        ["scaling gate", payload["scaling_gate"]],
+        ["multi throughput (req/s)", f"{multi['throughput_rps']:.1f}"],
+        ["single throughput (req/s)", f"{single['throughput_rps']:.1f}"],
+        ["multi vs single", f"{payload['multi_vs_single_throughput']:.2f}x"],
+        ["per-worker requests", per_worker or "-"],
+        ["shared graph bytes", str(multi.get("shared_bytes", 0))],
+        ["mismatches", str(multi["mismatches"] + single["mismatches"])],
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+@pytest.mark.skipif(
+    not _platform_supported(),
+    reason="multiworker front requires SO_REUSEPORT and the fork start method",
+)
+def test_multiworker_bench(benchmark):
+    from common import emit
+
+    payload = benchmark.pedantic(run_multiworker_bench, rounds=1, iterations=1)
+    emit("multiworker", _report(payload))
+    assert payload["multi"]["requests"] == THREADS * ROUNDS * NUM_QUERIES
+    # Hard gate: no worker may ever trade correctness for throughput.
+    assert payload["multi"]["mismatches"] == 0
+    assert payload["single"]["mismatches"] == 0
+    assert payload["multi"]["shared_bytes"] > 0
+    # Scaling claim only where parallel hardware exists to back it.
+    if payload["scaling_gate"] == "enforced":
+        assert payload["multi_vs_single_throughput"] >= SCALING_FLOOR
+    else:
+        print(
+            "scaling gate skipped: single-CPU machine "
+            f"(cpus={payload['cpus']}); {payload['workers']} workers "
+            "time-slice one core, numbers recorded without a claim"
+        )
+
+
+if __name__ == "__main__":
+    if not _platform_supported():
+        raise SystemExit("platform lacks SO_REUSEPORT or fork; nothing to measure")
+    out = run_multiworker_bench()
+    print(_report(out))
+    print(f"\nwrote {OUT_PATH}")

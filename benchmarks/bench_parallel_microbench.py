@@ -1,18 +1,26 @@
 """Parallel batch-executor micro-benchmark: serial vs thread vs process.
 
-One ≥20-query batch on the DBLP stand-in is answered by
+One ≥24-query batch on the DBLP stand-in is answered by
 :class:`~repro.parallel.BatchExecutor` under each strategy; per-strategy
-wall-clock and the cross-strategy result check are written to
+wall-clock, the cross-strategy result check, and — for the process
+strategy — the persistent pool's per-worker dispatch rows are written to
 ``BENCH_parallel.json`` at the repo root.
+
+The process strategy is timed against the *persistent* worker pool: one
+executor lives across every repeat, so the measurement covers warm-pool
+dispatch over shared-memory graph segments, not per-batch fork +
+graph-pickle cost. The session's query memo is cleared between repeats so
+each timed run performs real searches rather than memo replay.
 
 Two gates:
 
 * **correctness** (always) — every strategy's results must be bit-identical
   to serial ``query_many``, the executor's headline guarantee;
-* **throughput** (only when ``os.cpu_count() >= 2``) — the best parallel
-  strategy must not be dramatically slower than serial. On a single-core
-  box parallelism can only add dispatch overhead, so no timing claim is
-  made there (the measured numbers are still recorded).
+* **speedup** (recorded in ``speedup_gate``) — ``"enforced"`` on machines
+  with ``os.cpu_count() >= 2``, where the best parallel strategy must beat
+  serial by at least ``SPEEDUP_FLOOR``x; ``"skipped_1cpu"`` on a
+  single-core box, where parallelism can only add dispatch overhead and no
+  timing claim is honest (the measured numbers are still recorded).
 
 Runs standalone (``python benchmarks/bench_parallel_microbench.py``) or
 under ``pytest benchmarks/ --benchmark-only``.
@@ -22,7 +30,7 @@ from __future__ import annotations
 
 import json
 import os
-import timeit
+import time
 from pathlib import Path
 
 from common import bench_graph, bench_queries, dsql_config
@@ -37,6 +45,7 @@ NUM_QUERIES = 24
 QUERY_EDGES = 4
 K = 10
 REPEATS = 3
+SPEEDUP_FLOOR = 1.7
 
 
 def _batch(graph):
@@ -44,6 +53,30 @@ def _batch(graph):
     # alongside fresh searches, as in a realistic query stream.
     distinct = list(bench_queries(DATASET, QUERY_EDGES, NUM_QUERIES - NUM_QUERIES // 3))
     return (distinct + distinct)[:NUM_QUERIES]
+
+
+def _time_strategy(graph, config, queries, strategy, jobs, ref_dicts):
+    """Time REPEATS runs through one long-lived executor (pool persists)."""
+    session = DSQL(graph, config=config)
+    entry = {"identical_to_serial": True}
+    with BatchExecutor(session, strategy=strategy, jobs=jobs) as executor:
+        results = executor.run(queries)  # warm-up: pool fork + worker attach
+        entry["identical_to_serial"] = [r.to_dict() for r in results] == ref_dicts
+        seconds = []
+        for _ in range(REPEATS):
+            session._query_cache.clear()  # re-search, don't replay the memo
+            start = time.perf_counter()
+            executor.run(queries)
+            seconds.append(time.perf_counter() - start)
+        entry["seconds"] = min(seconds)
+        entry["ms_per_query"] = 1e3 * entry["seconds"] / len(queries)
+        report = executor.last_report
+        if strategy == "process":
+            entry["per_worker"] = [list(row) for row in report.per_worker]
+            entry["chunks_retried"] = report.chunks_retried
+            pool = executor.pool
+            entry["shared_bytes"] = pool.shared_nbytes if pool is not None else 0
+    return entry
 
 
 def run_microbench():
@@ -59,23 +92,12 @@ def run_microbench():
     # to the serial path, and the correctness gate must exercise the real
     # pool dispatch (the speedup gate stays cpu-count aware regardless).
     jobs = max(2, default_jobs())
+    cpus = os.cpu_count() or 1
 
-    strategies = {}
-    for strategy in STRATEGIES:
-        def run_once(strategy=strategy):
-            executor = BatchExecutor(
-                DSQL(graph, config=config), strategy=strategy, jobs=jobs
-            )
-            return executor.run(queries)
-
-        results = run_once()
-        identical = [r.to_dict() for r in results] == ref_dicts
-        seconds = min(timeit.repeat(run_once, number=1, repeat=REPEATS))
-        strategies[strategy] = {
-            "seconds": seconds,
-            "ms_per_query": 1e3 * seconds / len(queries),
-            "identical_to_serial": identical,
-        }
+    strategies = {
+        strategy: _time_strategy(graph, config, queries, strategy, jobs, ref_dicts)
+        for strategy in STRATEGIES
+    }
 
     serial = strategies["serial"]["seconds"]
     payload = {
@@ -84,8 +106,10 @@ def run_microbench():
         "num_edges": graph.num_edges,
         "batch": len(queries),
         "k": K,
-        "cpus": os.cpu_count() or 1,
+        "cpus": cpus,
         "jobs": jobs,
+        "speedup_gate": "enforced" if cpus >= 2 else "skipped_1cpu",
+        "speedup_floor": SPEEDUP_FLOOR,
         "strategies": strategies,
         "best_parallel_speedup": serial
         / min(strategies[s]["seconds"] for s in ("thread", "process")),
@@ -99,6 +123,7 @@ def _report(payload) -> str:
         ["dataset", payload["dataset"]],
         ["batch / k", f"{payload['batch']} / {payload['k']}"],
         ["cpus / jobs", f"{payload['cpus']} / {payload['jobs']}"],
+        ["speedup gate", payload["speedup_gate"]],
     ]
     for name, data in payload["strategies"].items():
         rows.append(
@@ -108,6 +133,14 @@ def _report(payload) -> str:
                 + ("" if data["identical_to_serial"] else "  MISMATCH"),
             ]
         )
+    process = payload["strategies"]["process"]
+    rows.append(
+        [
+            "process per-worker (pid:chunks)",
+            " ".join(f"{pid}:{n}" for pid, n in process.get("per_worker", [])) or "-",
+        ]
+    )
+    rows.append(["shared graph bytes", str(process.get("shared_bytes", 0))])
     rows.append(["best parallel speedup", f"{payload['best_parallel_speedup']:.2f}x"])
     return render_table(["metric", "value"], rows)
 
@@ -121,9 +154,18 @@ def test_parallel_microbench(benchmark):
     # Hard gate: every strategy reproduces serial query_many exactly.
     for name, data in payload["strategies"].items():
         assert data["identical_to_serial"], f"{name} diverged from serial"
+    # The persistent pool must actually spread work across workers.
+    assert payload["strategies"]["process"]["per_worker"]
+    assert payload["strategies"]["process"]["shared_bytes"] > 0
     # Timing claim only where parallel hardware exists to back it.
-    if payload["cpus"] >= 2:
-        assert payload["best_parallel_speedup"] >= 0.8
+    if payload["speedup_gate"] == "enforced":
+        assert payload["best_parallel_speedup"] >= SPEEDUP_FLOOR
+    else:
+        print(
+            "speedup gate skipped: single-CPU machine "
+            f"(cpus={payload['cpus']}); parallel dispatch can only add "
+            "overhead here, numbers recorded without a claim"
+        )
 
 
 if __name__ == "__main__":

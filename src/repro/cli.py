@@ -114,6 +114,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
     v.add_argument("--port", type=int, default=8707, help="bind port (0 = ephemeral)")
+    v.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="pre-forked worker processes sharing the port via SO_REUSEPORT "
+        "and the graphs via shared memory (1 = single-process server)",
+    )
     v.add_argument("--k", type=int, default=10, help="default top-k when a request omits k")
     v.add_argument(
         "--time-budget-ms",
@@ -338,10 +345,17 @@ def _cmd_serve(
 ) -> int:
     """Load the catalog, bind the server, and serve until SIGTERM/SIGINT."""
     from repro.exceptions import ReproError
-    from repro.service import QueryService, ServiceServer, build_catalog
+    from repro.service import (
+        MultiWorkerServer,
+        QueryService,
+        ServiceServer,
+        build_catalog,
+    )
 
     if not args.dataset and not args.graph:
         parser.error("serve requires at least one --dataset or --graph")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
     config = DSQLConfig(
         k=args.k,
         time_budget_ms=args.time_budget_ms,
@@ -356,19 +370,36 @@ def _cmd_serve(
             instrumentation=instr,
             seed=args.seed,
         )
-        service = QueryService(
-            catalog,
-            max_in_flight=args.max_in_flight,
-            max_queue=args.max_queue,
-            retry_after_s=args.retry_after_s,
-        )
-        server = ServiceServer(service, host=args.host, port=args.port)
+        if args.workers > 1:
+            server = MultiWorkerServer(
+                catalog,
+                workers=args.workers,
+                host=args.host,
+                port=args.port,
+                max_in_flight=args.max_in_flight,
+                max_queue=args.max_queue,
+                retry_after_s=args.retry_after_s,
+            ).start()
+        else:
+            service = QueryService(
+                catalog,
+                max_in_flight=args.max_in_flight,
+                max_queue=args.max_queue,
+                retry_after_s=args.retry_after_s,
+            )
+            server = ServiceServer(service, host=args.host, port=args.port)
     except ReproError as exc:
         parser.error(str(exc))
     for line in lines:
         print(line)
     server.install_signal_handlers()
-    print(f"repro service listening on {server.url} (SIGTERM drains gracefully)")
+    if args.workers > 1:
+        print(
+            f"repro service listening on {server.url} with {args.workers} workers "
+            f"(merged views at {server.control_url}; SIGTERM drains gracefully)"
+        )
+    else:
+        print(f"repro service listening on {server.url} (SIGTERM drains gracefully)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -71,3 +71,22 @@ class DeadlineExceeded(BudgetExceeded):
     the time budget identically; the two cases stay distinguishable through
     ``stats.deadline_exhausted`` vs ``stats.budget_exhausted``.
     """
+
+
+class SharedMemoryError(ReproError):
+    """Raised when publishing or attaching shared graph segments fails.
+
+    Covers the whole segment lifecycle: a publish that cannot allocate its
+    blocks, an attach naming segments that were never published (or already
+    unlinked), and an attach after the local handle was closed.
+    """
+
+
+class StaleSegmentError(SharedMemoryError):
+    """Raised when a descriptor's epoch does not match the published segments.
+
+    Segment names are reused only through re-publication, which bumps the
+    epoch stamped inside the meta block; a descriptor from the previous
+    generation therefore fails loudly here instead of silently attaching a
+    different graph.
+    """

@@ -170,11 +170,13 @@ def run_executor_batch(
     from repro.parallel.executor import BatchExecutor
 
     queries = list(queries)
-    executor = BatchExecutor(graph, config=config, strategy=strategy, jobs=jobs, chunk_size=chunk_size)
-    graph.index_cache()  # prewarm, matching run_batch's timing discipline
-    start = time.perf_counter()
-    results = executor.run(queries)
-    elapsed = time.perf_counter() - start
+    with BatchExecutor(
+        graph, config=config, strategy=strategy, jobs=jobs, chunk_size=chunk_size
+    ) as executor:
+        graph.index_cache()  # prewarm, matching run_batch's timing discipline
+        start = time.perf_counter()
+        results = executor.run(queries)
+        elapsed = time.perf_counter() - start
     per_query = elapsed / len(queries) if queries else 0.0
     summary = BatchSummary(label=label)
     for result in results:

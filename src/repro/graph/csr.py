@@ -197,6 +197,48 @@ class CSRBackend:
         self._sets: List[Set[int]] = [set(r) for r in rows]
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        label_ids: np.ndarray,
+        label_table: Sequence[Label],
+        degree_array: np.ndarray,
+    ) -> "CSRBackend":
+        """Rebuild a backend around existing CSR arrays without renormalizing.
+
+        The attach half of the shared-memory round-trip (see
+        :mod:`repro.graph.shared`): the arrays are adopted as-is — typically
+        views over ``multiprocessing.shared_memory`` buffers, so the bulk
+        topology is zero-copy — and only the Python-level iteration views
+        (per-vertex neighbor tuples and membership sets) are rebuilt, one
+        O(|V| + |E|) pass paid once per attaching process. The arrays must
+        satisfy the constructor's invariants (sorted rows, u < v pairs each
+        stored in both directions), which :func:`~repro.graph.shared.
+        publish_graph` guarantees by construction.
+        """
+        backend = cls.__new__(cls)
+        n = len(label_ids)
+        backend._n = n
+        backend.indptr = indptr
+        backend.indices = indices
+        backend.label_ids = label_ids
+        backend.label_table = list(label_table)
+        backend.label_to_id = {lab: i for i, lab in enumerate(backend.label_table)}
+        backend.labels = [backend.label_table[i] for i in label_ids]
+        backend.degree_array = degree_array
+        backend.num_edges = len(indices) // 2
+        bounds = [int(b) for b in indptr]
+        flat = [int(v) for v in indices]
+        rows = backend._rows = [
+            tuple(flat[bounds[v] : bounds[v + 1]]) for v in range(n)
+        ]
+        backend._degrees = [len(r) for r in rows]
+        backend._sets = [set(r) for r in rows]
+        return backend
+
+    # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
         return self._n

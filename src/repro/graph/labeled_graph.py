@@ -106,6 +106,25 @@ class LabeledGraph:
     # ------------------------------------------------------------------
     # Backend & cache access
     # ------------------------------------------------------------------
+    @classmethod
+    def from_backend(cls, backend: GraphBackend, name: str = "") -> "LabeledGraph":
+        """Wrap an already-constructed backend without renormalizing edges.
+
+        Used by the shared-memory attach path (:mod:`repro.graph.shared`),
+        where the backend was rebuilt around published CSR arrays and a
+        second normalization pass would defeat the zero-copy point. The
+        backend is adopted as-is; callers are responsible for its invariants.
+        """
+        graph = cls.__new__(cls)
+        graph._backend = backend
+        graph._cache = None
+        graph.name = name
+        graph.has_edge = backend.has_edge
+        graph.neighbors = backend.neighbors
+        graph.degree = backend.degree
+        graph.label = backend.label
+        return graph
+
     @property
     def backend(self) -> GraphBackend:
         """The storage backend instance owning this graph's topology."""

@@ -83,7 +83,21 @@ class GraphIndexCache:
         "_metrics",
     )
 
-    def __init__(self, graph, candidate_memo_size: Optional[int] = DEFAULT_CANDIDATE_MEMO_SIZE):
+    def __init__(
+        self,
+        graph,
+        candidate_memo_size: Optional[int] = DEFAULT_CANDIDATE_MEMO_SIZE,
+        *,
+        signature_masks: Optional[List[int]] = None,
+        adjacency_masks: Optional[Dict[int, int]] = None,
+        epoch: Optional[int] = None,
+    ):
+        """``signature_masks``/``adjacency_masks``/``epoch`` restore published
+        state on the shared-memory attach path (:mod:`repro.graph.shared`):
+        the signature table is adopted instead of recomputed (skipping the
+        O(|E|) neighbor sweep), the publisher's warm adjacency bitsets seed
+        the memo, and the publisher's epoch is kept so plan-cache keys agree
+        across the publishing and attaching processes."""
         self.graph = graph
         backend = graph.backend
         self.label_table: List[Label] = backend.label_table
@@ -104,13 +118,16 @@ class GraphIndexCache:
         # Signature table: per-vertex bitmask over label ids, with interned
         # frozenset views (equal masks share one frozenset object).
         bit = [1 << lid for lid in range(len(self.label_table))]
-        masks: List[int] = []
-        neighbors = graph.neighbors
-        for v in range(graph.num_vertices):
-            m = 0
-            for w in neighbors(v):
-                m |= bit[label_ids[w]]
-            masks.append(m)
+        if signature_masks is not None:
+            masks = list(signature_masks)
+        else:
+            masks = []
+            neighbors = graph.neighbors
+            for v in range(graph.num_vertices):
+                m = 0
+                for w in neighbors(v):
+                    m |= bit[label_ids[w]]
+                masks.append(m)
         self.signature_masks: List[int] = masks
         interned: Dict[int, FrozenSet[Label]] = {}
         sigs: List[FrozenSet[Label]] = []
@@ -137,7 +154,7 @@ class GraphIndexCache:
         self._metrics = None
 
         # Lazy per-vertex neighbor bitsets (big ints) for the join kernels.
-        self._adj_masks: "OrderedDict[int, int]" = OrderedDict()
+        self._adj_masks: "OrderedDict[int, int]" = OrderedDict(adjacency_masks or ())
         self._adj_memo_size = DEFAULT_ADJACENCY_MEMO_SIZE
         self._adj_lock = threading.Lock()
 
@@ -145,7 +162,7 @@ class GraphIndexCache:
         # filter toggles); the epoch makes keys from different cache
         # generations of the "same" graph distinguishable even if a plan
         # cache instance were ever shared.
-        self.epoch = next(_EPOCHS)
+        self.epoch = next(_EPOCHS) if epoch is None else epoch
         # Late import: repro.indexes.plans reaches back through the
         # isomorphism package (for the search-order construction), which
         # imports this module — a top-level import here would cycle.
@@ -309,6 +326,24 @@ class GraphIndexCache:
             if len(memo) > self._adj_memo_size:
                 memo.popitem(last=False)
         return mask
+
+    # ------------------------------------------------------------------
+    def shared_state(self) -> Dict[str, object]:
+        """The publishable derived state (see :mod:`repro.graph.shared`).
+
+        Everything here is a plain pickleable value: the signature-mask
+        table (the O(|E|) sweep attachers get to skip), a snapshot of the
+        currently warm adjacency bitsets (so workers inherit the publisher's
+        hot masks instead of re-deriving them), and the epoch that stamps
+        the publication generation.
+        """
+        with self._adj_lock:
+            adj = dict(self._adj_masks)
+        return {
+            "signature_masks": list(self.signature_masks),
+            "adjacency_masks": adj,
+            "epoch": self.epoch,
+        }
 
     # ------------------------------------------------------------------
     def memo_info(self) -> Dict[str, int]:

@@ -236,6 +236,31 @@ class MetricsRegistry:
             items = sorted(self._instruments.items())
         return {name: instrument.snapshot() for name, instrument in items}
 
+    def counters_snapshot(self) -> Dict[str, Number]:
+        """Non-zero :class:`Counter` values only, by name.
+
+        The cross-process merge format: a process-strategy worker ships this
+        back with its results and the parent replays it with
+        :meth:`merge_counters`. Gauges and histograms are excluded on
+        purpose — summing a gauge across processes is meaningless, and the
+        counter subset is what keeps ``search.*`` / ``kernel.dispatch.*``
+        truthful under the process strategy.
+        """
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return {
+            name: instrument.value
+            for name, instrument in items
+            if isinstance(instrument, Counter) and instrument.value
+        }
+
+    def merge_counters(self, counters: Optional[Dict[str, Number]]) -> None:
+        """Add a :meth:`counters_snapshot` from another process into this registry."""
+        if not counters:
+            return
+        for name, value in counters.items():
+            self.counter(name).inc(value)
+
 
 # ----------------------------------------------------------------------
 # SearchStats -> registry flush

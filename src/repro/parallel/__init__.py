@@ -1,5 +1,6 @@
 """Parallel query-batch execution over a shared per-graph index cache."""
 
 from repro.parallel.executor import STRATEGIES, BatchExecutor, ExecutorReport
+from repro.parallel.pool import WorkerPool
 
-__all__ = ["BatchExecutor", "ExecutorReport", "STRATEGIES"]
+__all__ = ["BatchExecutor", "ExecutorReport", "STRATEGIES", "WorkerPool"]

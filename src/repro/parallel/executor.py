@@ -14,12 +14,15 @@
     workload is I/O-interleaved; on pure-Python search it degrades gracefully
     to roughly serial throughput.
 ``process``
-    A fork-based :class:`~concurrent.futures.ProcessPoolExecutor`. The
-    session — graph, warmed index cache, config — is *inherited* by the
-    forked children through a module global rather than pickled, so workers
-    start with the same shared per-graph state the parent already paid for.
-    Queries travel to workers as plain ``(labels, edges)`` payloads and only
-    the (picklable, frozen) :class:`~repro.core.result.DSQResult` comes back.
+    A persistent :class:`~repro.parallel.pool.WorkerPool`, created lazily on
+    the first process batch and **reused for every batch after it**. The
+    graph is published to shared memory once
+    (:mod:`repro.graph.shared`); workers attach at spawn and keep their DSQL
+    sessions — plan caches, candidate pools, adjacency bitsets — warm across
+    batches. Queries travel as plain ``(labels, edges)`` payloads; frozen
+    :class:`~repro.core.result.DSQResult` objects come back together with
+    each worker's counter snapshot, which is merged into the parent's
+    metrics registry so ``search.*``/``kernel.dispatch.*`` stay truthful.
 
 Whatever the strategy, ``run`` returns results **in input order and
 bit-identical to serial** ``session.query_many(queries)``: the parallel
@@ -31,25 +34,37 @@ sorted iteration everywhere) makes the worker-computed result equal to the
 one a serial run would have computed in place.
 
 Failure handling degrades gracefully: a chunk whose worker crashes (e.g. a
-forked child OOM-killed, tearing down the whole process pool) is re-run
-serially in the parent, so a batch always completes with full results.
+forked child OOM-killed, breaking the whole process pool) is re-run
+serially in the parent, the broken pool is discarded, and the next batch
+builds a fresh one — a batch always completes with full results. Wedges
+are bounded the same way crashes are: chunk waits carry a generous timeout
+(:attr:`BatchExecutor.pool_timeout_s`), and a pool that produces nothing
+inside it — every worker stuck, e.g. on a lock fork captured mid-operation
+from another parent thread — is killed and its chunks re-run serially.
+Platforms where shared memory or multiprocessing is unavailable fall back
+to in-process execution (counted as retried chunks).
+
+Executors owning a process pool hold shared-memory segments; call
+:meth:`BatchExecutor.close` (or use the executor as a context manager) when
+done. Serial/thread executors hold nothing and need no teardown.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.config import DSQLConfig
 from repro.core.dsql import DSQL
 from repro.core.result import DSQResult
-from repro.exceptions import ConfigError
+from repro.exceptions import ConfigError, SharedMemoryError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
+from repro.parallel.pool import WorkerPool
 
 STRATEGIES = ("serial", "thread", "process")
 """Supported execution strategies, in escalating-isolation order."""
@@ -60,13 +75,7 @@ logger = logging.getLogger("repro.parallel")
 # large enough that a straggler chunk cannot idle the rest of the pool long.
 _CHUNKS_PER_JOB = 4
 
-# The forked children's handle on the parent's session (graph + warmed index
-# cache + config). Set only for the lifetime of one process-strategy run;
-# fork inheritance makes it visible in the workers without pickling.
-_FORK_SESSION: Optional[DSQL] = None
-
 Key = Tuple
-_ProcessItem = Tuple[Key, Sequence, List[Tuple[int, int]]]
 
 
 def default_jobs() -> int:
@@ -77,15 +86,6 @@ def default_jobs() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _process_chunk(payload: List[_ProcessItem]) -> List[Tuple[Key, DSQResult]]:
-    """Worker body for the process strategy (runs in a forked child)."""
-    session = _FORK_SESSION
-    out = []
-    for key, labels, edges in payload:
-        out.append((key, session.query(QueryGraph(labels, edges))))
-    return out
-
-
 @dataclass(frozen=True)
 class ExecutorReport:
     """What one :meth:`BatchExecutor.run` call actually did.
@@ -94,6 +94,9 @@ class ExecutorReport:
     structures not already memoized); the remaining ``len(batch) - searches``
     were replayed from the session memo. ``chunks_retried`` counts chunks
     whose worker failed and which were re-run serially in the parent.
+    ``per_worker`` holds ``(pid, searches)`` rows for process batches —
+    which worker answered how many distinct queries — and is empty for the
+    serial and thread strategies.
     """
 
     strategy: str
@@ -102,6 +105,7 @@ class ExecutorReport:
     searches: int
     chunks: int
     chunks_retried: int
+    per_worker: Tuple[Tuple[int, int], ...] = field(default=())
 
 
 class BatchExecutor:
@@ -122,6 +126,13 @@ class BatchExecutor:
         Queries per dispatched chunk; default splits the distinct-query work
         into ~4 chunks per worker.
     """
+
+    #: Seconds to wait for one pool chunk before declaring the pool wedged.
+    #: Generous next to real chunk times (milliseconds to seconds here);
+    #: only a pool whose workers are all stuck — e.g. a fork-time lock
+    #: wedge — ever reaches it, and the response is kill-and-retry-serially,
+    #: never a missing answer.
+    pool_timeout_s: float = 120.0
 
     def __init__(
         self,
@@ -151,12 +162,72 @@ class BatchExecutor:
         self.jobs = default_jobs() if jobs is None else jobs
         self.chunk_size = chunk_size
         self.last_report: Optional[ExecutorReport] = None
+        self._pool: Optional[WorkerPool] = None
+        self._pool_unavailable = False
+        self._per_worker: Tuple[Tuple[int, int], ...] = ()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool, if one has been spun up."""
+        return self._pool
+
+    def _ensure_pool(self) -> Optional[WorkerPool]:
+        """The persistent pool, created on first use; None when unsupported.
+
+        A failed creation (no multiprocessing context, shared-memory
+        publication error) is remembered so later batches do not re-pay the
+        publication attempt; they run in-process instead.
+        """
+        if self._pool is not None:
+            return self._pool
+        if self._pool_unavailable:
+            return None
+        try:
+            self._pool = WorkerPool(
+                self.session.graph, self.session.config, self.jobs
+            )
+        except SharedMemoryError:
+            logger.warning(
+                "worker pool unavailable; process batches will run in-process",
+                exc_info=True,
+            )
+            self._pool_unavailable = True
+            return None
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear down a (typically broken) pool; the next batch rebuilds it."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close(wait=False)
+
+    def close(self) -> None:
+        """Release the worker pool and its shared segments (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def run(self, queries) -> List[DSQResult]:
         """Answer the batch; results are in input order, identical to serial."""
         queries = list(queries)
         session = self.session
+        self._per_worker = ()
         if self.strategy == "serial" or self.jobs <= 1 or len(queries) <= 1:
             results = session.query_many(queries)
             self.last_report = ExecutorReport(
@@ -194,6 +265,7 @@ class BatchExecutor:
             searches=len(need),
             chunks=chunks,
             chunks_retried=retried,
+            per_worker=self._per_worker,
         )
         self._record_report()
         return results
@@ -220,6 +292,7 @@ class BatchExecutor:
             searches=report.searches,
             chunks=report.chunks,
             chunks_retried=report.chunks_retried,
+            per_worker=list(report.per_worker),
         )
 
     # ------------------------------------------------------------------
@@ -264,8 +337,9 @@ class BatchExecutor:
         if not need:
             return {}, 0, 0
         session = self.session
-        # Warm the per-graph cache before any worker (or fork) exists, so the
-        # expensive one-off index build is shared rather than raced/duplicated.
+        # Warm the per-graph cache before any worker dispatch, so the
+        # expensive one-off index build is shared rather than raced/duplicated
+        # (for the process pool this also feeds the shared-memory publication).
         session.graph.index_cache()
         if self.strategy == "thread":
             items = list(need.items())
@@ -277,9 +351,10 @@ class BatchExecutor:
             def retry_chunk(chunk):
                 return [(key, session.query(query)) for key, query in chunk]
 
-            return self._dispatch(ThreadPoolExecutor, chunks, run_chunk, retry_chunk)
+            return self._dispatch_threads(chunks, run_chunk, retry_chunk)
 
-        # process strategy: ship (labels, edges) payloads, inherit the session.
+        # process strategy: ship (labels, edges) payloads to the persistent
+        # pool, whose workers hold warm sessions over the shared graph.
         items = [
             (key, list(query.labels), list(query.edges()))
             for key, query in need.items()
@@ -292,48 +367,86 @@ class BatchExecutor:
                 for key, labels, edges in chunk
             ]
 
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platforms without fork
-            # No fork, no cheap shared cache: degrade to in-process execution.
-            results = {}
+        pool = self._ensure_pool()
+        if pool is None:
+            # No shared memory / multiprocessing on this platform: degrade to
+            # in-process execution, surfaced as retried chunks.
+            results: Dict[Key, DSQResult] = {}
             for chunk in chunks:
                 results.update(retry_payload(chunk))
             return results, len(chunks), len(chunks)
 
-        global _FORK_SESSION
-        _FORK_SESSION = session
-        try:
-            return self._dispatch(
-                lambda max_workers: ProcessPoolExecutor(
-                    max_workers=max_workers, mp_context=context
-                ),
-                chunks,
-                _process_chunk,
-                retry_payload,
-            )
-        finally:
-            _FORK_SESSION = None
+        results, failed = self._dispatch_pool(pool, chunks)
+        if pool.broken:
+            logger.warning("worker pool broke mid-batch; discarding it")
+            self._discard_pool()
+        for chunk in failed:
+            results.update(retry_payload(chunk))
+        return results, len(chunks), len(failed)
 
-    def _dispatch(
+    def _dispatch_pool(
+        self, pool: WorkerPool, chunks: List[List]
+    ) -> Tuple[Dict[Key, DSQResult], List[List]]:
+        """Run chunks on the persistent pool; failed chunks come back intact.
+
+        Successful chunks contribute their worker's counter snapshot to the
+        parent registry and their pid to the per-worker tally.
+        """
+        results: Dict[Key, DSQResult] = {}
+        failed: List[List] = []
+        per_worker: Dict[int, int] = {}
+        instr = self.session.instrumentation
+        futures = [(pool.submit(chunk), chunk) for chunk in chunks]
+        for future, chunk in futures:
+            try:
+                pid, pairs, counters = future.result(timeout=self.pool_timeout_s)
+            except FuturesTimeoutError:
+                # Nothing came back for a whole timeout window: the pool is
+                # wedged (every worker stuck), not merely slow. Kill it —
+                # the outstanding futures then fail fast and land in the
+                # retry path below, so the batch still completes serially.
+                logger.warning(
+                    "worker chunk of %d queries timed out after %.0fs; "
+                    "killing the wedged pool",
+                    len(chunk),
+                    self.pool_timeout_s,
+                )
+                failed.append(chunk)
+                self._discard_pool()
+                continue
+            except Exception:
+                # Worker (or the whole pool) died; the chunk is intact in
+                # the parent, so fall back to searching it here.
+                logger.warning(
+                    "worker chunk of %d queries failed; retrying serially",
+                    len(chunk),
+                    exc_info=True,
+                )
+                failed.append(chunk)
+                continue
+            results.update(pairs)
+            per_worker[pid] = per_worker.get(pid, 0) + len(pairs)
+            if instr is not None:
+                instr.metrics.merge_counters(counters)
+        self._per_worker = tuple(sorted(per_worker.items()))
+        return results, failed
+
+    def _dispatch_threads(
         self,
-        pool_factory: Callable,
         chunks: List[List],
         worker: Callable,
         retry: Callable,
     ) -> Tuple[Dict[Key, DSQResult], int, int]:
-        """Submit chunks, collect results, re-run failed chunks serially."""
+        """Submit chunks to a thread pool, re-running failed chunks serially."""
         results: Dict[Key, DSQResult] = {}
         failed: List[List] = []
         workers = min(self.jobs, len(chunks))
-        with pool_factory(workers) as pool:
-            futures = [(pool.submit(worker, chunk), chunk) for chunk in chunks]
+        with ThreadPoolExecutor(workers) as tp:
+            futures = [(tp.submit(worker, chunk), chunk) for chunk in chunks]
             for future, chunk in futures:
                 try:
                     results.update(future.result())
                 except Exception:
-                    # Worker (or the whole pool) died; the chunk is intact in
-                    # the parent, so fall back to searching it here.
                     logger.warning(
                         "worker chunk of %d queries failed; retrying serially",
                         len(chunk),
@@ -343,3 +456,11 @@ class BatchExecutor:
         for chunk in failed:
             results.update(retry(chunk))
         return results, len(chunks), len(failed)
+
+
+__all__ = [
+    "STRATEGIES",
+    "BatchExecutor",
+    "ExecutorReport",
+    "default_jobs",
+]

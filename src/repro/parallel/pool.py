@@ -1,0 +1,271 @@
+"""Persistent worker pool over a shared-memory graph publication.
+
+This is the process half of the parallel story done right. The old process
+strategy paid, *per batch*: a fresh ``ProcessPoolExecutor`` (fork + interp
+setup per worker), a module-global session hand-off (racy — two executors
+running concurrently clobbered each other), and cold per-worker caches.
+:class:`WorkerPool` replaces all three:
+
+* the graph is **published once** to shared memory
+  (:func:`~repro.graph.shared.publish_graph`) when the pool is created;
+* workers **attach once** at spawn, through the pool initializer — the
+  descriptor travels as a pickled initarg, so there is no parent-side
+  module global to race on, and a worker's state is scoped to its pool by
+  construction;
+* each worker keeps a **persistent DSQL session** (and with it the
+  per-graph plan cache, candidate-pool memo, and adjacency bitsets) warm
+  across every batch the pool ever runs.
+
+Queries still travel to workers as plain ``(labels, edges)`` payloads and
+frozen :class:`~repro.core.result.DSQResult` objects come back — plus a
+per-chunk counter snapshot, so the parent can merge ``search.*`` /
+``kernel.dispatch.*`` metrics that previously died with the worker.
+
+The pool prefers the ``fork`` start method (cheapest, and shares the
+publisher's resource tracker); where fork is unavailable it falls back to
+``spawn``, which works because everything workers need arrives via
+initargs and shared memory rather than inherited globals.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import multiprocessing
+import os
+import time
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import DSQLConfig
+from repro.core.result import DSQResult
+from repro.exceptions import SharedMemoryError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.shared import (
+    AttachedGraph,
+    SharedGraphDescriptor,
+    attach_graph,
+    publish_graph,
+)
+
+logger = logging.getLogger("repro.parallel")
+
+Key = Tuple
+ChunkItem = Tuple[Key, Sequence, List[Tuple[int, int]]]
+ChunkResult = Tuple[int, List[Tuple[Key, DSQResult]], Dict[str, float]]
+"""What one worker chunk returns: ``(worker pid, (key, result) pairs,
+non-zero counter snapshot for the chunk)``."""
+
+_WORKER_STATE: Optional["_WorkerState"] = None
+"""Child-process-only session state, set by the pool initializer.
+
+Unlike the old ``_FORK_SESSION`` hand-off this is never written in the
+parent: each worker process belongs to exactly one pool and receives its
+state through initargs, so concurrent pools cannot interleave writes.
+"""
+
+
+class _WorkerState:
+    """Everything one worker process keeps warm across batches."""
+
+    __slots__ = ("attachment", "session", "instrumentation")
+
+    def __init__(self, attachment: AttachedGraph, session, instrumentation) -> None:
+        self.attachment = attachment
+        self.session = session
+        self.instrumentation = instrumentation
+
+
+def _init_worker(descriptor: SharedGraphDescriptor, config: DSQLConfig) -> None:
+    """Pool initializer (runs once in each worker process at spawn).
+
+    Attaches the shared segments (zero-copy for the CSR arrays), builds a
+    persistent instrumented session over the attached graph, and pins both
+    for the worker's lifetime.
+    """
+    global _WORKER_STATE
+    # Late imports keep the module importable in the parent before any
+    # worker exists, and off the child's critical path for repeat batches.
+    from repro.core.dsql import DSQL
+    from repro.observability import Instrumentation
+
+    attachment = attach_graph(descriptor)
+    instrumentation = Instrumentation()
+    session = DSQL(attachment.graph, config=config, instrumentation=instrumentation)
+    _WORKER_STATE = _WorkerState(attachment, session, instrumentation)
+
+
+def _run_chunk(payload: List[ChunkItem]) -> ChunkResult:
+    """Worker body: answer one chunk on the persistent session.
+
+    The worker registry is reset per chunk so the returned snapshot holds
+    exactly this chunk's counters; the parent merges them into its own
+    registry, keeping process-strategy metrics truthful.
+    """
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - initializer failure surfaces first
+        raise RuntimeError("worker pool initializer did not run")
+    state.instrumentation.metrics.reset()
+    session = state.session
+    out = [
+        (key, session.query(QueryGraph(labels, edges)))
+        for key, labels, edges in payload
+    ]
+    return os.getpid(), out, state.instrumentation.metrics.counters_snapshot()
+
+
+def _pool_context():
+    """The preferred multiprocessing context: fork, else spawn, else None."""
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform-dependent
+            continue
+    return None  # pragma: no cover - no known platform lacks both
+
+
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+"""Every not-yet-closed pool, reaped at interpreter exit.
+
+A pool leaked until interpreter shutdown can deadlock the exit: the
+executor's manager thread (joined by ``threading._shutdown``) waits for
+workers that can no longer receive their wake-up sentinel once
+multiprocessing's own atexit hook has reaped the call queue's feeder
+thread. Killing the workers outright first unwedges the manager — at exit
+no further batches are coming and worker sessions hold no parent-visible
+state, so this loses nothing.
+"""
+
+
+def _reap_live_pools() -> None:  # pragma: no cover - interpreter-exit path
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.close(wait=False)
+        except Exception:
+            logger.debug("worker pool reap at exit failed", exc_info=True)
+
+
+atexit.register(_reap_live_pools)
+
+
+class WorkerPool:
+    """N persistent workers attached to one published graph.
+
+    Parameters
+    ----------
+    graph:
+        The data graph to publish; its index cache is warmed (if needed)
+        and shipped with the publication.
+    config:
+        The :class:`~repro.core.config.DSQLConfig` every worker session
+        uses. Must match the driving session's config for bit-identical
+        replay.
+    jobs:
+        Worker-process count.
+
+    Raises :class:`~repro.exceptions.SharedMemoryError` when the platform
+    cannot support the pool (no multiprocessing context, or shared-memory
+    publication failed); callers degrade to in-process execution.
+    """
+
+    #: Seconds a graceful :meth:`close` waits for workers to drain before
+    #: killing stragglers. Fork can wedge a worker at birth — a lock some
+    #: other parent thread held at fork time stays locked forever in the
+    #: child — and a wedged worker never reads its shutdown sentinel, so an
+    #: unbounded join would hang the caller forever.
+    shutdown_grace_s: float = 15.0
+
+    def __init__(self, graph: LabeledGraph, config: DSQLConfig, jobs: int) -> None:
+        context = _pool_context()
+        if context is None:  # pragma: no cover - platform-dependent
+            raise SharedMemoryError("no usable multiprocessing start method")
+        self.jobs = jobs
+        # Publish BEFORE creating the executor: fork children must inherit
+        # the local-token set so they know they share the parent's resource
+        # tracker (see repro.graph.shared._LOCAL_TOKENS).
+        self._published = publish_graph(graph)
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=jobs,
+                mp_context=context,
+                initializer=_init_worker,
+                initargs=(self._published.descriptor, config),
+            )
+        except Exception:
+            self._published.close()
+            self._published.unlink()
+            raise
+        self._closed = False
+        _LIVE_POOLS.add(self)
+
+    @property
+    def descriptor(self) -> SharedGraphDescriptor:
+        return self._published.descriptor
+
+    @property
+    def shared_nbytes(self) -> int:
+        """Bytes of shared memory backing the published graph."""
+        return self._published.nbytes
+
+    def submit(self, chunk: List[ChunkItem]) -> "Future[ChunkResult]":
+        """Dispatch one chunk to the pool."""
+        return self._executor.submit(_run_chunk, chunk)
+
+    @property
+    def broken(self) -> bool:
+        """Whether the pool lost its workers (a crashed child breaks the
+        whole ``ProcessPoolExecutor``); a broken pool must be replaced."""
+        return bool(getattr(self._executor, "_broken", False))
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the workers down and free the shared segments (idempotent).
+
+        ``wait=True`` (the default) drains gracefully but with a *bounded*
+        join: workers get :attr:`shutdown_grace_s` seconds to pick up their
+        shutdown sentinels and exit, then stragglers are killed. The bound
+        matters because a fork-wedged worker never reads its sentinel; an
+        unbounded join would park the caller (or interpreter shutdown)
+        forever. ``wait=False`` — the discard / GC / interpreter-exit
+        path — skips the grace period and kills the workers outright:
+        nobody is waiting on their results. Unlinking while a worker still
+        holds its mapping is safe either way (POSIX keeps the segment alive
+        until the last map closes).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
+        processes = list(getattr(self._executor, "_processes", {}).values())
+        if wait:
+            # Wake the manager thread so it delivers sentinels, then give
+            # healthy workers a grace window to drain and exit.
+            self._executor.shutdown(wait=False)
+            deadline = time.monotonic() + self.shutdown_grace_s
+            for process in processes:
+                process.join(max(0.0, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                try:
+                    process.kill()
+                except Exception:  # pragma: no cover - already dead / no perms
+                    pass
+        self._executor.shutdown(wait=wait, cancel_futures=not wait)
+        self._published.close()
+        self._published.unlink()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close(wait=False)
+        except Exception:
+            pass
+
+
+__all__ = ["ChunkItem", "ChunkResult", "WorkerPool"]

@@ -17,6 +17,9 @@ Pieces (all stdlib; no web framework):
 * :class:`QueryService` / :class:`ServiceServer` — request handling and
   the ``ThreadingHTTPServer`` transport with graceful SIGTERM drain
   (:mod:`repro.service.server`);
+* :class:`MultiWorkerServer` — N pre-forked worker processes sharing
+  published graph memory behind one ``SO_REUSEPORT`` port, with merged
+  ``/healthz`` + ``/metrics`` views (:mod:`repro.service.multiworker`);
 * :class:`ServiceClient` — a ``urllib`` client
   (:mod:`repro.service.client`);
 * the wire schemas and :class:`ServiceError` (:mod:`repro.service.schemas`).
@@ -55,6 +58,7 @@ from repro.service.schemas import (
     query_graph_to_json,
     result_to_json,
 )
+from repro.service.multiworker import MultiWorkerServer
 from repro.service.server import QueryService, ServiceServer
 
 __all__ = [
@@ -62,6 +66,7 @@ __all__ = [
     "CatalogEntry",
     "GraphCatalog",
     "build_catalog",
+    "MultiWorkerServer",
     "ServiceClient",
     "ServiceClientError",
     "QueryService",

@@ -46,10 +46,19 @@ from repro.graph.io import load_edge_list, load_json
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.observability import Instrumentation
+from repro.parallel.executor import BatchExecutor
 from repro.service.schemas import ServiceError
 
 DEFAULT_SESSION_CACHE = 8
 """Per-entry cap on live non-default-config sessions (LRU evicted)."""
+
+DEFAULT_EXECUTOR_CACHE = 4
+"""Per-entry cap on live batch executors (LRU evicted, closed on eviction).
+
+Executors are cached so the ``process`` strategy's persistent
+:class:`~repro.parallel.pool.WorkerPool` — shared-memory graph publication
+plus warm per-worker sessions — survives across ``/v1/batch`` requests
+instead of being rebuilt per request."""
 
 
 def _never_computed() -> DSQResult:  # pragma: no cover - guarded by the memo peek
@@ -67,6 +76,7 @@ class CatalogEntry:
         instrumentation: Optional[Instrumentation] = None,
         source: str = "memory",
         max_sessions: int = DEFAULT_SESSION_CACHE,
+        max_executors: int = DEFAULT_EXECUTOR_CACHE,
     ) -> None:
         self.name = name
         self.graph = graph
@@ -78,8 +88,11 @@ class CatalogEntry:
         self.index_cache = graph.index_cache()
         self._session_lock = threading.Lock()
         self._memo_lock = threading.Lock()
+        self._executor_lock = threading.Lock()
         self._max_sessions = max_sessions
+        self._max_executors = max_executors
         self._sessions: "OrderedDict[DSQLConfig, DSQL]" = OrderedDict()
+        self._executors: "OrderedDict[Tuple, BatchExecutor]" = OrderedDict()
         self.default_session = DSQL(graph, config=default_config, instrumentation=instrumentation)
 
     # -- configuration / sessions --------------------------------------
@@ -173,26 +186,67 @@ class CatalogEntry:
         through the session memo internally; concurrent point queries on
         this graph wait for the batch — admission control bounds how much
         batch work can pile up.
-        """
-        from repro.parallel.executor import BatchExecutor
 
+        Executors are cached per ``(config, strategy, jobs)`` so the
+        process strategy's worker pool (shared graph segments, warm worker
+        sessions) persists across requests.
+        """
         session = self.session(config)
-        executor = BatchExecutor(session, strategy=strategy, jobs=jobs)
+        executor = self._executor_for(session, strategy, jobs)
         with self._memo_lock:
             results = executor.run(list(queries))
         return results, executor.last_report
+
+    def _executor_for(
+        self, session: DSQL, strategy: str, jobs: Optional[int]
+    ) -> BatchExecutor:
+        """The cached executor for this shape of batch request.
+
+        If the session behind a cached executor was LRU-evicted and
+        recreated meanwhile, the stale executor is closed and replaced —
+        an executor must run against the live session or the memo replay
+        would split brains.
+        """
+        key = (session.config, strategy, jobs)
+        with self._executor_lock:
+            executor = self._executors.get(key)
+            if executor is not None and executor.session is session:
+                self._executors.move_to_end(key)
+                return executor
+            evicted = []
+            stale = self._executors.pop(key, None)
+            if stale is not None:
+                evicted.append(stale)
+            executor = BatchExecutor(session, strategy=strategy, jobs=jobs)
+            self._executors[key] = executor
+            if len(self._executors) > self._max_executors:
+                evicted.append(self._executors.popitem(last=False)[1])
+        for old in evicted:
+            old.close()
+        return executor
+
+    def close(self) -> None:
+        """Release every cached executor (and any worker pools they hold)."""
+        with self._executor_lock:
+            executors = list(self._executors.values())
+            self._executors = OrderedDict()
+        for executor in executors:
+            executor.close()
 
     # -- introspection -------------------------------------------------
     def describe(self) -> Dict[str, object]:
         """Static + live facts about this entry (for ``/metrics``)."""
         with self._session_lock:
             extra_sessions = len(self._sessions)
+        with self._executor_lock:
+            executors = len(self._executors)
         return {
             "source": self.source,
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
             "labels": len(self.index_cache.label_table),
             "sessions": 1 + extra_sessions,
+            "executors": executors,
             "default_k": self.default_config.k,
             "plan_cache": self.index_cache.plan_cache.info(),
         }
@@ -290,6 +344,11 @@ class GraphCatalog:
     def describe(self) -> Dict[str, Dict[str, object]]:
         """Per-graph facts for ``/metrics`` and startup logging."""
         return {name: self._entries[name].describe() for name in self.names()}
+
+    def close(self) -> None:
+        """Release every entry's cached executors (and their worker pools)."""
+        for entry in self._entries.values():
+            entry.close()
 
 
 def build_catalog(

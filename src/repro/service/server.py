@@ -33,12 +33,14 @@ import json
 import logging
 import math
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.coverage.objectives import OBJECTIVE_NAMES
+from repro.exceptions import ConfigError
 from repro.service.admission import AdmissionController
 from repro.service.catalog import GraphCatalog
 from repro.service.schemas import (
@@ -90,6 +92,7 @@ class QueryService:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         max_queue: int = DEFAULT_MAX_QUEUE,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        identity: Optional[Dict[str, object]] = None,
     ) -> None:
         self.catalog = catalog
         self.instrumentation = catalog.instrumentation
@@ -97,6 +100,9 @@ class QueryService:
             max_in_flight, max_queue, metrics=self.instrumentation.metrics
         )
         self.retry_after_s = retry_after_s
+        # Who is answering: the multi-worker front (repro.service.multiworker)
+        # tags each pre-forked worker so /healthz and /metrics are attributable.
+        self.identity = dict(identity or {})
         self.draining = False
         self._request_ids = itertools.count()
         self._started = time.monotonic()
@@ -150,27 +156,34 @@ class QueryService:
                 "searches": report.searches,
                 "chunks": report.chunks,
                 "chunks_retried": report.chunks_retried,
+                "per_worker": [list(row) for row in report.per_worker],
             },
         }
 
     def healthz(self) -> Tuple[int, Dict[str, object]]:
         """``GET /healthz``: liveness + live admission occupancy."""
         status = 503 if self.draining else 200
-        return status, {
+        body: Dict[str, object] = {
             "status": "draining" if self.draining else "ok",
             "graphs": self.catalog.names(),
             "objectives": sorted(OBJECTIVE_NAMES),
             "uptime_ms": (time.monotonic() - self._started) * 1000.0,
             "admission": self.admission.describe(),
         }
+        if self.identity:
+            body["identity"] = dict(self.identity)
+        return status, body
 
     def metrics_snapshot(self) -> Dict[str, object]:
         """``GET /metrics``: the full registry snapshot plus catalog facts."""
-        return {
+        body: Dict[str, object] = {
             "uptime_ms": (time.monotonic() - self._started) * 1000.0,
             "metrics": self.instrumentation.metrics.snapshot(),
             "catalog": self.catalog.describe(),
         }
+        if self.identity:
+            body["identity"] = dict(self.identity)
+        return body
 
     # -- request lifecycle ---------------------------------------------
     def handle_post(
@@ -230,7 +243,9 @@ class QueryService:
         self.draining = True
 
     def close(self) -> None:
-        """Flush instrumentation (the trace sink, when one is attached)."""
+        """Release catalog executors (worker pools, shared segments), then
+        flush instrumentation (the trace sink, when one is attached)."""
+        self.catalog.close()
         self.instrumentation.close()
 
 
@@ -246,6 +261,15 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     # handler's read timeout bounds how long a stuck client can delay it.
     daemon_threads = False
     allow_reuse_address = True
+    # SO_REUSEPORT lets N pre-forked workers bind the *same* port and have
+    # the kernel load-balance incoming connections across them — the
+    # multi-worker front (repro.service.multiworker) flips this on.
+    reuse_port = False
+
+    def server_bind(self) -> None:
+        if self.reuse_port:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     def handle_error(self, request, client_address):  # pragma: no cover - client aborts
         logger.warning("error handling connection from %s", client_address, exc_info=True)
@@ -332,10 +356,21 @@ class ServiceServer:
         server.close()
     """
 
-    def __init__(self, service: QueryService, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
+    ) -> None:
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ConfigError("SO_REUSEPORT is not available on this platform")
         self.service = service
         handler = type("BoundServiceHandler", (_ServiceHandler,), {"service": service})
-        self._http = _ServiceHTTPServer((host, port), handler)
+        server_cls = type(
+            "BoundServiceHTTPServer", (_ServiceHTTPServer,), {"reuse_port": reuse_port}
+        )
+        self._http = server_cls((host, port), handler)
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self._close_lock = threading.Lock()

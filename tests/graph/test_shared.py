@@ -1,0 +1,199 @@
+"""Tests for :mod:`repro.graph.shared` — the shared-memory publish/attach layer.
+
+The contract under test: an attached graph is *equivalent* to the published
+one (same topology, labels, index-cache state, bit-identical query answers),
+its CSR arrays are zero-copy views over the shared segments, and the
+lifecycle fails loudly — stale epochs and unlinked segments raise typed
+errors instead of serving wrong answers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.dsql import DSQL
+from repro.exceptions import SharedMemoryError, StaleSegmentError
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.graph.shared import attach_graph, publish_graph
+
+K = 3
+
+
+def _graph() -> LabeledGraph:
+    labels = ["a", "b", "c", "a", "b", "c", "a", "b", "c", "a"]
+    edges = [
+        (0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7),
+        (7, 8), (8, 9), (0, 2), (1, 3), (4, 6), (5, 7), (0, 9),
+    ]
+    return LabeledGraph(labels, edges, name="shared-test")
+
+
+def _queries():
+    return [
+        QueryGraph(["a", "b"], [(0, 1)]),
+        QueryGraph(["b", "c"], [(0, 1)]),
+        QueryGraph(["a", "b", "c"], [(0, 1), (1, 2)]),
+    ]
+
+
+@pytest.fixture
+def source_graph():
+    return _graph()
+
+
+@pytest.fixture
+def published(source_graph):
+    pub = publish_graph(source_graph)
+    yield pub
+    pub.close()
+    pub.unlink()
+
+
+class TestRoundTrip:
+    # Teardown discipline: extract plain-Python facts from the attached
+    # graph, drop every reference to it, then close the attachment —
+    # close() refuses (typed error) while views are still referenced.
+
+    def test_topology_and_labels_survive(self, source_graph, published):
+        attachment = attach_graph(published.descriptor)
+        got = attachment.graph
+        facts = {
+            "num_vertices": got.num_vertices,
+            "num_edges": got.num_edges,
+            "labels": list(got.labels),
+            "edges": list(got.edges()),
+            "neighbors": [got.neighbors(v) for v in got.vertices()],
+            "degrees": [got.degree(v) for v in got.vertices()],
+        }
+        del got
+        attachment.close()
+        assert facts["num_vertices"] == source_graph.num_vertices
+        assert facts["num_edges"] == source_graph.num_edges
+        assert facts["labels"] == list(source_graph.labels)
+        assert facts["edges"] == list(source_graph.edges())
+        assert facts["neighbors"] == [
+            source_graph.neighbors(v) for v in source_graph.vertices()
+        ]
+        assert facts["degrees"] == [
+            source_graph.degree(v) for v in source_graph.vertices()
+        ]
+
+    def test_query_results_bit_identical(self, source_graph, published):
+        attachment = attach_graph(published.descriptor)
+        session = DSQL(attachment.graph, k=K)
+        shared = [r.to_dict() for r in session.query_many(_queries())]
+        del session
+        attachment.close()
+        serial = [r.to_dict() for r in DSQL(source_graph, k=K).query_many(_queries())]
+        assert shared == serial
+
+    def test_arrays_are_views_not_copies(self, published):
+        attachment = attach_graph(published.descriptor)
+        backend = attachment.graph.backend
+        # A zero-copy view has no owndata flag and is read-only; a
+        # silent copy would defeat the N-workers-one-graph point.
+        flags = [
+            (array.flags.owndata, array.flags.writeable)
+            for array in (backend.indptr, backend.indices, backend.label_ids)
+        ]
+        del backend
+        attachment.close()
+        assert all(flags_pair == (False, False) for flags_pair in flags)
+
+    def test_index_cache_preseeded_with_same_epoch(self, source_graph, published):
+        cache = source_graph.index_cache()
+        attachment = attach_graph(published.descriptor)
+        got = attachment.graph.index_cache()
+        facts = {
+            "epoch": got.epoch,
+            "label_index": dict(got.label_index),
+            "signature_masks": list(got.signature_masks),
+        }
+        del got
+        attachment.close()
+        assert facts["epoch"] == cache.epoch == published.descriptor.epoch
+        assert facts["label_index"] == cache.label_index
+        assert facts["signature_masks"] == list(cache.signature_masks)
+
+    def test_nbytes_accounts_for_arrays(self, published):
+        backend = _graph().backend
+        floor = sum(
+            np.asarray(arr).nbytes
+            for arr in (backend.indptr, backend.indices, backend.label_ids)
+        )
+        assert published.nbytes >= floor
+
+
+class TestLifecycle:
+    def test_attach_after_unlink_raises(self):
+        pub = publish_graph(_graph())
+        descriptor = pub.descriptor
+        pub.close()
+        pub.unlink()
+        with pytest.raises(SharedMemoryError):
+            attach_graph(descriptor)
+
+    def test_stale_epoch_raises(self, published):
+        forged = dataclasses.replace(
+            published.descriptor, epoch=published.descriptor.epoch + 1
+        )
+        with pytest.raises(StaleSegmentError):
+            attach_graph(forged)
+
+    def test_stale_is_a_shared_memory_error(self):
+        assert issubclass(StaleSegmentError, SharedMemoryError)
+
+    def test_publish_close_unlink_idempotent(self):
+        pub = publish_graph(_graph())
+        pub.close()
+        pub.close()
+        pub.unlink()
+        pub.unlink()
+
+    def test_close_with_live_views_raises_typed_error(self, published):
+        attachment = attach_graph(published.descriptor)
+        backend = attachment.graph.backend
+        indptr = backend.indptr  # keep a live view across the close
+        with pytest.raises(SharedMemoryError):
+            attachment.close()
+        # After the caller drops its views, the same close succeeds.
+        del backend, indptr
+        attachment.close()
+
+    def test_attachment_close_idempotent(self, published):
+        attachment = attach_graph(published.descriptor)
+        attachment.close()
+        attachment.close()
+        assert attachment.graph is None
+
+    def test_unlink_while_attached_keeps_mapping_alive(self):
+        # POSIX shm: the attached mapping outlives the name. This is what
+        # lets the worker pool unlink eagerly at close() without waiting
+        # for every worker to drop its mapping first.
+        graph = _graph()
+        pub = publish_graph(graph)
+        attachment = attach_graph(pub.descriptor)
+        pub.close()
+        pub.unlink()
+        try:
+            result = DSQL(attachment.graph, k=K).query(_queries()[0])
+            reference = DSQL(graph, k=K).query(_queries()[0])
+            assert result.to_dict() == reference.to_dict()
+        finally:
+            attachment.close()
+
+    def test_republish_same_graph_keeps_epoch_changes_token(self, source_graph, published):
+        # Segment names must never collide across publications, but the
+        # epoch is the index cache's identity — republishing the same live
+        # graph keeps it, so existing descriptors stay attachable-by-epoch.
+        second = publish_graph(source_graph)
+        try:
+            assert second.descriptor.token != published.descriptor.token
+            assert second.descriptor.epoch == published.descriptor.epoch
+        finally:
+            second.close()
+            second.unlink()

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-import repro.parallel.executor as executor_mod
+import repro.parallel.pool as pool_mod
 from repro.core.config import DSQLConfig
 from repro.core.dsql import DSQL
 from repro.datasets.registry import dataset_names, make_dataset
@@ -38,8 +38,8 @@ def _serial_reference(graph, queries, **config_kwargs):
 def _assert_matches_serial(graph, queries, strategy, **executor_kwargs):
     ref_session, ref_dicts = _serial_reference(graph, queries)
     session = DSQL(graph, config=DSQLConfig(k=K))
-    executor = BatchExecutor(session, strategy=strategy, jobs=2, **executor_kwargs)
-    results = executor.run(queries)
+    with BatchExecutor(session, strategy=strategy, jobs=2, **executor_kwargs) as executor:
+        results = executor.run(queries)
     assert [r.to_dict() for r in results] == ref_dicts
     assert session.stats.query_cache_hits == ref_session.stats.query_cache_hits
     assert session.stats.query_cache_misses == ref_session.stats.query_cache_misses
@@ -96,10 +96,10 @@ class TestDegradation:
 
         # Fork inherits the patched module state, so both the parent-side
         # future and any child that runs see the crashing worker body.
-        monkeypatch.setattr(executor_mod, "_process_chunk", crash)
+        monkeypatch.setattr(pool_mod, "_run_chunk", crash)
         session = DSQL(graph, config=DSQLConfig(k=K))
-        executor = BatchExecutor(session, strategy="process", jobs=2)
-        results = executor.run(queries)
+        with BatchExecutor(session, strategy="process", jobs=2) as executor:
+            results = executor.run(queries)
         assert [r.to_dict() for r in results] == ref_dicts
         report = executor.last_report
         assert report.chunks_retried == report.chunks > 0

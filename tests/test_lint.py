@@ -122,6 +122,27 @@ def test_service_tests_collected_from_testpaths():
         "test_admission.py",
         "test_catalog.py",
         "test_concurrency.py",
+        "test_multiworker.py",
         "test_schemas.py",
         "test_server.py",
     ]
+
+
+def test_compile_gate_covers_shared_memory_modules():
+    modules = [
+        REPO / "src" / "repro" / "graph" / "shared.py",
+        REPO / "src" / "repro" / "parallel" / "pool.py",
+        REPO / "src" / "repro" / "service" / "multiworker.py",
+    ]
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    for module in modules:
+        assert module.exists(), f"{module} missing"
+        assert str(module) in gated
+
+
+def test_docs_gate_covers_parallel_doc():
+    parallel_doc = REPO / "docs" / "parallel.md"
+    assert parallel_doc.exists(), "docs/parallel.md missing"
+    assert parallel_doc in DOC_FILES
+    # The doc must actually exercise the gate: at least one python block.
+    assert extract_python_blocks(parallel_doc.read_text(encoding="utf-8"))
