@@ -40,6 +40,7 @@ SharedMemoryError` instead of silently leaking the mapping.
 from __future__ import annotations
 
 import gc
+import logging
 import os
 import pickle
 import uuid
@@ -59,6 +60,8 @@ SHARED_FORMAT_VERSION = 1
 ARRAY_FIELDS: Tuple[str, ...] = ("indptr", "indices", "label_ids", "degree_array")
 """CSR backend arrays published as raw shared-memory segments, in order."""
 
+logger = logging.getLogger("repro.graph.shared")
+
 
 _LOCAL_TOKENS: set = set()
 """Tokens published by this process (inherited by children forked later).
@@ -68,24 +71,45 @@ resource tracker, attachments included. Processes sharing the publisher's
 tracker (the publisher itself, and children forked after the publish) must
 NOT undo that registration — the tracker keeps one entry per name, so an
 attach-side unregister would cancel the create-side one and leak the
-segment on crash. A *spawned* worker, however, runs its own tracker, and
-leaving the attach registered there would unlink the publisher's segments
-the moment the worker exits. Membership in this set is exactly the "shares
-the publisher's tracker" test: publishers add their token here, fork
-children inherit the set, spawn children start empty.
+segment on crash. A process running its *own* tracker — an independently
+launched attacher, or a worker whose start method did not hand it the
+publisher's tracker — must undo the registration, or its tracker would
+unlink the publisher's segments the moment the process exits. Membership
+in this set is the "published here" test: publishers add their token here,
+fork children inherit the set, other attachers start empty.
 """
 
 
 def _unregister_attachment(shm: shared_memory.SharedMemory, token: str) -> None:
-    """Undo the attach-side tracker registration in foreign-tracker processes."""
+    """Undo the attach-side tracker registration in foreign-tracker processes.
+
+    A failure here is not silent: it means this process's resource tracker
+    still owns the attachment and will unlink the publisher's segments at
+    exit (the regression
+    :class:`tests.graph.test_shared.TestForeignTrackerSurvival` guards).
+    """
     if token in _LOCAL_TOKENS:
         return
-    try:  # pragma: no cover - tracker internals vary across versions
+    if os.name != "posix":
+        # SharedMemory registers with the resource tracker only on POSIX;
+        # elsewhere there is nothing to undo.
+        return
+    # register() recorded the platform-internal spelling of the name, which
+    # on POSIX carries a leading slash that the public ``name`` property
+    # strips — rebuild it rather than reading the private ``_name``.
+    registered = shm.name if shm.name.startswith("/") else "/" + shm.name
+    try:
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")
-    except Exception:
-        pass
+        resource_tracker.unregister(registered, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary by version
+        logger.warning(
+            "failed to unregister shared-memory attachment %s from the "
+            "resource tracker; this process's tracker may unlink the "
+            "segment when it exits",
+            shm.name,
+            exc_info=True,
+        )
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import logging
 import os
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
@@ -305,6 +306,12 @@ class BatchExecutor:
         same LRU capacity) so keys that will be evicted mid-batch and
         re-missed are still searched only once — the search is deterministic,
         so one worker result serves every miss of that key.
+
+        The mirror must replicate :meth:`DSQL._memo_answer`'s LRU semantics
+        exactly, including the ``move_to_end`` on a hit: skipping hits
+        without refreshing their recency would evict in a different order
+        than the replay, predict a hit for a key the replay actually
+        misses, and die on ``fresh[key]``.
         """
         session = self.session
         cap = session.config.query_cache_size
@@ -313,14 +320,15 @@ class BatchExecutor:
             for key, query in zip(keys, queries):
                 need.setdefault(key, query)
             return need
-        mirror = dict.fromkeys(session._query_cache)
+        mirror: "OrderedDict[Key, None]" = OrderedDict.fromkeys(session._query_cache)
         for key, query in zip(keys, queries):
             if key in mirror:
+                mirror.move_to_end(key)
                 continue
             need.setdefault(key, query)
             mirror[key] = None
             if cap is not None and len(mirror) > cap:
-                del mirror[next(iter(mirror))]
+                mirror.popitem(last=False)
         return need
 
     # ------------------------------------------------------------------

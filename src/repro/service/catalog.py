@@ -35,7 +35,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import DSQLConfig
 from repro.core.dsql import DSQL
@@ -93,6 +93,13 @@ class CatalogEntry:
         self._max_executors = max_executors
         self._sessions: "OrderedDict[DSQLConfig, DSQL]" = OrderedDict()
         self._executors: "OrderedDict[Tuple, BatchExecutor]" = OrderedDict()
+        # Executors with a batch in flight (identity-keyed lease counts) and
+        # evicted executors whose close is deferred until their last lease
+        # is released — closing an executor another thread already fetched
+        # would make that thread rebuild a WorkerPool on a cache-unreachable
+        # executor whose segments only GC would reclaim.
+        self._executor_leases: Dict[BatchExecutor, int] = {}
+        self._executors_retired: Set[BatchExecutor] = set()
         self.default_session = DSQL(graph, config=default_config, instrumentation=instrumentation)
 
     # -- configuration / sessions --------------------------------------
@@ -189,48 +196,95 @@ class CatalogEntry:
 
         Executors are cached per ``(config, strategy, jobs)`` so the
         process strategy's worker pool (shared graph segments, warm worker
-        sessions) persists across requests.
+        sessions) persists across requests; a lease held for the duration
+        of the run keeps a concurrent LRU eviction from closing the
+        executor mid-batch.
         """
         session = self.session(config)
-        executor = self._executor_for(session, strategy, jobs)
-        with self._memo_lock:
-            results = executor.run(list(queries))
+        executor = self._acquire_executor(session, strategy, jobs)
+        try:
+            with self._memo_lock:
+                results = executor.run(list(queries))
+        finally:
+            self._release_executor(executor)
         return results, executor.last_report
 
-    def _executor_for(
+    def _acquire_executor(
         self, session: DSQL, strategy: str, jobs: Optional[int]
     ) -> BatchExecutor:
-        """The cached executor for this shape of batch request.
+        """The cached executor for this shape of batch request, leased.
 
         If the session behind a cached executor was LRU-evicted and
-        recreated meanwhile, the stale executor is closed and replaced —
+        recreated meanwhile, the stale executor is retired and replaced —
         an executor must run against the live session or the memo replay
-        would split brains.
+        would split brains. The returned executor carries a lease (released
+        by :meth:`_release_executor`); evicting a leased executor defers
+        its close until the last lease drops, so a concurrent eviction can
+        never close an executor out from under a batch that already
+        fetched it.
         """
         key = (session.config, strategy, jobs)
         with self._executor_lock:
             executor = self._executors.get(key)
             if executor is not None and executor.session is session:
                 self._executors.move_to_end(key)
-                return executor
-            evicted = []
-            stale = self._executors.pop(key, None)
-            if stale is not None:
-                evicted.append(stale)
-            executor = BatchExecutor(session, strategy=strategy, jobs=jobs)
-            self._executors[key] = executor
-            if len(self._executors) > self._max_executors:
-                evicted.append(self._executors.popitem(last=False)[1])
-        for old in evicted:
+                evicted: List[BatchExecutor] = []
+            else:
+                evicted = []
+                stale = self._executors.pop(key, None)
+                if stale is not None:
+                    evicted.append(stale)
+                executor = BatchExecutor(session, strategy=strategy, jobs=jobs)
+                self._executors[key] = executor
+                if len(self._executors) > self._max_executors:
+                    evicted.append(self._executors.popitem(last=False)[1])
+            self._executor_leases[executor] = (
+                self._executor_leases.get(executor, 0) + 1
+            )
+            closable = self._retire_locked(evicted)
+        for old in closable:
             old.close()
         return executor
 
+    def _retire_locked(
+        self, evicted: List[BatchExecutor]
+    ) -> List[BatchExecutor]:
+        """Partition evicted executors (under ``_executor_lock``): executors
+        with live leases are parked for their last release to close; the
+        rest are returned for the caller to close outside the lock."""
+        closable: List[BatchExecutor] = []
+        for old in evicted:
+            if self._executor_leases.get(old, 0) > 0:
+                self._executors_retired.add(old)
+            else:
+                closable.append(old)
+        return closable
+
+    def _release_executor(self, executor: BatchExecutor) -> None:
+        """Drop one lease; the last lease on a retired executor closes it."""
+        close_now = False
+        with self._executor_lock:
+            remaining = self._executor_leases.get(executor, 0) - 1
+            if remaining > 0:
+                self._executor_leases[executor] = remaining
+            else:
+                self._executor_leases.pop(executor, None)
+                if executor in self._executors_retired:
+                    self._executors_retired.discard(executor)
+                    close_now = True
+        if close_now:
+            executor.close()
+
     def close(self) -> None:
-        """Release every cached executor (and any worker pools they hold)."""
+        """Release every cached executor (and any worker pools they hold).
+
+        Executors with a batch in flight are retired instead of closed;
+        the batch's lease release performs the close."""
         with self._executor_lock:
             executors = list(self._executors.values())
             self._executors = OrderedDict()
-        for executor in executors:
+            closable = self._retire_locked(executors)
+        for executor in closable:
             executor.close()
 
     # -- introspection -------------------------------------------------

@@ -10,6 +10,7 @@ errors instead of serving wrong answers.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 
 import numpy as np
 import pytest
@@ -197,3 +198,94 @@ class TestLifecycle:
         finally:
             second.close()
             second.unlink()
+
+
+def _attach_probe(descriptor_path: str) -> None:
+    """Spawn-context child body: attach, sanity-check, close, exit 0."""
+    import pickle as _pickle
+
+    from repro.graph.shared import attach_graph as _attach
+
+    with open(descriptor_path, "rb") as fh:
+        descriptor = _pickle.load(fh)
+    attachment = _attach(descriptor)
+    assert attachment.graph.num_vertices > 0
+    attachment.close()
+
+
+class TestForeignTrackerSurvival:
+    """A worker's exit must never unlink the publisher's segments.
+
+    Python's shared-memory resource tracker registers *attachments* too;
+    in a process with its own tracker, that registration would unlink the
+    segments at process exit unless the attach undoes it
+    (``_unregister_attachment``). These tests fail loudly if a Python
+    tracker-behavior change ever restores the unlink-on-exit behavior.
+    """
+
+    def _assert_still_attachable(self, source_graph, published):
+        attachment = attach_graph(published.descriptor)
+        try:
+            assert attachment.graph.num_edges == source_graph.num_edges
+        finally:
+            attachment.close()
+
+    def test_segments_survive_spawn_worker_exit(
+        self, source_graph, published, tmp_path
+    ):
+        import multiprocessing
+
+        path = tmp_path / "descriptor.pkl"
+        path.write_bytes(pickle.dumps(published.descriptor))
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(target=_attach_probe, args=(str(path),))
+        proc.start()
+        proc.join(120)
+        assert proc.exitcode == 0
+        self._assert_still_attachable(source_graph, published)
+
+    def test_segments_survive_independent_process_exit(
+        self, source_graph, published, tmp_path
+    ):
+        # An independently launched interpreter runs its OWN resource
+        # tracker — the exact process shape whose exit would unlink the
+        # publisher's segments without the attach-side unregister. The
+        # child stops its tracker synchronously so any cleanup it would
+        # do has happened before the parent re-attaches.
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        path = tmp_path / "descriptor.pkl"
+        path.write_bytes(pickle.dumps(published.descriptor))
+        script = "\n".join(
+            [
+                "import pickle, sys",
+                "from multiprocessing import resource_tracker",
+                "from repro.graph.shared import attach_graph",
+                "with open(sys.argv[1], 'rb') as fh:",
+                "    descriptor = pickle.load(fh)",
+                "attachment = attach_graph(descriptor)",
+                "assert attachment.graph.num_vertices > 0",
+                "attachment.close()",
+                "tracker = getattr(resource_tracker, '_resource_tracker', None)",
+                "if tracker is not None and getattr(tracker, '_fd', None) is not None:",
+                "    tracker._stop()",
+            ]
+        )
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2] / "src"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        self._assert_still_attachable(source_graph, published)

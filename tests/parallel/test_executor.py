@@ -85,6 +85,36 @@ class TestSerialReproducibility:
         assert report.searches == BATCH
 
 
+class TestMemoMirrorLRU:
+    """_plan_searches must replicate _memo_answer's LRU semantics exactly."""
+
+    def test_warm_memo_hit_refreshes_recency(self):
+        # Memo warmed with [A, B] at capacity 2, then the batch [A, C, B]:
+        # the replay's hit on A refreshes A's recency (move_to_end), so
+        # inserting C evicts B — B is a *miss* at replay time and must be
+        # planned as a search. A mirror that skips hits without reordering
+        # evicts A instead, predicts B as a hit, and the replay dies on
+        # fresh[B] (KeyError).
+        graph, _ = _workload("dblp")
+        a, b, c = list(query_set(graph, 3, 3, seed=23))
+        assert len({q.canonical_key() for q in (a, b, c)}) == 3
+        batch = [a, c, b]
+
+        ref_session = DSQL(graph, config=DSQLConfig(k=K, query_cache_size=2))
+        ref_session.query_many([a, b])
+        ref_dicts = [r.to_dict() for r in ref_session.query_many(batch)]
+
+        session = DSQL(graph, config=DSQLConfig(k=K, query_cache_size=2))
+        session.query_many([a, b])  # warm the memo: LRU order [A, B]
+        with BatchExecutor(session, strategy="thread", jobs=2) as executor:
+            results = executor.run(batch)
+
+        assert [r.to_dict() for r in results] == ref_dicts
+        assert executor.last_report.searches == 2  # C fresh, B re-searched
+        assert session.stats.query_cache_hits == ref_session.stats.query_cache_hits
+        assert session.stats.query_cache_misses == ref_session.stats.query_cache_misses
+
+
 class TestDegradation:
     def test_crashed_worker_chunk_is_retried_serially(self, monkeypatch):
         """A dead pool still yields a complete, serial-identical batch."""

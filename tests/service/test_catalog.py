@@ -148,3 +148,92 @@ class TestAnswering:
         assert [r.embeddings for r in results] == [r.embeddings for r in expected]
         assert report.strategy == "thread"
         assert report.batch == len(queries)
+
+
+class TestExecutorLeases:
+    """Evicting an executor another thread already fetched must defer its
+    close to that thread's lease release, never close it mid-flight."""
+
+    @staticmethod
+    def _fresh_entry(max_executors=1):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        entry = catalog.add_graph("tiny", tiny_graph())
+        entry._max_executors = max_executors
+        return entry
+
+    @staticmethod
+    def _record_closes(executor):
+        closes = []
+        original = executor.close
+
+        def recording_close():
+            closes.append(True)
+            original()
+
+        executor.close = recording_close
+        return closes
+
+    def test_eviction_defers_close_while_leased(self):
+        entry = self._fresh_entry(max_executors=1)
+        session = entry.session()
+        leased = entry._acquire_executor(session, "serial", 1)
+        closes = self._record_closes(leased)
+        # A different request shape overflows the size-1 LRU and evicts
+        # the leased executor — which must survive until its release.
+        other = entry._acquire_executor(session, "serial", 2)
+        assert leased not in entry._executors.values()
+        assert not closes
+        entry._release_executor(leased)
+        assert closes == [True]
+        entry._release_executor(other)
+        entry.close()
+
+    def test_entry_close_defers_leased_executor(self):
+        entry = self._fresh_entry()
+        leased = entry._acquire_executor(entry.session(), "serial", 1)
+        closes = self._record_closes(leased)
+        entry.close()
+        assert not closes  # batch still in flight
+        entry._release_executor(leased)
+        assert closes == [True]
+
+    def test_unleased_eviction_closes_immediately(self):
+        entry = self._fresh_entry(max_executors=1)
+        session = entry.session()
+        first = entry._acquire_executor(session, "serial", 1)
+        entry._release_executor(first)
+        closes = self._record_closes(first)
+        second = entry._acquire_executor(session, "serial", 2)
+        assert closes == [True]
+        entry._release_executor(second)
+        entry.close()
+
+    def test_concurrent_batches_across_eviction_pressure(self):
+        import threading
+
+        entry = self._fresh_entry(max_executors=1)
+        queries = tiny_queries(count=3, seed=11)
+        expected = [
+            r.embeddings
+            for r in DSQL(tiny_graph(), config=entry.default_config).query_many(queries)
+        ]
+        errors = []
+
+        def run_shape(jobs):
+            try:
+                for _ in range(5):
+                    results, _ = entry.answer_batch(
+                        queries, strategy="serial", jobs=jobs
+                    )
+                    assert [r.embeddings for r in results] == expected
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run_shape, args=(jobs,)) for jobs in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert not entry._executor_leases
+        entry.close()
