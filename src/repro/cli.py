@@ -7,6 +7,8 @@ Subcommands
 ``datasets`` — list the registered dataset profiles and their statistics.
 ``schedule`` — print the SWAPα multi-scan α/γ schedule (Section 6.1.2).
 ``serve``    — run the long-running multi-graph query service (docs/service.md).
+``mutate``   — apply live mutations to a graph on a running service
+               (docs/mutation.md).
 
 Examples::
 
@@ -16,6 +18,8 @@ Examples::
     repro-dsql query --dataset youtube --solver COM --queries 10
     repro-dsql schedule --scans 8
     repro-dsql serve --dataset dblp --dataset yeast@1 --port 8707
+    repro-dsql mutate --graph dblp --op add --edge 12 4711
+    repro-dsql mutate --graph dblp --ops-file churn.json
 """
 
 from __future__ import annotations
@@ -129,6 +133,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="default per-request wall-clock deadline (requests may override)",
     )
     v.add_argument(
+        "--query-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-session result-memo capacity (default 128; 0 disables caching)",
+    )
+    v.add_argument(
         "--max-in-flight", type=int, default=8, help="admission: concurrent request cap"
     )
     v.add_argument(
@@ -144,6 +155,43 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_objective_flag(v, help_extra=" (requests may override per call)")
     _add_plan_flags(v)
     _add_observability_flags(v)
+
+    m = sub.add_parser(
+        "mutate", help="apply live mutations to a served graph (docs/mutation.md)"
+    )
+    m.add_argument(
+        "--url",
+        default="http://127.0.0.1:8707",
+        help="base URL of a running repro service (default: the serve default port)",
+    )
+    m.add_argument("--graph", required=True, help="catalog name of the graph to mutate")
+    m.add_argument(
+        "--op",
+        choices=["add", "remove"],
+        default="add",
+        help="edge operation for --edge (default: add)",
+    )
+    m.add_argument(
+        "--edge",
+        nargs=2,
+        type=int,
+        metavar=("U", "V"),
+        help="apply one edge op via POST /v1/graphs/{g}/edges",
+    )
+    m.add_argument(
+        "--ops-file",
+        metavar="PATH",
+        help="JSON file holding a list of ops "
+        '(["add_vertex", label] / ["add_edge", u, v] / ["remove_edge", u, v]) '
+        "sent as one batch via POST /v1/graphs/{g}/ingest",
+    )
+    m.add_argument(
+        "--compaction-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the server's overlay-size compaction trigger for this batch",
+    )
 
     e = sub.add_parser("experiment", help="run one paper experiment")
     e.add_argument(
@@ -356,11 +404,18 @@ def _cmd_serve(
         parser.error("serve requires at least one --dataset or --graph")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    config_kwargs = {}
+    if args.query_cache_size is not None:
+        # Only override when asked: DSQLConfig's default (128) is the
+        # documented serving default, while an explicit None would mean
+        # "unbounded" — not a CLI-reachable state.
+        config_kwargs["query_cache_size"] = args.query_cache_size
     config = DSQLConfig(
         k=args.k,
         time_budget_ms=args.time_budget_ms,
         plan_cache=not args.no_plan_cache,
         objective=args.objective,
+        **config_kwargs,
     )
     try:
         catalog, lines = build_catalog(
@@ -406,6 +461,46 @@ def _cmd_serve(
         pass
     server.close()
     print("repro service drained")
+    return 0
+
+
+def _cmd_mutate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """POST one edge op or an ops-file batch to a running service."""
+    import json
+    from pathlib import Path
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    if bool(args.edge) == bool(args.ops_file):
+        parser.error("mutate requires exactly one of --edge U V or --ops-file PATH")
+    client = ServiceClient(args.url)
+    try:
+        if args.edge:
+            body = client.mutate_edge(args.graph, args.op, args.edge[0], args.edge[1])
+        else:
+            path = Path(args.ops_file)
+            if not path.is_file():
+                parser.error(f"ops file not found: {path}")
+            try:
+                ops = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                parser.error(f"{path} is not valid JSON: {exc}")
+            if not isinstance(ops, list):
+                parser.error(f"{path} must hold a JSON list of ops")
+            body = client.ingest(
+                args.graph, ops, compaction_threshold=args.compaction_threshold
+            )
+    except ServiceClientError as exc:
+        hint = ""
+        if exc.status == 409 and exc.retry_after_s is not None:
+            hint = f" (retry after {exc.retry_after_s:g}s)"
+        print(f"mutation failed: {exc}{hint}", file=sys.stderr)
+        return 1
+    version = body.get("version")
+    print(
+        f"{args.graph}: applied {body.get('applied')} op(s), "
+        f"compacted={body.get('compacted')}, version={version}"
+    )
     return 0
 
 
@@ -480,6 +575,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_datasets()
     if args.command == "schedule":
         return _cmd_schedule(args.scans)
+    if args.command == "mutate":
+        return _cmd_mutate(parser, args)
     instr = _setup_observability(args)
     try:
         if args.command == "query":

@@ -118,12 +118,15 @@ class DSQL:
         self.config = config
         self.index_cache = graph.index_cache()
         # The weighted-vertex weight table is a per-graph artifact; build it
-        # once per session so per-query objective binding stays O(q).
+        # once per graph *version* so per-query objective binding stays O(q)
+        # (degree-derived weights go stale under live mutation, so the
+        # profile is stamped with the cache version and lazily refreshed).
         self._weight_profile = (
             build_weight_profile(graph, config.vertex_weights)
             if config.objective == "weighted-vertex"
             else None
         )
+        self._weight_version = self.index_cache.version
         self.stats = SearchStats()
         self._query_cache: "OrderedDict[tuple, DSQResult]" = OrderedDict()
         if instrumentation is None:
@@ -165,6 +168,17 @@ class DSQL:
             " [deadline]" if result.stats.deadline_exhausted else "",
         )
         return result
+
+    def _weights(self):
+        """The weighted-vertex profile at the graph's current version.
+
+        Rebuilt lazily after a mutation: the profile may derive weights from
+        degrees, which change under live mutation.
+        """
+        if self._weight_profile is not None and self._weight_version != self.index_cache.version:
+            self._weight_profile = build_weight_profile(self.graph, self.config.vertex_weights)
+            self._weight_version = self.index_cache.version
+        return self._weight_profile
 
     def _query_impl(
         self, query: QueryGraph, instr: Optional[Instrumentation], query_id: Optional[int]
@@ -213,7 +227,7 @@ class DSQL:
         k, q = config.k, query.size
         truncated = stats.budget_exhausted or stats.deadline_exhausted
         objective = make_objective(
-            config.objective, query=query, weight_profile=self._weight_profile
+            config.objective, query=query, weight_profile=self._weights()
         )
 
         optimal = False
@@ -295,15 +309,28 @@ class DSQL:
         return result
 
 
+    def memo_key(self, query: QueryGraph) -> tuple:
+        """The ``query_many`` memo key: graph version + canonical structure.
+
+        Qualifying the canonical key with the index cache's
+        ``(epoch, delta_seq)`` version means a mutation never replays a
+        pre-mutation answer — stale entries simply stop being addressable
+        and age out of the LRU. :class:`~repro.parallel.executor.
+        BatchExecutor` builds the identical key for its replay mirror.
+        """
+        return (self.index_cache.version, query.canonical_key())
+
     def query_many(self, queries) -> list:
         """Answer a sequence of queries, memoizing repeated query structure.
 
-        Queries are memoized by :meth:`QueryGraph.canonical_key` — identical
-        labeled structure returns an equal (deterministic) result without
-        re-searching. The memo persists across ``query_many`` calls on this
-        session and is bounded by ``config.query_cache_size`` with LRU
-        eviction (``None`` = unbounded, ``0`` = disabled). Hits and misses
-        accumulate on :attr:`stats`.
+        Queries are memoized by :meth:`QueryGraph.canonical_key`, qualified
+        by the graph's ``(epoch, delta_seq)`` version — identical labeled
+        structure against an unmutated graph returns an equal
+        (deterministic) result without re-searching. The memo persists
+        across ``query_many`` calls on this session and is bounded by
+        ``config.query_cache_size`` with LRU eviction (``None`` =
+        unbounded, ``0`` = disabled). Hits and misses accumulate on
+        :attr:`stats`.
 
         A hit returns a copy of the memoized result flagged
         ``from_cache=True`` (with its own ``stats`` copy), never the stored
@@ -314,7 +341,7 @@ class DSQL:
         results = []
         for query in queries:
             results.append(
-                self._memo_answer(query.canonical_key(), lambda q=query: self.query(q))
+                self._memo_answer(self.memo_key(query), lambda q=query: self.query(q))
             )
         return results
 

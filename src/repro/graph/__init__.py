@@ -15,7 +15,13 @@ from repro.graph.interop import (
     to_networkx,
     translate_embedding,
 )
-from repro.graph.labeled_graph import Edge, Label, LabeledGraph
+from repro.graph.labeled_graph import (
+    DEFAULT_COMPACTION_THRESHOLD,
+    Edge,
+    Label,
+    LabeledGraph,
+    MutationSummary,
+)
 from repro.graph.query_graph import QueryGraph
 from repro.graph.statistics import (
     GraphStatistics,
@@ -41,6 +47,8 @@ __all__ = [
     "Edge",
     "Label",
     "LabeledGraph",
+    "MutationSummary",
+    "DEFAULT_COMPACTION_THRESHOLD",
     "QueryGraph",
     "GraphBuilder",
     "relabel",

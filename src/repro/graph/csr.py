@@ -1,11 +1,11 @@
-"""Storage backends for labeled graphs: immutable CSR arrays and adjacency sets.
+"""Storage backends for labeled graphs: CSR arrays and adjacency sets.
 
 This module is the *backend seam* of the graph substrate. A backend owns the
-topology and label storage of one immutable graph; :class:`~repro.graph.
+topology and label storage of one labeled graph; :class:`~repro.graph.
 labeled_graph.LabeledGraph` keeps its public API and delegates every storage
 question here. Two backends exist:
 
-* :class:`CSRBackend` (default) — compressed sparse row. The whole adjacency
+* :class:`CSRBackend` (default) — compressed sparse row. The bulk adjacency
   structure lives in two numpy arrays (``indptr``/``indices``) with **sorted**
   neighbor rows, next to a flat label-id array and a precomputed degree
   array. This is the standard substrate for subgraph enumeration at scale:
@@ -15,6 +15,18 @@ question here. Two backends exist:
   library started from. Retained so equivalence tests can prove the CSR path
   returns byte-identical results, and as a fallback for workloads that never
   touch the array views.
+
+Both backends are mutable through a small, explicit delta surface
+(:meth:`~CSRBackend.add_vertex`, :meth:`~CSRBackend.add_edge`,
+:meth:`~CSRBackend.remove_edge`). The CSR backend keeps the numpy arrays as
+a *frozen base snapshot* and applies mutations to its Python-level views
+(sorted neighbor tuples + membership sets — the accessors the join kernels
+actually iterate); vertices whose rows diverge from the base are tracked in
+an overlay set so the array accessors (``neighbors_array``/``has_edges``)
+transparently serve the overlay row instead of the stale slice. Calling
+:meth:`~CSRBackend.compact` merges the overlay back into fresh sorted CSR
+arrays, restoring the invariants the vectorized kernels and the
+shared-memory publisher rely on.
 
 Both backends expose identical semantics:
 
@@ -39,6 +51,7 @@ variable, or per graph with the ``backend=`` constructor argument.
 from __future__ import annotations
 
 import os
+from bisect import bisect_left
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -135,21 +148,49 @@ def _sorted_rows(n: int, pairs: Sequence[Edge]) -> List[Tuple[int, ...]]:
     return [tuple(sorted(r)) for r in adj]
 
 
+def _check_edge_endpoints(n: int, u: int, v: int) -> None:
+    """Validate one edge-mutation pair with the same diagnostics as builds."""
+    if not (0 <= u < n and 0 <= v < n):
+        raise GraphError(f"edge ({u}, {v}) references a vertex outside [0, {n})")
+    if u == v:
+        raise GraphError(f"self-loop ({u}, {u}) not allowed in a simple graph")
+
+
+def _tuple_insert(row: Tuple[int, ...], v: int) -> Tuple[int, ...]:
+    """Sorted-insert ``v`` into a sorted tuple."""
+    i = bisect_left(row, v)
+    return row[:i] + (v,) + row[i:]
+
+
+def _tuple_remove(row: Tuple[int, ...], v: int) -> Tuple[int, ...]:
+    """Remove ``v`` from a sorted tuple (caller guarantees membership)."""
+    i = bisect_left(row, v)
+    return row[:i] + row[i + 1 :]
+
+
 class CSRBackend:
-    """Immutable compressed-sparse-row storage for one labeled graph.
+    """Compressed-sparse-row storage for one labeled graph.
 
     Attributes
     ----------
     indptr, indices:
-        The CSR arrays: the neighbors of ``v`` are
+        The CSR *base snapshot*: for any vertex ``v`` not in the mutation
+        overlay, the neighbors of ``v`` are
         ``indices[indptr[v]:indptr[v+1]]``, sorted ascending.
     label_ids, label_table, label_to_id:
         Flat per-vertex label-id array plus the interning tables
-        (first-appearance order).
+        (first-appearance order). Interning is append-only: a label id never
+        changes once assigned, even across mutations and compactions.
     degree_array:
-        Precomputed per-vertex degrees as a numpy array.
+        Per-vertex degrees as a numpy array (rebuilt lazily after mutation).
     labels:
         The raw label list, indexed by vertex id.
+
+    Mutations (:meth:`add_vertex` / :meth:`add_edge` / :meth:`remove_edge`)
+    update the Python-level views in place and record the touched vertices in
+    an overlay (:attr:`delta_size` counts pending edge ops); the numpy base
+    stays frozen until :meth:`compact` merges the overlay back into fresh
+    sorted arrays.
     """
 
     name = "csr"
@@ -159,14 +200,18 @@ class CSRBackend:
         "num_edges",
         "indptr",
         "indices",
-        "label_ids",
         "label_table",
         "label_to_id",
-        "degree_array",
         "_n",
         "_rows",
         "_degrees",
         "_sets",
+        "_label_id_list",
+        "_label_ids_np",
+        "_degree_np",
+        "_base_n",
+        "_touched",
+        "_delta_edges",
     )
 
     def __init__(self, labels: Sequence[Label], edges: Iterable[Edge] = ()) -> None:
@@ -183,18 +228,20 @@ class CSRBackend:
         self.indices = np.fromiter(
             (v for row in rows for v in row), dtype=index_dtype, count=2 * len(pairs)
         )
-        self.degree_array = np.asarray(self._degrees, dtype=np.int64)
+        self._degree_np: Optional[np.ndarray] = np.asarray(self._degrees, dtype=np.int64)
         table, to_id, ids = intern_labels(self.labels)
         self.label_table = table
         self.label_to_id = to_id
-        self.label_ids = np.asarray(ids, dtype=np.int32)
-        # Packed (u, v) keys for the O(1) scalar probe; both orientations so
-        # has_edge stays symmetric without a branch.
+        self._label_id_list: List[int] = ids
+        self._label_ids_np: Optional[np.ndarray] = np.asarray(ids, dtype=np.int32)
         # Per-vertex membership sets for the scalar probe: searchsorted pays
         # ~20x Python/numpy call overhead per single lookup, and any packed
         # edge-key scheme pays the packing arithmetic per call; a plain set
         # probe matches the reference backend exactly.
         self._sets: List[Set[int]] = [set(r) for r in rows]
+        self._base_n = n
+        self._touched: Set[int] = set()
+        self._delta_edges = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -223,11 +270,12 @@ class CSRBackend:
         backend._n = n
         backend.indptr = indptr
         backend.indices = indices
-        backend.label_ids = label_ids
+        backend._label_ids_np = label_ids
+        backend._label_id_list = [int(i) for i in label_ids]
         backend.label_table = list(label_table)
         backend.label_to_id = {lab: i for i, lab in enumerate(backend.label_table)}
-        backend.labels = [backend.label_table[i] for i in label_ids]
-        backend.degree_array = degree_array
+        backend.labels = [backend.label_table[i] for i in backend._label_id_list]
+        backend._degree_np = degree_array
         backend.num_edges = len(indices) // 2
         bounds = [int(b) for b in indptr]
         flat = [int(v) for v in indices]
@@ -236,12 +284,39 @@ class CSRBackend:
         ]
         backend._degrees = [len(r) for r in rows]
         backend._sets = [set(r) for r in rows]
+        backend._base_n = n
+        backend._touched = set()
+        backend._delta_edges = 0
         return backend
 
     # ------------------------------------------------------------------
     @property
     def num_vertices(self) -> int:
         return self._n
+
+    @property
+    def label_ids(self) -> np.ndarray:
+        """Flat per-vertex label-id array (rebuilt lazily after add_vertex)."""
+        if self._label_ids_np is None:
+            self._label_ids_np = np.asarray(self._label_id_list, dtype=np.int32)
+        return self._label_ids_np
+
+    @property
+    def degree_array(self) -> np.ndarray:
+        """Per-vertex degrees as numpy (rebuilt lazily after mutation)."""
+        if self._degree_np is None:
+            self._degree_np = np.asarray(self._degrees, dtype=np.int64)
+        return self._degree_np
+
+    @property
+    def delta_size(self) -> int:
+        """Edge mutations applied since the last compaction (or build)."""
+        return self._delta_edges
+
+    @property
+    def touched_vertices(self) -> Set[int]:
+        """Vertices whose rows diverge from the CSR base snapshot."""
+        return self._touched
 
     def label(self, v: int) -> Label:
         return self.labels[v]
@@ -251,7 +326,15 @@ class CSRBackend:
         return self._rows[v]
 
     def neighbors_array(self, v: int) -> np.ndarray:
-        """Zero-copy CSR row slice for vectorized consumers."""
+        """CSR row slice for vectorized consumers (zero-copy off the base).
+
+        For vertices in the mutation overlay — rows that diverged from the
+        base snapshot, or vertices added after it — the sorted overlay row is
+        materialized instead, so vectorized consumers always see the live
+        adjacency.
+        """
+        if v >= self._base_n or v in self._touched:
+            return np.asarray(self._rows[v], dtype=self.indices.dtype)
         return self.indices[self.indptr[v] : self.indptr[v + 1]]
 
     def degree(self, v: int) -> int:
@@ -266,9 +349,9 @@ class CSRBackend:
 
     def has_edge_searchsorted(self, u: int, v: int) -> bool:
         """The pure-CSR scalar probe (binary search in the sorted row)."""
-        lo, hi = int(self.indptr[u]), int(self.indptr[u + 1])
-        i = int(np.searchsorted(self.indices[lo:hi], v))
-        return i < hi - lo and int(self.indices[lo + i]) == v
+        row = self.neighbors_array(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
 
     def has_edges(self, u: int, targets: np.ndarray) -> np.ndarray:
         """Vectorized batch probe: which of ``targets`` are neighbors of ``u``.
@@ -290,6 +373,95 @@ class CSRBackend:
             for v in row:
                 if v > u:
                     yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation surface (delta overlay)
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label) -> int:
+        """Append an isolated vertex with ``label``; returns its new id.
+
+        Label interning stays append-only: an unseen label gets the next id,
+        existing label ids are untouched (the invariant the signature
+        bitmasks in :class:`~repro.indexes.graph_cache.GraphIndexCache`
+        depend on).
+        """
+        v = self._n
+        self.labels.append(label)
+        lid = self.label_to_id.get(label)
+        if lid is None:
+            lid = self.label_to_id[label] = len(self.label_table)
+            self.label_table.append(label)
+        self._label_id_list.append(lid)
+        self._label_ids_np = None
+        self._rows.append(())
+        self._sets.append(set())
+        self._degrees.append(0)
+        self._degree_np = None
+        self._n = v + 1
+        return v
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``(u, v)``; returns False if already present."""
+        _check_edge_endpoints(self._n, u, v)
+        if v in self._sets[u]:
+            return False
+        self._rows[u] = _tuple_insert(self._rows[u], v)
+        self._rows[v] = _tuple_insert(self._rows[v], u)
+        self._sets[u].add(v)
+        self._sets[v].add(u)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self.num_edges += 1
+        self._after_edge_mutation(u, v)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove undirected edge ``(u, v)``; returns False if absent."""
+        _check_edge_endpoints(self._n, u, v)
+        if v not in self._sets[u]:
+            return False
+        self._rows[u] = _tuple_remove(self._rows[u], v)
+        self._rows[v] = _tuple_remove(self._rows[v], u)
+        self._sets[u].discard(v)
+        self._sets[v].discard(u)
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        self.num_edges -= 1
+        self._after_edge_mutation(u, v)
+        return True
+
+    def _after_edge_mutation(self, u: int, v: int) -> None:
+        self._degree_np = None
+        self._delta_edges += 1
+        base = self._base_n
+        if u < base:
+            self._touched.add(u)
+        if v < base:
+            self._touched.add(v)
+
+    def compact(self) -> None:
+        """Merge the mutation overlay into fresh sorted CSR arrays.
+
+        Rebuilds ``indptr``/``indices`` (and the lazy ``label_ids``/
+        ``degree_array`` caches) from the live Python views and clears the
+        overlay, restoring the pure-CSR invariants that the shared-memory
+        publisher requires. Attached (read-only, shared-buffer) arrays are
+        replaced, never written in place.
+        """
+        n = self._n
+        rows = self._rows
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._degrees, out=indptr[1:])
+        self.indptr = indptr
+        index_dtype = np.int32 if n <= np.iinfo(np.int32).max else np.int64
+        self.indices = np.fromiter(
+            (v for row in rows for v in row), dtype=index_dtype, count=2 * self.num_edges
+        )
+        self._degree_np = np.asarray(self._degrees, dtype=np.int64)
+        self._label_ids_np = np.asarray(self._label_id_list, dtype=np.int32)
+        self._base_n = n
+        self._touched = set()
+        self._delta_edges = 0
 
 
 class SetBackend:
@@ -313,6 +485,8 @@ class SetBackend:
         "_rows",
         "_degrees",
         "_degree_array",
+        "_touched",
+        "_delta_edges",
     )
 
     def __init__(self, labels: Sequence[Label], edges: Iterable[Edge] = ()) -> None:
@@ -328,6 +502,8 @@ class SetBackend:
         self.label_table = table
         self.label_to_id = to_id
         self._label_ids = ids
+        self._touched: Set[int] = set()
+        self._delta_edges = 0
 
     # ------------------------------------------------------------------
     @property
@@ -366,6 +542,75 @@ class SetBackend:
             for v in row:
                 if v > u:
                     yield (u, v)
+
+    # ------------------------------------------------------------------
+    # Mutation surface (same contract as the CSR backend)
+    # ------------------------------------------------------------------
+    @property
+    def delta_size(self) -> int:
+        """Edge mutations applied since the last compaction (or build)."""
+        return self._delta_edges
+
+    @property
+    def touched_vertices(self) -> Set[int]:
+        """Vertices mutated since the last compaction (or build)."""
+        return self._touched
+
+    def add_vertex(self, label: Label) -> int:
+        """Append an isolated vertex with ``label``; returns its new id."""
+        v = self._n
+        self.labels.append(label)
+        lid = self.label_to_id.get(label)
+        if lid is None:
+            lid = self.label_to_id[label] = len(self.label_table)
+            self.label_table.append(label)
+        self._label_ids.append(lid)
+        self._rows.append(())
+        self._sets.append(set())
+        self._degrees.append(0)
+        self._degree_array = None
+        self._n = v + 1
+        return v
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``(u, v)``; returns False if already present."""
+        _check_edge_endpoints(self._n, u, v)
+        if v in self._sets[u]:
+            return False
+        self._rows[u] = _tuple_insert(self._rows[u], v)
+        self._rows[v] = _tuple_insert(self._rows[v], u)
+        self._sets[u].add(v)
+        self._sets[v].add(u)
+        self._degrees[u] += 1
+        self._degrees[v] += 1
+        self.num_edges += 1
+        self._degree_array = None
+        self._delta_edges += 1
+        self._touched.update((u, v))
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove undirected edge ``(u, v)``; returns False if absent."""
+        _check_edge_endpoints(self._n, u, v)
+        if v not in self._sets[u]:
+            return False
+        self._rows[u] = _tuple_remove(self._rows[u], v)
+        self._rows[v] = _tuple_remove(self._rows[v], u)
+        self._sets[u].discard(v)
+        self._sets[v].discard(u)
+        self._degrees[u] -= 1
+        self._degrees[v] -= 1
+        self.num_edges -= 1
+        self._degree_array = None
+        self._delta_edges += 1
+        self._touched.update((u, v))
+        return True
+
+    def compact(self) -> None:
+        """Clear the overlay bookkeeping (sets are the live structure here)."""
+        self._degree_array = np.asarray(self._degrees, dtype=np.int64)
+        self._touched = set()
+        self._delta_edges = 0
 
 
 GraphBackend = Union[CSRBackend, SetBackend]

@@ -22,8 +22,15 @@ candidate pools) lives in a :class:`~repro.indexes.graph_cache.
 GraphIndexCache` pinned to the graph via :meth:`LabeledGraph.index_cache`
 and shared by all queries against it.
 
-Instances are logically immutable after construction: mutate via
-:class:`repro.graph.builder.GraphBuilder` and build a fresh graph.
+Graphs support **live mutation**: :meth:`LabeledGraph.add_vertex`,
+:meth:`~LabeledGraph.add_edge`, :meth:`~LabeledGraph.remove_edge`, and the
+batched :meth:`~LabeledGraph.mutate` apply deltas to the backend and repair
+the pinned index cache incrementally (only state derived from the touched
+1-hop neighborhoods is recomputed; see ``docs/mutation.md`` for the full
+contract). Bulk construction still goes through
+:class:`repro.graph.builder.GraphBuilder`; the CSR backend's numpy base is
+re-merged by :meth:`~LabeledGraph.compact` once the overlay crosses
+:data:`DEFAULT_COMPACTION_THRESHOLD`.
 """
 
 from __future__ import annotations
@@ -35,16 +42,38 @@ from typing import (
     Iterable,
     Iterator,
     List,
+    NamedTuple,
     Optional,
     Sequence,
     Set,
     Tuple,
 )
 
+from repro.exceptions import GraphError
 from repro.graph.csr import GraphBackend, make_backend
 
 Label = Hashable
 Edge = Tuple[int, int]
+
+DEFAULT_COMPACTION_THRESHOLD = 4096
+"""Edge deltas tolerated in the CSR overlay before :meth:`LabeledGraph.mutate`
+auto-compacts. Compaction restores the pure sorted-array invariants (an
+O(|V| + |E|) merge) and starts a fresh cache epoch, so it is deliberately
+infrequent; explicit :meth:`LabeledGraph.compact` is always available."""
+
+
+class MutationSummary(NamedTuple):
+    """Outcome of a batched :meth:`LabeledGraph.mutate` call."""
+
+    applied: int
+    """Mutations that changed the graph (duplicate adds/absent removes skip)."""
+
+    compacted: bool
+    """Whether the batch tripped the compaction threshold."""
+
+    version: Optional[Tuple[int, int]]
+    """The index cache's ``(epoch, delta_seq)`` after the batch (``None``
+    when no cache has been built yet)."""
 
 
 class LabeledGraph:
@@ -153,6 +182,158 @@ class LabeledGraph:
 
             self._cache = GraphIndexCache(self)
         return self._cache
+
+    # ------------------------------------------------------------------
+    # Live mutation
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> Optional[Tuple[int, int]]:
+        """The pinned cache's ``(epoch, delta_seq)``, or ``None`` pre-build.
+
+        This is the logical version stamped onto session memo entries, plan
+        keys, and shared-memory publications; delta mutations bump
+        ``delta_seq`` in place, compaction starts a fresh epoch.
+        """
+        if self._cache is None:
+            return None
+        return self._cache.version
+
+    def add_vertex(self, label: Label) -> int:
+        """Append an isolated vertex with ``label``; returns its new id.
+
+        The pinned index cache (if built) is repaired in place: the label
+        index gains the vertex, its (empty) signature is registered, and
+        pools/plans over its label are evicted.
+        """
+        v = self._backend.add_vertex(label)
+        if self._cache is not None:
+            self._cache.apply_delta((("add_vertex", v, label),))
+        return v
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``(u, v)``; returns ``False`` if present.
+
+        Self-loops and out-of-range endpoints raise
+        :class:`~repro.exceptions.GraphError`. On success the pinned index
+        cache is delta-repaired for the two endpoints only.
+        """
+        applied = self._backend.add_edge(u, v)
+        if applied and self._cache is not None:
+            self._cache.apply_delta((("add_edge", u, v),))
+        return applied
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Remove undirected edge ``(u, v)``; returns ``False`` if absent."""
+        applied = self._backend.remove_edge(u, v)
+        if applied and self._cache is not None:
+            self._cache.apply_delta((("remove_edge", u, v),))
+        return applied
+
+    def mutate(
+        self,
+        ops: Iterable[Tuple],
+        compaction_threshold: Optional[int] = DEFAULT_COMPACTION_THRESHOLD,
+    ) -> MutationSummary:
+        """Apply a batch of mutation ops with one cache-repair pass.
+
+        ``ops`` are tuples: ``("add_vertex", label)``, ``("add_edge", u, v)``
+        or ``("remove_edge", u, v)``. The whole batch is validated before
+        any op is applied, so a :class:`~repro.exceptions.GraphError`
+        (malformed op, out-of-range endpoint, self-loop) leaves the graph
+        untouched. Valid ops apply in order; no-ops (duplicate adds, absent
+        removes) are skipped without consuming a delta. After the batch, if
+        the backend overlay holds at least ``compaction_threshold`` edge
+        deltas (``None`` disables), the graph :meth:`compact`\\ s — the one
+        point where shared-memory descriptors and compiled plans of the old
+        epoch become stale.
+        """
+        backend = self._backend
+        batch = [tuple(op) for op in ops]
+        # Validation pass: nothing below may raise once ops start applying,
+        # or the pinned cache would diverge from a half-mutated backend.
+        # Endpoint bounds account for vertices added earlier in this batch.
+        n = backend.num_vertices
+        for op in batch:
+            kind = op[0] if op else None
+            if kind == "add_vertex":
+                if len(op) != 2:
+                    raise GraphError(f"malformed add_vertex op {op!r}")
+                n += 1
+            elif kind in ("add_edge", "remove_edge"):
+                if len(op) != 3:
+                    raise GraphError(f"malformed {kind} op {op!r}")
+                u, v = op[1], op[2]
+                for e in (u, v):
+                    if isinstance(e, bool) or not isinstance(e, int):
+                        raise GraphError(f"{kind} endpoints must be integers, got {op!r}")
+                    if not 0 <= e < n:
+                        raise GraphError(f"vertex {e} out of range for graph with {n} vertices")
+                if u == v:
+                    raise GraphError(f"self-loop ({u}, {v}) is not allowed")
+            else:
+                raise GraphError(f"unknown mutation op kind {kind!r}")
+        applied: List[Tuple] = []
+        for op in batch:
+            kind = op[0]
+            if kind == "add_vertex":
+                v = backend.add_vertex(op[1])
+                applied.append(("add_vertex", v, op[1]))
+            elif kind == "add_edge":
+                if backend.add_edge(op[1], op[2]):
+                    applied.append(("add_edge", op[1], op[2]))
+            else:
+                if backend.remove_edge(op[1], op[2]):
+                    applied.append(("remove_edge", op[1], op[2]))
+        if applied and self._cache is not None:
+            self._cache.apply_delta(applied)
+        compacted = False
+        if compaction_threshold is not None and backend.delta_size >= compaction_threshold:
+            self.compact()
+            compacted = True
+        return MutationSummary(len(applied), compacted, self.version)
+
+    def compact(self) -> None:
+        """Merge the backend's mutation overlay and start a fresh cache epoch.
+
+        Topology and every answer are unchanged; what changes is array
+        identity — shared-memory publications and compiled plans pinned to
+        the old epoch become stale (attached workers raise
+        :class:`~repro.exceptions.StaleSegmentError` rather than serve the
+        old base).
+        """
+        self._backend.compact()
+        if self._cache is not None:
+            self._cache.on_compaction()
+
+    def replay(self, entries: Iterable[Tuple[int, Tuple]]) -> None:
+        """Re-apply a mutation-log tail (``(seq, op)`` pairs) to this graph.
+
+        The shared-memory catch-up path: an attached worker graph replays
+        the publisher's ops so its views and cache version converge on the
+        publisher's. Ops must be contiguous, start right after this graph's
+        current ``delta_seq``, and re-apply cleanly; any skew raises
+        :class:`~repro.exceptions.GraphError`.
+        """
+        cache = self.index_cache()
+        for seq, op in entries:
+            if seq != cache.delta_seq + 1:
+                raise GraphError(
+                    f"mutation replay gap: have delta_seq {cache.delta_seq}, next op is {seq}"
+                )
+            kind = op[0]
+            if kind == "add_vertex":
+                v = self._backend.add_vertex(op[2])
+                if v != op[1]:
+                    raise GraphError(f"replay skew: add_vertex produced id {v}, log says {op[1]}")
+            elif kind == "add_edge":
+                if not self._backend.add_edge(op[1], op[2]):
+                    raise GraphError(f"replay skew: edge {op[1:]} already present")
+            elif kind == "remove_edge":
+                if not self._backend.remove_edge(op[1], op[2]):
+                    raise GraphError(f"replay skew: edge {op[1:]} already absent")
+            else:
+                raise GraphError(f"unknown mutation op kind {kind!r}")
+            cache.apply_delta((op,))
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -54,8 +54,16 @@ from repro.exceptions import SharedMemoryError, StaleSegmentError
 from repro.graph.csr import CSRBackend
 from repro.graph.labeled_graph import LabeledGraph
 
-SHARED_FORMAT_VERSION = 1
-"""Bumped whenever the segment layout changes; attach refuses a mismatch."""
+SHARED_FORMAT_VERSION = 2
+"""Bumped whenever the segment layout changes; attach refuses a mismatch.
+
+Version 2 added ``delta_seq`` to the meta block and descriptor: a
+publication is stamped with the full cache version ``(epoch, delta_seq)``,
+and attached readers catch up to later deltas of the *same* epoch by
+replaying the publisher's mutation-log tail (see
+:meth:`~repro.indexes.graph_cache.GraphIndexCache.ops_since`). Only a
+compaction — which starts a fresh epoch — makes a publication
+unrecoverably stale."""
 
 ARRAY_FIELDS: Tuple[str, ...] = ("indptr", "indices", "label_ids", "degree_array")
 """CSR backend arrays published as raw shared-memory segments, in order."""
@@ -127,6 +135,7 @@ class SharedGraphDescriptor:
     arrays: Tuple[Tuple[str, str, Tuple[int, ...], str], ...]
     meta_segment: str
     meta_size: int
+    delta_seq: int = 0
 
 
 class PublishedGraph:
@@ -264,6 +273,12 @@ def publish_graph(graph: LabeledGraph) -> PublishedGraph:
     if not isinstance(backend, CSRBackend):
         graph = graph.with_backend("csr")
         backend = graph.backend
+    if backend.num_vertices != backend.indptr.shape[0] - 1 or backend.touched_vertices:
+        # A dirty overlay means the numpy base no longer equals the live
+        # topology; publication snapshots the arrays, so merge first.
+        # (This starts a fresh cache epoch — a publication is always a
+        # compaction point.)
+        graph.compact()
     cache = graph.index_cache()
 
     token = f"repro-{os.getpid()}-{uuid.uuid4().hex[:12]}"
@@ -316,6 +331,7 @@ def publish_graph(graph: LabeledGraph) -> PublishedGraph:
         arrays=tuple(array_specs),
         meta_segment=meta_name,
         meta_size=len(blob),
+        delta_seq=cache.delta_seq,
     )
     return PublishedGraph(descriptor, segments)
 
@@ -366,6 +382,13 @@ def attach_graph(descriptor: SharedGraphDescriptor) -> AttachedGraph:
             "re-fetch the descriptor",
             StaleSegmentError,
         )
+    if meta.get("delta_seq", 0) != descriptor.delta_seq:
+        raise fail(
+            f"descriptor delta_seq {descriptor.delta_seq} does not match "
+            f"published delta_seq {meta.get('delta_seq')}: the publication "
+            "was refreshed mid-epoch; re-fetch the descriptor",
+            StaleSegmentError,
+        )
 
     arrays: Dict[str, np.ndarray] = {}
     for field, name, shape, dtype in descriptor.arrays:
@@ -402,6 +425,7 @@ def attach_graph(descriptor: SharedGraphDescriptor) -> AttachedGraph:
         signature_masks=meta["signature_masks"],
         adjacency_masks=meta["adjacency_masks"],
         epoch=meta["epoch"],
+        delta_seq=meta.get("delta_seq", 0),
     )
     return AttachedGraph(graph, descriptor, segments)
 

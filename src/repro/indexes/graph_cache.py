@@ -19,6 +19,18 @@ session answering many queries against the same graph shares:
 
 :class:`~repro.indexes.candidates.CandidateIndex` becomes a cheap per-query
 restriction over these pools instead of a per-query full scan.
+
+Live mutation support is *delta-based* rather than epoch-nuke:
+:meth:`GraphIndexCache.apply_delta` repairs only the state derived from the
+touched edges' 1-hop neighborhoods (the endpoints' degrees, signature masks,
+adjacency bitsets, and the candidate pools of their labels) and evicts only
+the compiled plans whose pools intersect the dirty label set — everything
+else survives at the same logical :attr:`epoch` with a bumped
+:attr:`delta_seq`. The pair ``(epoch, delta_seq)`` is the cache
+:attr:`version` that keys session memos and stamps shared-memory
+publications; a compaction (:meth:`on_compaction`) starts a fresh epoch and
+clears the mutation log, which is what finally invalidates attached
+shared-memory descriptors. See ``docs/mutation.md`` for the full contract.
 """
 
 from __future__ import annotations
@@ -71,7 +83,9 @@ class GraphIndexCache:
         "candidate_memo_hits",
         "candidate_memo_misses",
         "epoch",
+        "delta_seq",
         "plan_cache",
+        "_mutation_log",
         "_signatures",
         "_mask_signatures",
         "_pool_memo",
@@ -91,6 +105,7 @@ class GraphIndexCache:
         signature_masks: Optional[List[int]] = None,
         adjacency_masks: Optional[Dict[int, int]] = None,
         epoch: Optional[int] = None,
+        delta_seq: int = 0,
     ):
         """``signature_masks``/``adjacency_masks``/``epoch`` restore published
         state on the shared-memory attach path (:mod:`repro.graph.shared`):
@@ -163,6 +178,10 @@ class GraphIndexCache:
         # generations of the "same" graph distinguishable even if a plan
         # cache instance were ever shared.
         self.epoch = next(_EPOCHS) if epoch is None else epoch
+        # Delta sequence within the epoch: bumped once per applied mutation,
+        # reset to 0 by compaction. (epoch, delta_seq) is the cache version.
+        self.delta_seq = delta_seq
+        self._mutation_log: List[Tuple[int, Tuple]] = []
         # Late import: repro.indexes.plans reaches back through the
         # isomorphism package (for the search-order construction), which
         # imports this module — a top-level import here would cycle.
@@ -328,6 +347,159 @@ class GraphIndexCache:
         return mask
 
     # ------------------------------------------------------------------
+    # Live mutation: delta-based repair
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> Tuple[int, int]:
+        """The cache version ``(epoch, delta_seq)``.
+
+        ``delta_seq`` advances by one per applied mutation within an epoch;
+        a compaction starts a fresh epoch at ``delta_seq == 0``. Session
+        memos, plan keys, and shared-memory publications are stamped with
+        this pair, so post-mutation queries never replay pre-mutation
+        answers.
+        """
+        return (self.epoch, self.delta_seq)
+
+    def apply_delta(self, ops: Iterable[Tuple]) -> Tuple[int, int]:
+        """Repair the cache after the backend applied ``ops``; returns the
+        new :attr:`version`.
+
+        ``ops`` are normalized applied mutations, in application order:
+        ``("add_vertex", v, label)``, ``("add_edge", u, v)``, or
+        ``("remove_edge", u, v)``. Repair is strictly local — an edge op
+        dirties only its two endpoints (adding or removing ``(u, v)``
+        changes the neighbor multisets of ``u`` and ``v`` and nobody
+        else's, so only ``NS(u)``/``NS(v)``, their degrees, their adjacency
+        bitsets, and the candidate pools of their labels can change) and a
+        vertex op dirties only the new vertex. Candidate-pool memo entries
+        and compiled plans are evicted only when their label ids intersect
+        the dirty set; every other entry survives at the same epoch.
+        """
+        backend = self.graph.backend
+        dirty_vertices: set = set()
+        dirty_lids: set = set()
+        new_labels: set = set()
+        grew = False
+        for op in ops:
+            kind = op[0]
+            if kind == "add_vertex":
+                v, label = op[1], op[2]
+                lid = self.label_to_id[label]
+                if v != len(self.label_ids):
+                    raise ValueError(
+                        f"out-of-order vertex delta: got id {v}, expected {len(self.label_ids)}"
+                    )
+                self.label_ids.append(lid)
+                self.degrees.append(0)
+                self.signature_masks.append(0)
+                empty = self._mask_signatures.get(0)
+                if empty is None:
+                    empty = self._mask_signatures[0] = frozenset()
+                self._signatures.append(empty)
+                bucket = self.label_index.get(label)
+                if bucket is None:
+                    new_labels.add(label)
+                    self.label_index[label] = (v,)
+                else:
+                    # v is the largest id, so appending keeps the bucket sorted.
+                    self.label_index[label] = bucket + (v,)
+                dirty_lids.add(lid)
+                grew = True
+            elif kind in ("add_edge", "remove_edge"):
+                dirty_vertices.add(op[1])
+                dirty_vertices.add(op[2])
+            else:
+                raise ValueError(f"unknown mutation op {kind!r}")
+            self.delta_seq += 1
+            self._mutation_log.append((self.delta_seq, tuple(op)))
+
+        # Local bindings keep the per-dirty-vertex loop tight: this path is
+        # the whole point of delta repair and is benchmarked against a full
+        # rebuild (benchmarks/bench_mutation.py).
+        label_ids = self.label_ids
+        neighbors = self.graph.neighbors
+        degree = backend.degree
+        degrees = self.degrees
+        signature_masks = self.signature_masks
+        signatures = self._signatures
+        mask_signatures = self._mask_signatures
+        for v in dirty_vertices:
+            degrees[v] = degree(v)
+            m = 0
+            for w in neighbors(v):
+                m |= 1 << label_ids[w]
+            signature_masks[v] = m
+            s = mask_signatures.get(m)
+            if s is None:
+                s = mask_signatures[m] = frozenset(
+                    self.label_table[lid] for lid in range(len(self.label_table)) if m >> lid & 1
+                )
+            signatures[v] = s
+            dirty_lids.add(label_ids[v])
+        if grew:
+            # Growth needs the array re-materialized at the new length (a
+            # trailing add_vertex must extend it by its zero entry even when
+            # no edge op follows).
+            self.degree_array = np.asarray(self.degrees, dtype=np.int64)
+        elif dirty_vertices:
+            # Copy-and-scatter instead of re-converting the whole Python
+            # list: O(V) memcpy + O(dirty) writes, and the fresh array keeps
+            # previously handed-out references immutable in practice.
+            repaired = self.degree_array.copy()
+            idx = list(dirty_vertices)
+            repaired[idx] = [self.degrees[v] for v in idx]
+            self.degree_array = repaired
+
+        if dirty_lids:
+            with self._pool_lock:
+                stale = [k for k in self._pool_memo if k[0] in dirty_lids]
+                for k in stale:
+                    del self._pool_memo[k]
+        if dirty_vertices:
+            with self._adj_lock:
+                for v in dirty_vertices:
+                    self._adj_masks.pop(v, None)
+        self.plan_cache.evict_stale(dirty_lids, new_labels)
+        return self.version
+
+    def ops_since(self, seq: int) -> Tuple[Tuple[int, Tuple], ...]:
+        """The ``(seq, op)`` mutation-log tail with sequence numbers > ``seq``.
+
+        This is the catch-up payload shipped to shared-memory workers whose
+        attached view lags the publisher within the same epoch. Sequence
+        numbers are contiguous, so the tail for a reader at ``seq`` always
+        starts at ``seq + 1`` — a gap means the reader crossed a compaction
+        and must treat its segment as stale.
+        """
+        log = self._mutation_log
+        if not log or seq >= log[-1][0]:
+            return ()
+        # Log seqs are contiguous ending at delta_seq: index arithmetic.
+        first = log[0][0]
+        start = max(0, seq + 1 - first)
+        return tuple(log[start:])
+
+    def on_compaction(self) -> Tuple[int, int]:
+        """Start a fresh epoch after the backend compacted its overlay.
+
+        Topology is unchanged by compaction, so pools, signatures, and the
+        label index all remain correct and are kept; what changes is the
+        *array identity* that shared-memory publications and plan keys are
+        pinned to. The epoch is re-stamped, ``delta_seq`` resets to 0, the
+        mutation log is cleared (making catch-up impossible — attached
+        readers at the old epoch see :class:`~repro.exceptions.
+        StaleSegmentError`), and compiled plans are dropped since their keys
+        embed the old epoch.
+        """
+        self.epoch = next(_EPOCHS)
+        self.delta_seq = 0
+        self._mutation_log.clear()
+        self.degree_array = self.graph.backend.degree_array
+        self.plan_cache.clear()
+        return self.version
+
+    # ------------------------------------------------------------------
     def shared_state(self) -> Dict[str, object]:
         """The publishable derived state (see :mod:`repro.graph.shared`).
 
@@ -343,6 +515,7 @@ class GraphIndexCache:
             "signature_masks": list(self.signature_masks),
             "adjacency_masks": adj,
             "epoch": self.epoch,
+            "delta_seq": self.delta_seq,
         }
 
     # ------------------------------------------------------------------

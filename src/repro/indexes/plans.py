@@ -74,11 +74,24 @@ class QueryPlan:
         "profiles",
         "pools",
         "kernels",
+        "referenced_lids",
+        "absent_labels",
         "_cand_masks",
         "_pool_sets",
     )
 
-    def __init__(self, key, qlist, order, backward, profiles, pools, kernels):
+    def __init__(
+        self,
+        key,
+        qlist,
+        order,
+        backward,
+        profiles,
+        pools,
+        kernels,
+        referenced_lids=frozenset(),
+        absent_labels=frozenset(),
+    ):
         self.key = key
         self.qlist: Tuple[int, ...] = tuple(qlist)
         self.order: Tuple[int, ...] = tuple(order)
@@ -86,6 +99,12 @@ class QueryPlan:
         self.profiles = tuple(profiles)
         self.pools: Tuple[Tuple[int, ...], ...] = tuple(pools)
         self.kernels: Tuple[str, ...] = tuple(kernels)
+        # Staleness footprint for delta-based eviction: the graph label ids
+        # this plan's pools were scanned from, and the query labels that had
+        # no graph id at compile time (their pools are pinned empty until
+        # such a label first appears).
+        self.referenced_lids: frozenset = frozenset(referenced_lids)
+        self.absent_labels: frozenset = frozenset(absent_labels)
         self._cand_masks: List[Optional[int]] = [None] * len(self.pools)
         self._pool_sets: List[Optional[frozenset]] = [None] * len(self.pools)
 
@@ -192,7 +211,26 @@ def compile_plan(
         else:
             kernels.append(MERGE)
     key = plan_key(cache, query, use_degree_filter, use_signature_filter)
-    return QueryPlan(key, qlist, order, backward, profiles, pools, kernels)
+    referenced: set = set()
+    absent: set = set()
+    for u in range(q):
+        label = query.label(u)
+        lid = cache.label_id(label)
+        if lid is None:
+            absent.add(label)
+        else:
+            referenced.add(lid)
+    return QueryPlan(
+        key,
+        qlist,
+        order,
+        backward,
+        profiles,
+        pools,
+        kernels,
+        referenced_lids=referenced,
+        absent_labels=absent,
+    )
 
 
 def expand_pool(plan: QueryPlan, depth: int, assignment, cache):
@@ -285,6 +323,31 @@ class PlanCache:
         """Drop every memoized plan (used by the cold-path benchmarks)."""
         with self._lock:
             self._memo.clear()
+
+    def evict_stale(self, dirty_lids, new_labels=()) -> int:
+        """Delta eviction: drop only plans whose footprint intersects a delta.
+
+        A plan is stale iff its :attr:`QueryPlan.referenced_lids` intersect
+        ``dirty_lids`` (a pool it resolved may have gained/lost vertices) or
+        one of its :attr:`QueryPlan.absent_labels` appears in ``new_labels``
+        (a pool pinned empty at compile time is empty no longer). Every
+        other plan survives at the same epoch — this is what makes
+        invalidation delta-based instead of epoch-nuke. Returns the number
+        of evicted plans.
+        """
+        dirty = frozenset(dirty_lids)
+        added = frozenset(new_labels)
+        if not dirty and not added:
+            return 0
+        with self._lock:
+            stale = [
+                key
+                for key, plan in self._memo.items()
+                if (plan.referenced_lids & dirty) or (plan.absent_labels & added)
+            ]
+            for key in stale:
+                del self._memo[key]
+        return len(stale)
 
     def info(self) -> Dict[str, int]:
         """Hit/miss/size counters for the plan memo."""

@@ -242,7 +242,11 @@ class BatchExecutor:
             self._record_report()
             return results
 
-        keys = [q.canonical_key() for q in queries]
+        # Memo keys are version-qualified (graph (epoch, delta_seq) + query
+        # canonical structure) via the session's own key builder, so the
+        # mirror, the worker results, and the replay all agree with what a
+        # serial query_many would have keyed — including across mutations.
+        keys = [session.memo_key(q) for q in queries]
         need = self._plan_searches(keys, queries)
         logger.debug(
             "batch of %d: %d distinct searches over %d %s workers",
@@ -376,6 +380,13 @@ class BatchExecutor:
             ]
 
         pool = self._ensure_pool()
+        if pool is not None and pool.stale:
+            # A compaction started a fresh epoch the attached workers can
+            # never reach by replay; rebuild the pool (which republishes at
+            # the new epoch) before dispatching.
+            logger.info("published graph went stale (compaction); rebuilding the pool")
+            self._discard_pool()
+            pool = self._ensure_pool()
         if pool is None:
             # No shared memory / multiprocessing on this platform: degrade to
             # in-process execution, surfaced as retried chunks.
@@ -404,7 +415,19 @@ class BatchExecutor:
         failed: List[List] = []
         per_worker: Dict[int, int] = {}
         instr = self.session.instrumentation
-        futures = [(pool.submit(chunk), chunk) for chunk in chunks]
+        futures = []
+        for chunk in chunks:
+            try:
+                futures.append((pool.submit(chunk), chunk))
+            except SharedMemoryError:
+                # Defensive: submission found the publication stale (e.g. a
+                # compaction raced the pre-dispatch check). The chunk is
+                # intact in the parent; answer it serially.
+                logger.warning(
+                    "chunk submission found the publication stale; retrying serially",
+                    exc_info=True,
+                )
+                failed.append(chunk)
         for future, chunk in futures:
             try:
                 pid, pairs, counters = future.result(timeout=self.pool_timeout_s)

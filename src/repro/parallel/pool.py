@@ -21,6 +21,18 @@ frozen :class:`~repro.core.result.DSQResult` objects come back — plus a
 per-chunk counter snapshot, so the parent can merge ``search.*`` /
 ``kernel.dispatch.*`` metrics that previously died with the worker.
 
+Live mutation rides along as a **catch-up protocol**: every chunk carries a
+sync header ``(epoch, target_seq, ops_tail)`` in the parent graph's version
+numbering. Workers replay the unseen tail onto their attached views (the
+Python-level rows/sets are process-local and mutable; the shared numpy base
+is never written) before answering, so worker results stay bit-identical to
+the parent's live topology without republishing per delta. A *compaction*
+in the parent starts a fresh epoch the workers cannot reach by replay; the
+pool then reports :attr:`WorkerPool.stale` and submission raises
+:class:`~repro.exceptions.StaleSegmentError` — the executor's cue to
+discard the pool and build a fresh publication — rather than ever serving
+answers from the old base.
+
 The pool prefers the ``fork`` start method (cheapest, and shares the
 publisher's resource tracker); where fork is unavailable it falls back to
 ``spawn``, which works because everything workers need arrives via
@@ -40,7 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import DSQLConfig
 from repro.core.result import DSQResult
-from repro.exceptions import SharedMemoryError
+from repro.exceptions import SharedMemoryError, StaleSegmentError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.graph.shared import (
@@ -58,6 +70,12 @@ ChunkResult = Tuple[int, List[Tuple[Key, DSQResult]], Dict[str, float]]
 """What one worker chunk returns: ``(worker pid, (key, result) pairs,
 non-zero counter snapshot for the chunk)``."""
 
+SyncHeader = Tuple[int, int, Tuple[Tuple[int, Tuple], ...]]
+"""Per-chunk mutation sync, in the parent graph's version numbering:
+``(epoch, target_seq, ops_tail)`` where ``ops_tail`` is the parent mutation
+log's ``(seq, op)`` entries since the publication baseline. Workers apply
+only the entries beyond what they have already replayed."""
+
 _WORKER_STATE: Optional["_WorkerState"] = None
 """Child-process-only session state, set by the pool initializer.
 
@@ -68,22 +86,36 @@ state through initargs, so concurrent pools cannot interleave writes.
 
 
 class _WorkerState:
-    """Everything one worker process keeps warm across batches."""
+    """Everything one worker process keeps warm across batches.
 
-    __slots__ = ("attachment", "session", "instrumentation")
+    ``sync_epoch``/``synced_seq`` track mutation catch-up in the *parent's*
+    version numbering (which may differ from the attached cache's own
+    counters when the publisher converted backends): the worker has replayed
+    every parent op up to ``synced_seq`` within ``sync_epoch``.
+    """
 
-    def __init__(self, attachment: AttachedGraph, session, instrumentation) -> None:
+    __slots__ = ("attachment", "session", "instrumentation", "sync_epoch", "synced_seq")
+
+    def __init__(
+        self, attachment: AttachedGraph, session, instrumentation, sync_epoch, synced_seq
+    ) -> None:
         self.attachment = attachment
         self.session = session
         self.instrumentation = instrumentation
+        self.sync_epoch = sync_epoch
+        self.synced_seq = synced_seq
 
 
-def _init_worker(descriptor: SharedGraphDescriptor, config: DSQLConfig) -> None:
+def _init_worker(
+    descriptor: SharedGraphDescriptor, config: DSQLConfig, baseline: Tuple[int, int]
+) -> None:
     """Pool initializer (runs once in each worker process at spawn).
 
     Attaches the shared segments (zero-copy for the CSR arrays), builds a
     persistent instrumented session over the attached graph, and pins both
-    for the worker's lifetime.
+    for the worker's lifetime. ``baseline`` is the parent-side
+    ``(epoch, delta_seq)`` at publication time, the starting point for
+    mutation catch-up.
     """
     global _WORKER_STATE
     # Late imports keep the module importable in the parent before any
@@ -94,11 +126,57 @@ def _init_worker(descriptor: SharedGraphDescriptor, config: DSQLConfig) -> None:
     attachment = attach_graph(descriptor)
     instrumentation = Instrumentation()
     session = DSQL(attachment.graph, config=config, instrumentation=instrumentation)
-    _WORKER_STATE = _WorkerState(attachment, session, instrumentation)
+    _WORKER_STATE = _WorkerState(
+        attachment, session, instrumentation, baseline[0], baseline[1]
+    )
 
 
-def _run_chunk(payload: List[ChunkItem]) -> ChunkResult:
-    """Worker body: answer one chunk on the persistent session.
+def _apply_sync(state: "_WorkerState", sync: SyncHeader) -> None:
+    """Catch the worker's attached graph up to the parent's version.
+
+    Replays the unseen suffix of the parent's mutation-log tail through the
+    attached graph's public mutation API (which delta-repairs the worker's
+    own cache). The attached Python views (rows/sets) are process-local and
+    mutable; the shared numpy base is read-only and never written — the CSR
+    overlay serves the divergence. An epoch change or a sequence gap means a
+    compaction severed the replay chain: raise
+    :class:`~repro.exceptions.StaleSegmentError` instead of answering from
+    a stale view.
+    """
+    epoch, target_seq, tail = sync
+    if epoch != state.sync_epoch:
+        raise StaleSegmentError(
+            f"worker attached at epoch {state.sync_epoch} cannot reach epoch "
+            f"{epoch}: the parent graph compacted; the pool must be rebuilt"
+        )
+    graph = state.session.graph
+    for seq, op in tail:
+        if seq <= state.synced_seq:
+            continue
+        if seq != state.synced_seq + 1:
+            raise StaleSegmentError(
+                f"mutation catch-up gap: worker synced to {state.synced_seq}, "
+                f"next shipped op is {seq}"
+            )
+        kind = op[0]
+        if kind == "add_vertex":
+            graph.add_vertex(op[2])
+        elif kind == "add_edge":
+            graph.add_edge(op[1], op[2])
+        elif kind == "remove_edge":
+            graph.remove_edge(op[1], op[2])
+        else:
+            raise StaleSegmentError(f"unknown mutation op {kind!r} in catch-up tail")
+        state.synced_seq = seq
+    if state.synced_seq != target_seq:
+        raise StaleSegmentError(
+            f"mutation catch-up fell short: synced to {state.synced_seq}, "
+            f"parent is at {target_seq}"
+        )
+
+
+def _run_chunk(payload: Tuple[SyncHeader, List[ChunkItem]]) -> ChunkResult:
+    """Worker body: sync to the parent version, then answer one chunk.
 
     The worker registry is reset per chunk so the returned snapshot holds
     exactly this chunk's counters; the parent merges them into its own
@@ -107,11 +185,13 @@ def _run_chunk(payload: List[ChunkItem]) -> ChunkResult:
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer failure surfaces first
         raise RuntimeError("worker pool initializer did not run")
+    sync, chunk = payload
+    _apply_sync(state, sync)
     state.instrumentation.metrics.reset()
     session = state.session
     out = [
         (key, session.query(QueryGraph(labels, edges)))
-        for key, labels, edges in payload
+        for key, labels, edges in chunk
     ]
     return os.getpid(), out, state.instrumentation.metrics.counters_snapshot()
 
@@ -182,16 +262,25 @@ class WorkerPool:
         if context is None:  # pragma: no cover - platform-dependent
             raise SharedMemoryError("no usable multiprocessing start method")
         self.jobs = jobs
+        self._graph = graph
         # Publish BEFORE creating the executor: fork children must inherit
         # the local-token set so they know they share the parent's resource
         # tracker (see repro.graph.shared._LOCAL_TOKENS).
         self._published = publish_graph(graph)
+        # The sync baseline is the *parent* graph's version at publication
+        # (publish_graph compacts a dirty overlay, so the parent cache is
+        # clean here); chunk sync headers and worker catch-up both count in
+        # this numbering.
+        cache = graph.index_cache()
+        self._sync_epoch = cache.epoch
+        self._base_seq = cache.delta_seq
+        baseline = (cache.epoch, cache.delta_seq)
         try:
             self._executor = ProcessPoolExecutor(
                 max_workers=jobs,
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(self._published.descriptor, config),
+                initargs=(self._published.descriptor, config, baseline),
             )
         except Exception:
             self._published.close()
@@ -209,9 +298,34 @@ class WorkerPool:
         """Bytes of shared memory backing the published graph."""
         return self._published.nbytes
 
+    @property
+    def stale(self) -> bool:
+        """Whether the parent graph compacted since publication.
+
+        A stale pool's workers can never catch up by replay (the mutation
+        log restarted with the new epoch); the owner should discard the
+        pool and build a fresh one, which republishes at the new epoch.
+        """
+        return self._graph.index_cache().epoch != self._sync_epoch
+
     def submit(self, chunk: List[ChunkItem]) -> "Future[ChunkResult]":
-        """Dispatch one chunk to the pool."""
-        return self._executor.submit(_run_chunk, chunk)
+        """Dispatch one chunk to the pool.
+
+        Each chunk carries a sync header with the parent's current version
+        and the mutation-log tail since publication, so workers catch up to
+        live deltas before answering. Raises
+        :class:`~repro.exceptions.StaleSegmentError` when the parent
+        compacted after publication (see :attr:`stale`).
+        """
+        cache = self._graph.index_cache()
+        if cache.epoch != self._sync_epoch:
+            raise StaleSegmentError(
+                f"published graph is pinned to epoch {self._sync_epoch} but the "
+                f"parent is at epoch {cache.epoch}: compaction invalidated the "
+                "publication; rebuild the pool"
+            )
+        sync: SyncHeader = (cache.epoch, cache.delta_seq, cache.ops_since(self._base_seq))
+        return self._executor.submit(_run_chunk, (sync, chunk))
 
     @property
     def broken(self) -> bool:

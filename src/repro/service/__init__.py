@@ -24,6 +24,12 @@ Pieces (all stdlib; no web framework):
   (:mod:`repro.service.client`);
 * the wire schemas and :class:`ServiceError` (:mod:`repro.service.schemas`).
 
+Graphs served by the single-process server are *live*: ``POST
+/v1/graphs/{g}/edges`` and ``POST /v1/graphs/{g}/ingest`` apply mutations
+under a per-graph write lock with delta-based index repair (contract in
+``docs/mutation.md``). The pre-forked multi-worker front is read-only and
+answers 501 ``mutation_unsupported``.
+
 Start one from the CLI (``repro-dsql serve --dataset dblp``) or in
 process::
 
@@ -49,9 +55,13 @@ from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.schemas import (
     BATCH_STRATEGIES,
     BatchRequest,
+    MutationRequest,
     QueryRequest,
     ServiceError,
+    mutation_to_json,
     parse_batch_request,
+    parse_edge_mutation,
+    parse_ingest_request,
     parse_json_body,
     parse_query_request,
     query_graph_from_json,
@@ -74,9 +84,13 @@ __all__ = [
     "ServiceError",
     "QueryRequest",
     "BatchRequest",
+    "MutationRequest",
     "BATCH_STRATEGIES",
     "parse_query_request",
     "parse_batch_request",
+    "parse_edge_mutation",
+    "parse_ingest_request",
+    "mutation_to_json",
     "parse_json_body",
     "query_graph_from_json",
     "query_graph_to_json",

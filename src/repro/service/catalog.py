@@ -27,11 +27,23 @@ memo under the lock, search *outside* the lock, then replay through
 ``DSQL._memo_answer`` under the lock. Concurrent first requests for the
 same structure may both search (deterministic search makes both results
 identical), but the memo itself never sees an unsynchronized mutation.
+
+Live mutation discipline: every entry also owns a reader-writer lock.
+Queries run as readers (many at once); :meth:`CatalogEntry.mutate` is the
+single writer — it waits for in-flight queries to finish (they answer
+against the pre-mutation view), applies the batch under exclusive access,
+and readers admitted afterwards see the post-mutation graph at its new
+``(epoch, delta_seq)`` version. The session memo needs no flush on
+mutation: memo keys are version-qualified (``DSQL.memo_key``), so entries
+computed against a prior version simply stop being reachable and age out
+of the LRU. A writer that cannot drain the readers within its timeout
+surfaces as HTTP 409 ``graph_compacting`` with a ``Retry-After`` hint.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from pathlib import Path
@@ -41,9 +53,13 @@ from repro.core.config import DSQLConfig
 from repro.core.dsql import DSQL
 from repro.core.result import DSQResult
 from repro.datasets.registry import make_dataset
-from repro.exceptions import ConfigError, DatasetError
+from repro.exceptions import ConfigError, DatasetError, GraphError
 from repro.graph.io import load_edge_list, load_json
-from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.labeled_graph import (
+    DEFAULT_COMPACTION_THRESHOLD,
+    LabeledGraph,
+    MutationSummary,
+)
 from repro.graph.query_graph import QueryGraph
 from repro.observability import Instrumentation
 from repro.parallel.executor import BatchExecutor
@@ -60,9 +76,63 @@ Executors are cached so the ``process`` strategy's persistent
 plus warm per-worker sessions — survives across ``/v1/batch`` requests
 instead of being rebuilt per request."""
 
+DEFAULT_WRITE_TIMEOUT_S = 10.0
+"""How long a mutation waits for in-flight queries to drain before it
+gives up with 409 ``graph_compacting`` (callers should retry)."""
+
 
 def _never_computed() -> DSQResult:  # pragma: no cover - guarded by the memo peek
     raise AssertionError("memo hit path must not compute")
+
+
+class _ReadWriteLock:
+    """Writer-preferring reader-writer lock for the query/mutation split.
+
+    Readers (queries) share the lock; the writer (a mutation batch) waits
+    for the readers to drain and holds it exclusively. Writer preference —
+    arriving readers queue behind a *waiting* writer — keeps a steady
+    query stream from starving mutations. Write acquisition takes a
+    timeout so a long-running batch cannot wedge the mutation endpoint
+    forever; the caller maps the timeout to HTTP 409.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    remaining = None if deadline is None else deadline - time.monotonic()
+                    if remaining is not None and remaining <= 0:
+                        return False
+                    self._cond.wait(remaining)
+                self._writer = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
 
 
 class CatalogEntry:
@@ -86,6 +156,7 @@ class CatalogEntry:
         # Build the per-graph indexes now, at load time: the first request
         # must not pay (or race) the one-off index construction.
         self.index_cache = graph.index_cache()
+        self._rw = _ReadWriteLock()
         self._session_lock = threading.Lock()
         self._memo_lock = threading.Lock()
         self._executor_lock = threading.Lock()
@@ -168,15 +239,23 @@ class CatalogEntry:
         ``query_many`` stream's would. If another thread populated the key
         meanwhile, the replay simply becomes a hit — both threads hold
         bit-identical results because the search is deterministic.
+
+        The whole answer runs as a *reader*: a concurrent mutation waits
+        for it to finish, and this query sees one consistent graph version
+        end to end (the memo key is stamped with that version).
         """
         session = self.session(config)
-        key = query.canonical_key()
-        with self._memo_lock:
-            if key in session._query_cache:
-                return session._memo_answer(key, _never_computed)
-        fresh = session.query(query)
-        with self._memo_lock:
-            return session._memo_answer(key, lambda: fresh)
+        self._rw.acquire_read()
+        try:
+            key = session.memo_key(query)
+            with self._memo_lock:
+                if key in session._query_cache:
+                    return session._memo_answer(key, _never_computed)
+            fresh = session.query(query)
+            with self._memo_lock:
+                return session._memo_answer(key, lambda: fresh)
+        finally:
+            self._rw.release_read()
 
     def answer_batch(
         self,
@@ -201,13 +280,50 @@ class CatalogEntry:
         executor mid-batch.
         """
         session = self.session(config)
-        executor = self._acquire_executor(session, strategy, jobs)
+        self._rw.acquire_read()
         try:
-            with self._memo_lock:
-                results = executor.run(list(queries))
+            executor = self._acquire_executor(session, strategy, jobs)
+            try:
+                with self._memo_lock:
+                    results = executor.run(list(queries))
+            finally:
+                self._release_executor(executor)
+            return results, executor.last_report
         finally:
-            self._release_executor(executor)
-        return results, executor.last_report
+            self._rw.release_read()
+
+    # -- mutation ------------------------------------------------------
+    def mutate(
+        self,
+        ops: Sequence[Tuple],
+        compaction_threshold: Optional[int] = DEFAULT_COMPACTION_THRESHOLD,
+        write_timeout_s: Optional[float] = DEFAULT_WRITE_TIMEOUT_S,
+    ) -> MutationSummary:
+        """Apply a mutation batch as the graph's single writer.
+
+        Waits (bounded by ``write_timeout_s``) for in-flight queries —
+        they finish against the pre-mutation view — then applies the batch
+        via :meth:`LabeledGraph.mutate` with exclusive access. Failure
+        modes are typed: a drain timeout is 409 ``graph_compacting`` (the
+        standard back-off signal, with ``Retry-After``); a malformed batch
+        is 400 ``invalid_mutation`` and, because the batch pre-validates,
+        leaves the graph untouched.
+        """
+        if not self._rw.acquire_write(write_timeout_s):
+            raise ServiceError(
+                409,
+                "graph_compacting",
+                f"graph {self.name!r} is busy (queries or a mutation in flight); "
+                f"could not acquire the write lock within {write_timeout_s:g}s",
+                retry_after_s=1.0,
+            )
+        try:
+            try:
+                return self.graph.mutate(ops, compaction_threshold=compaction_threshold)
+            except GraphError as exc:
+                raise ServiceError(400, "invalid_mutation", str(exc)) from None
+        finally:
+            self._rw.release_write()
 
     def _acquire_executor(
         self, session: DSQL, strategy: str, jobs: Optional[int]
@@ -298,6 +414,7 @@ class CatalogEntry:
             "source": self.source,
             "vertices": self.graph.num_vertices,
             "edges": self.graph.num_edges,
+            "version": list(self.index_cache.version),
             "labels": len(self.index_cache.label_table),
             "sessions": 1 + extra_sessions,
             "executors": executors,

@@ -19,8 +19,9 @@ from __future__ import annotations
 
 import json
 import urllib.error
+import urllib.parse
 import urllib.request
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, Optional, Sequence, Union
 
 from repro.exceptions import ReproError
 from repro.graph.labeled_graph import LabeledGraph
@@ -115,6 +116,33 @@ class ServiceClient:
         if objective is not None:
             payload["objective"] = objective
         return self._call("POST", "/v1/batch", payload)
+
+    def mutate_edge(self, graph: str, op: str, u: int, v: int) -> Dict[str, object]:
+        """``POST /v1/graphs/{graph}/edges``: one edge ``"add"``/``"remove"``.
+
+        Returns ``{"applied", "compacted", "version", ...}``; a busy graph
+        surfaces as :class:`ServiceClientError` with status 409 and
+        ``retry_after_s`` set, a read-only deployment as status 501.
+        """
+        path = f"/v1/graphs/{urllib.parse.quote(graph, safe='')}/edges"
+        return self._call("POST", path, {"op": op, "u": u, "v": v})
+
+    def ingest(
+        self,
+        graph: str,
+        ops: Iterable[Sequence[object]],
+        compaction_threshold: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """``POST /v1/graphs/{graph}/ingest``: a mutation batch as one write.
+
+        ``ops`` entries are ``["add_vertex", label]``, ``["add_edge", u, v]``
+        or ``["remove_edge", u, v]``, applied in order.
+        """
+        payload: Dict[str, object] = {"ops": [list(op) for op in ops]}
+        if compaction_threshold is not None:
+            payload["compaction_threshold"] = compaction_threshold
+        path = f"/v1/graphs/{urllib.parse.quote(graph, safe='')}/ingest"
+        return self._call("POST", path, payload)
 
     def healthz(self) -> Dict[str, object]:
         """``GET /healthz``; returns the body even for 503 (draining)."""

@@ -95,12 +95,16 @@ def _worker_main(
             attachment = attach_graph(descriptor)
             attachments.append(attachment)
             catalog.add_graph(name, attachment.graph, source=source)
+        # Workers serve *attached* shared-memory graphs: a write applied in
+        # one worker would be invisible to its siblings behind the same
+        # port, so the whole front is read-only (501 mutation_unsupported).
         service = QueryService(
             catalog,
             max_in_flight=max_in_flight,
             max_queue=max_queue,
             retry_after_s=retry_after_s,
             identity={"role": "worker", "worker": index, "pid": os.getpid()},
+            allow_mutations=False,
         )
         front = ServiceServer(service, host=host, port=port, reuse_port=True).start()
         admin = ServiceServer(service, host="127.0.0.1", port=0).start()

@@ -11,6 +11,10 @@ layer (:mod:`repro.service.server`), the client
   the ``POST /v1/query`` and ``POST /v1/batch`` payloads. Strict means
   unknown fields are rejected (a typoed ``"tiem_budget_ms"`` must fail
   loudly, not silently fall back to the default).
+* ``parse_edge_mutation`` / ``parse_ingest_request`` — validators for the
+  write surface, ``POST /v1/graphs/{g}/edges`` and ``/v1/graphs/{g}/ingest``;
+  ``mutation_to_json`` encodes the resulting
+  :class:`~repro.graph.labeled_graph.MutationSummary`.
 * ``query_graph_from_json`` / ``query_graph_to_json`` — the round-trippable
   query-graph encoding ``{"labels": [...], "edges": [[u, v], ...]}``;
   structural validation (non-empty, connected) is delegated to
@@ -41,6 +45,12 @@ MAX_BODY_BYTES = 8 << 20
 
 MAX_BATCH_QUERIES = 4096
 """Upper bound on ``/v1/batch`` fan-out (one request must stay bounded)."""
+
+MAX_INGEST_OPS = 100_000
+"""Upper bound on ``/v1/graphs/{g}/ingest`` batch size per request."""
+
+MUTATION_OP_KINDS = ("add_vertex", "add_edge", "remove_edge")
+"""Op kinds accepted by the ingest endpoint, in wire order."""
 
 BATCH_STRATEGIES = ("serial", "thread")
 """Batch strategies the service accepts.
@@ -92,6 +102,16 @@ class QueryRequest:
     alpha: Optional[float] = None
     time_budget_ms: Optional[float] = None
     objective: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """A validated mutation payload (``/edges`` or ``/ingest``); the graph
+    name comes from the request path, not the body."""
+
+    graph: str
+    ops: Tuple[Tuple, ...]
+    compaction_threshold: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -297,6 +317,94 @@ def parse_batch_request(payload: Dict[str, object]) -> BatchRequest:
 
 
 # ----------------------------------------------------------------------
+# Mutation parsers
+# ----------------------------------------------------------------------
+_EDGE_FIELDS = ("op", "u", "v")
+_INGEST_FIELDS = ("ops", "compaction_threshold")
+_EDGE_OPS = {"add": "add_edge", "remove": "remove_edge"}
+
+
+def _require_vertex(payload: Dict[str, object], name: str) -> int:
+    value = payload.get(name)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ServiceError(
+            400, "invalid_mutation", f"{name!r} must be a non-negative vertex id"
+        )
+    return value
+
+
+def parse_edge_mutation(graph: str, payload: Dict[str, object]) -> MutationRequest:
+    """Validate a ``POST /v1/graphs/{g}/edges`` body: one edge op.
+
+    ``{"op": "add" | "remove", "u": int, "v": int}`` — range and self-loop
+    checks are the graph's own (they depend on live vertex count) and
+    surface as 400 ``invalid_mutation`` from the catalog.
+    """
+    _reject_unknown(payload, _EDGE_FIELDS, "edge mutation")
+    op = payload.get("op")
+    if op not in _EDGE_OPS:
+        raise ServiceError(
+            400, "invalid_mutation", f"'op' must be one of {sorted(_EDGE_OPS)}, got {op!r}"
+        )
+    u = _require_vertex(payload, "u")
+    v = _require_vertex(payload, "v")
+    return MutationRequest(graph=graph, ops=((_EDGE_OPS[op], u, v),))
+
+
+def parse_ingest_request(graph: str, payload: Dict[str, object]) -> MutationRequest:
+    """Validate a ``POST /v1/graphs/{g}/ingest`` body: a mutation batch.
+
+    ``ops`` is a list of ``["add_vertex", label]``, ``["add_edge", u, v]``
+    or ``["remove_edge", u, v]`` entries, applied in order as *one* write
+    (single cache-repair pass, single lock acquisition). The optional
+    ``compaction_threshold`` overrides the server's overlay-size trigger
+    for this batch only.
+    """
+    _reject_unknown(payload, _INGEST_FIELDS, "ingest request")
+    raw_ops = payload.get("ops")
+    if not isinstance(raw_ops, list) or not raw_ops:
+        raise ServiceError(400, "invalid_mutation", "'ops' must be a non-empty list")
+    if len(raw_ops) > MAX_INGEST_OPS:
+        raise ServiceError(
+            400,
+            "invalid_mutation",
+            f"'ops' has {len(raw_ops)} entries; the limit is {MAX_INGEST_OPS}",
+        )
+    ops = []
+    for i, raw in enumerate(raw_ops):
+        if not isinstance(raw, (list, tuple)) or not raw or raw[0] not in MUTATION_OP_KINDS:
+            raise ServiceError(
+                400,
+                "invalid_mutation",
+                f"ops[{i}] must be a list starting with one of {list(MUTATION_OP_KINDS)}",
+            )
+        kind = raw[0]
+        if kind == "add_vertex":
+            if len(raw) != 2 or not isinstance(raw[1], str) or not raw[1]:
+                raise ServiceError(
+                    400,
+                    "invalid_mutation",
+                    f"ops[{i}] must be ['add_vertex', label] with a non-empty string label",
+                )
+            ops.append(("add_vertex", raw[1]))
+        else:
+            if len(raw) != 3 or any(
+                isinstance(e, bool) or not isinstance(e, int) or e < 0 for e in raw[1:]
+            ):
+                raise ServiceError(
+                    400,
+                    "invalid_mutation",
+                    f"ops[{i}] must be ['{kind}', u, v] with non-negative vertex ids",
+                )
+            ops.append((kind, raw[1], raw[2]))
+    return MutationRequest(
+        graph=graph,
+        ops=tuple(ops),
+        compaction_threshold=_optional_int(payload, "compaction_threshold", minimum=1),
+    )
+
+
+# ----------------------------------------------------------------------
 # Response encoding
 # ----------------------------------------------------------------------
 def result_to_json(
@@ -313,6 +421,26 @@ def result_to_json(
     body = result.to_dict()
     body["graph"] = graph
     body["deadline_exhausted"] = result.stats.deadline_exhausted
+    if elapsed_ms is not None:
+        body["elapsed_ms"] = elapsed_ms
+    return body
+
+
+def mutation_to_json(
+    summary, graph: str, elapsed_ms: Optional[float] = None
+) -> Dict[str, object]:
+    """Encode a :class:`~repro.graph.labeled_graph.MutationSummary` response.
+
+    ``version`` is the graph's post-batch ``[epoch, delta_seq]`` — the same
+    pair stamped on memo entries and shared-memory publications, so a
+    client can correlate a mutation with subsequent answers and metrics.
+    """
+    body: Dict[str, object] = {
+        "graph": graph,
+        "applied": summary.applied,
+        "compacted": summary.compacted,
+        "version": list(summary.version) if summary.version is not None else None,
+    }
     if elapsed_ms is not None:
         body["elapsed_ms"] = elapsed_ms
     return body

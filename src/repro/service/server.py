@@ -10,6 +10,7 @@ Two layers, deliberately separated:
 :class:`ServiceServer`
     The stdlib ``http.server.ThreadingHTTPServer`` wrapper: one thread per
     connection, ``POST /v1/query`` / ``POST /v1/batch`` /
+    ``POST /v1/graphs/{g}/edges`` / ``POST /v1/graphs/{g}/ingest`` /
     ``GET /healthz`` / ``GET /metrics``, JSON in and out. HTTP/1.0
     semantics (connection closed after each response) keep the drain story
     simple — no idle keep-alive connections to wait out.
@@ -36,6 +37,7 @@ import signal
 import socket
 import threading
 import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, Optional, Tuple
 
@@ -45,7 +47,10 @@ from repro.service.admission import AdmissionController
 from repro.service.catalog import GraphCatalog
 from repro.service.schemas import (
     ServiceError,
+    mutation_to_json,
     parse_batch_request,
+    parse_edge_mutation,
+    parse_ingest_request,
     parse_json_body,
     parse_query_request,
     result_to_json,
@@ -84,6 +89,12 @@ class QueryService:
         :class:`~repro.service.admission.AdmissionController`).
     retry_after_s:
         The ``Retry-After`` hint attached to 429 rejections.
+    allow_mutations:
+        When ``False`` the write surface (``POST /v1/graphs/{g}/edges`` and
+        ``/v1/graphs/{g}/ingest``) answers 501 ``mutation_unsupported``.
+        The pre-forked multi-worker front sets this: its workers serve
+        *attached* shared-memory graphs, and a write in one worker would be
+        invisible to its siblings behind the same port.
     """
 
     def __init__(
@@ -93,8 +104,10 @@ class QueryService:
         max_queue: int = DEFAULT_MAX_QUEUE,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
         identity: Optional[Dict[str, object]] = None,
+        allow_mutations: bool = True,
     ) -> None:
         self.catalog = catalog
+        self.allow_mutations = allow_mutations
         self.instrumentation = catalog.instrumentation
         self.admission = AdmissionController(
             max_in_flight, max_queue, metrics=self.instrumentation.metrics
@@ -160,6 +173,39 @@ class QueryService:
             },
         }
 
+    def handle_mutate_edge(self, graph: str, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST /v1/graphs/{g}/edges``: one edge add/remove."""
+        return self._apply_mutation(parse_edge_mutation(graph, payload))
+
+    def handle_ingest(self, graph: str, payload: Dict[str, object]) -> Dict[str, object]:
+        """``POST /v1/graphs/{g}/ingest``: a mutation batch as one write."""
+        return self._apply_mutation(parse_ingest_request(graph, payload))
+
+    def _apply_mutation(self, request) -> Dict[str, object]:
+        """Shared write path: gate, serialize through the entry, encode."""
+        if not self.allow_mutations:
+            raise ServiceError(
+                501,
+                "mutation_unsupported",
+                "this deployment serves read-only shared-memory graphs "
+                "(pre-forked workers cannot see each other's writes); "
+                "use the single-process server for mutations",
+            )
+        entry = self.catalog.get(request.graph)
+        start = time.perf_counter()
+        if request.compaction_threshold is not None:
+            summary = entry.mutate(
+                request.ops, compaction_threshold=request.compaction_threshold
+            )
+        else:
+            summary = entry.mutate(request.ops)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        metrics = self.instrumentation.metrics
+        metrics.counter("service.mutations").inc()
+        if summary.compacted:
+            metrics.counter("service.mutations.compactions").inc()
+        return mutation_to_json(summary, graph=request.graph, elapsed_ms=elapsed_ms)
+
     def healthz(self) -> Tuple[int, Dict[str, object]]:
         """``GET /healthz``: liveness + live admission occupancy."""
         status = 503 if self.draining else 200
@@ -167,6 +213,7 @@ class QueryService:
             "status": "draining" if self.draining else "ok",
             "graphs": self.catalog.names(),
             "objectives": sorted(OBJECTIVE_NAMES),
+            "mutations_enabled": self.allow_mutations,
             "uptime_ms": (time.monotonic() - self._started) * 1000.0,
             "admission": self.admission.describe(),
         }
@@ -186,6 +233,25 @@ class QueryService:
         return body
 
     # -- request lifecycle ---------------------------------------------
+    def _match_graph_route(
+        self, path: str
+    ) -> Optional[Callable[[Dict[str, object]], Dict[str, object]]]:
+        """Per-graph routes: ``/v1/graphs/{g}/edges`` and ``/v1/graphs/{g}/ingest``.
+
+        The graph name is one percent-decodable path segment (names like
+        ``dblp@0.05`` pass through verbatim); unknown action suffixes fall
+        through to the caller's 404.
+        """
+        parts = path.strip("/").split("/")
+        if len(parts) != 4 or parts[0] != "v1" or parts[1] != "graphs" or not parts[2]:
+            return None
+        graph = urllib.parse.unquote(parts[2])
+        if parts[3] == "edges":
+            return lambda payload: self.handle_mutate_edge(graph, payload)
+        if parts[3] == "ingest":
+            return lambda payload: self.handle_ingest(graph, payload)
+        return None
+
     def handle_post(
         self, path: str, read_payload: Callable[[], Dict[str, object]]
     ) -> Tuple[int, Dict[str, object], Optional[float]]:
@@ -199,6 +265,8 @@ class QueryService:
         retry_after = None
         try:
             handler = self._post_handlers.get(path)
+            if handler is None:
+                handler = self._match_graph_route(path)
             if handler is None:
                 raise ServiceError(404, "unknown_endpoint", f"no such endpoint: POST {path}")
             if self.draining:

@@ -1,0 +1,244 @@
+"""Unit tests for the live-mutation surface of both graph backends.
+
+The contract under test (docs/mutation.md): ``add_vertex`` / ``add_edge``
+/ ``remove_edge`` mutate the live views in place, duplicate adds and
+absent removes are no-ops, malformed ops reject *before* anything is
+applied (a failed batch leaves the graph untouched), and ``compact()``
+merges the CSR overlay back into pure sorted arrays without changing any
+observable topology.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.labeled_graph import LabeledGraph, MutationSummary
+
+BACKENDS = ("csr", "set")
+
+
+def small_graph(backend: str) -> LabeledGraph:
+    return LabeledGraph(
+        ["a", "b", "b", "c", "a"],
+        [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)],
+        backend=backend,
+    )
+
+
+def assert_topology_equal(g: LabeledGraph, h: LabeledGraph) -> None:
+    assert g.num_vertices == h.num_vertices
+    assert g.num_edges == h.num_edges
+    assert list(g.labels) == list(h.labels)
+    assert sorted(g.edges()) == sorted(h.edges())
+    for v in range(g.num_vertices):
+        assert g.neighbors(v) == h.neighbors(v)
+        assert g.degree(v) == h.degree(v)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEdgeMutations:
+    def test_add_edge_updates_all_views(self, backend):
+        g = small_graph(backend)
+        assert g.add_edge(0, 2) is True
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert g.num_edges == 6
+        assert g.neighbors(0) == (1, 2, 4)  # stays sorted
+        assert g.degree(0) == 3 and g.degree(2) == 3
+        assert int(g.backend.degree_array[0]) == 3
+
+    def test_duplicate_add_is_noop(self, backend):
+        g = small_graph(backend)
+        assert g.add_edge(0, 1) is False
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 5
+
+    def test_remove_edge_updates_all_views(self, backend):
+        g = small_graph(backend)
+        assert g.remove_edge(1, 2) is True
+        assert not g.has_edge(1, 2) and not g.has_edge(2, 1)
+        assert g.num_edges == 4
+        assert g.neighbors(1) == (0,)
+        assert g.degree(2) == 1
+
+    def test_absent_remove_is_noop(self, backend):
+        g = small_graph(backend)
+        assert g.remove_edge(0, 2) is False
+        assert g.num_edges == 5
+
+    def test_self_loop_and_range_reject(self, backend):
+        g = small_graph(backend)
+        with pytest.raises(GraphError):
+            g.add_edge(1, 1)
+        with pytest.raises(GraphError):
+            g.add_edge(0, 99)
+        with pytest.raises(GraphError):
+            g.remove_edge(-1, 0)
+        assert g.num_edges == 5
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestAddVertex:
+    def test_add_vertex_returns_new_id(self, backend):
+        g = small_graph(backend)
+        v = g.add_vertex("z")
+        assert v == 5
+        assert g.num_vertices == 6
+        assert g.label(v) == "z"
+        assert g.degree(v) == 0 and g.neighbors(v) == ()
+        assert g.add_edge(v, 0) is True
+        assert g.neighbors(v) == (0,)
+
+    def test_label_interning_is_append_only(self, backend):
+        g = small_graph(backend)
+        table_before = list(g.backend.label_table)
+        g.add_vertex("a")  # existing label: no table growth
+        assert list(g.backend.label_table) == table_before
+        g.add_vertex("z")  # new label appended, old ids untouched
+        assert g.backend.label_table[: len(table_before)] == table_before
+        assert g.backend.label_table[-1] == "z"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestBatchMutate:
+    def test_batch_applies_in_order(self, backend):
+        g = small_graph(backend)
+        summary = g.mutate(
+            [
+                ("add_vertex", "z"),
+                ("add_edge", 5, 0),
+                ("remove_edge", 0, 1),
+                ("add_edge", 0, 1),  # re-add: applied again
+                ("add_edge", 0, 1),  # duplicate: skipped
+            ]
+        )
+        assert isinstance(summary, MutationSummary)
+        assert summary.applied == 4
+        assert g.has_edge(5, 0) and g.has_edge(0, 1)
+
+    def test_invalid_batch_is_atomic(self, backend):
+        g = small_graph(backend)
+        reference = small_graph(backend)
+        for bad in (
+            [("add_edge", 0, 1), ("add_edge", 3, 3)],  # self-loop later
+            [("remove_edge", 0, 1), ("add_edge", 0, 99)],  # out of range
+            [("add_edge", 0, 1), ("frobnicate", 1)],  # unknown kind
+            [("add_edge", 0)],  # malformed arity
+            [("add_edge", 0, "x")],  # non-int endpoint
+        ):
+            with pytest.raises(GraphError):
+                g.mutate(bad)
+            assert_topology_equal(g, reference)
+
+    def test_batch_bounds_account_for_added_vertices(self, backend):
+        g = small_graph(backend)
+        summary = g.mutate([("add_vertex", "z"), ("add_edge", 5, 1)])
+        assert summary.applied == 2
+        assert g.has_edge(5, 1)
+
+
+class TestCSROverlayAndCompaction:
+    def test_overlay_tracks_touched_and_delta(self):
+        g = small_graph("csr")
+        b = g.backend
+        assert b.delta_size == 0 and not b.touched_vertices
+        g.add_edge(0, 2)
+        assert b.delta_size == 1
+        assert b.touched_vertices == {0, 2}
+        # Untouched rows still serve from the frozen base arrays.
+        base = b.neighbors_array(3)
+        assert isinstance(base, np.ndarray)
+        assert tuple(b.neighbors_array(0)) == (1, 2, 4)
+
+    def test_compact_restores_pure_arrays(self):
+        g = small_graph("csr")
+        rng = random.Random(5)
+        for _ in range(30):
+            u, v = rng.randrange(5), rng.randrange(5)
+            if u == v:
+                continue
+            (g.add_edge if rng.random() < 0.6 else g.remove_edge)(u, v)
+        g.add_vertex("z")
+        g.add_edge(5, 0)
+        snapshot = LabeledGraph(list(g.labels), list(g.edges()), backend="csr")
+        g.compact()
+        b = g.backend
+        assert b.delta_size == 0 and not b.touched_vertices
+        assert b.indptr.shape[0] == g.num_vertices + 1
+        assert b.indices.shape[0] == 2 * g.num_edges
+        assert_topology_equal(g, snapshot)
+        # searchsorted membership works against the rebuilt arrays
+        for u, v in g.edges():
+            assert b.has_edge_searchsorted(u, v)
+
+    def test_mutate_auto_compacts_at_threshold(self):
+        g = small_graph("csr")
+        ops = [("add_vertex", "z")] + [("add_edge", 5, t) for t in range(4)]
+        summary = g.mutate(ops, compaction_threshold=3)
+        assert summary.compacted is True
+        assert g.backend.delta_size == 0
+
+    def test_set_backend_compact_is_cheap_reset(self):
+        g = small_graph("set")
+        g.add_edge(0, 2)
+        assert g.backend.delta_size == 1
+        g.compact()
+        assert g.backend.delta_size == 0
+        assert g.has_edge(0, 2)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestVersioning:
+    def test_version_is_none_before_cache(self, backend):
+        g = small_graph(backend)
+        assert g.version is None
+        g.add_edge(0, 2)  # mutating without a cache is fine
+        assert g.version is None
+
+    def test_delta_bumps_seq_compaction_bumps_epoch(self, backend):
+        g = small_graph(backend)
+        cache = g.index_cache()
+        epoch0 = cache.epoch
+        assert g.version == (epoch0, 0)
+        g.add_edge(0, 2)
+        g.remove_edge(0, 2)
+        assert g.version == (epoch0, 2)
+        g.compact()
+        epoch1, seq = g.version
+        assert epoch1 != epoch0 and seq == 0
+
+    def test_noop_does_not_consume_a_delta(self, backend):
+        g = small_graph(backend)
+        g.index_cache()
+        g.add_edge(0, 1)  # already present
+        g.remove_edge(0, 2)  # already absent
+        assert g.version[1] == 0
+
+
+class TestReplay:
+    def test_replay_converges_twin_graph(self):
+        g = small_graph("csr")
+        twin = small_graph("csr")
+        cache = g.index_cache()
+        twin.index_cache()
+        g.mutate([("add_vertex", "z"), ("add_edge", 5, 0), ("remove_edge", 1, 2)])
+        twin.replay(cache.ops_since(0))
+        assert_topology_equal(g, twin)
+        # Epochs are globally unique per cache instance (the pool's sync
+        # protocol numbers workers in parent terms for exactly this
+        # reason); only the delta_seq converges.
+        assert twin.version[1] == g.version[1]
+
+    def test_replay_gap_raises(self):
+        g = small_graph("csr")
+        cache = g.index_cache()
+        g.add_edge(0, 2)
+        g.add_edge(0, 3)
+        twin = small_graph("csr")
+        twin.index_cache()
+        tail = cache.ops_since(1)  # starts at seq 2: a gap for the fresh twin
+        with pytest.raises(GraphError, match="gap"):
+            twin.replay(tail)

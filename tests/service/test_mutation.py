@@ -1,0 +1,208 @@
+"""The service write surface: per-graph mutation endpoints and locking.
+
+Covers the wire contract (``POST /v1/graphs/{g}/edges`` and
+``/v1/graphs/{g}/ingest``), the typed failure modes (400
+``invalid_mutation``, 404, 409 ``graph_compacting``, 501
+``mutation_unsupported``), and the concurrency keystone: queries racing a
+mutation always see either the full pre-mutation graph or the full
+post-mutation graph — bit-identical to a rebuilt reference — never a
+half-applied one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.core.dsql import DSQL
+from repro.datasets.registry import make_dataset
+from repro.graph.labeled_graph import LabeledGraph
+from repro.queries.generator import query_set
+from repro.service import (
+    GraphCatalog,
+    QueryService,
+    ServiceClient,
+    ServiceError,
+    ServiceServer,
+)
+from repro.service.client import ServiceClientError
+
+from .conftest import DEFAULT_K, tiny_graph
+
+
+def _absent_pair(graph):
+    u = 0
+    v = next(x for x in range(1, graph.num_vertices) if not graph.has_edge(u, x))
+    return u, v
+
+
+@pytest.fixture()
+def mutable_server():
+    """A per-test server (mutations would leak across module-scoped tests)."""
+    catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+    graph = tiny_graph()
+    catalog.add_graph("tiny", graph, source="fixture")
+    srv = ServiceServer(QueryService(catalog), port=0).start()
+    try:
+        yield srv, ServiceClient(srv.url, timeout=30.0), graph
+    finally:
+        srv.close()
+
+
+class TestEdgeEndpoint:
+    def test_add_then_remove_round_trip(self, mutable_server):
+        _, client, graph = mutable_server
+        u, v = _absent_pair(graph)
+        body = client.mutate_edge("tiny", "add", u, v)
+        assert body["applied"] == 1 and body["compacted"] is False
+        assert body["version"][1] == 1
+        assert graph.has_edge(u, v)
+        assert client.mutate_edge("tiny", "add", u, v)["applied"] == 0  # no-op
+        body = client.mutate_edge("tiny", "remove", u, v)
+        assert body["applied"] == 1 and not graph.has_edge(u, v)
+
+    def test_invalid_edge_bodies(self, mutable_server):
+        _, client, _ = mutable_server
+        for payload in (
+            {"op": "upsert", "u": 0, "v": 1},
+            {"op": "add", "u": -1, "v": 1},
+            {"op": "add", "u": 0, "v": True},
+            {"op": "add", "u": 0, "v": 1, "extra": 1},
+            {"op": "add", "u": 0, "v": 10**9},
+        ):
+            with pytest.raises(ServiceClientError) as exc:
+                client._call("POST", "/v1/graphs/tiny/edges", payload)
+            assert exc.value.status == 400
+
+    def test_unknown_graph_and_endpoint(self, mutable_server):
+        _, client, _ = mutable_server
+        with pytest.raises(ServiceClientError) as exc:
+            client.mutate_edge("nope", "add", 0, 1)
+        assert exc.value.status == 404 and exc.value.code == "unknown_graph"
+        with pytest.raises(ServiceClientError) as exc:
+            client._call("POST", "/v1/graphs/tiny/frobnicate", {})
+        assert exc.value.status == 404 and exc.value.code == "unknown_endpoint"
+
+
+class TestIngestEndpoint:
+    def test_batch_is_one_write(self, mutable_server):
+        _, client, graph = mutable_server
+        n = graph.num_vertices
+        body = client.ingest(
+            "tiny",
+            [["add_vertex", "Z9"], ["add_edge", n, 0], ["remove_edge", n, 0]],
+        )
+        assert body["applied"] == 3
+        assert graph.num_vertices == n + 1
+        assert graph.label(n) == "Z9" and graph.degree(n) == 0
+
+    def test_compaction_threshold_override(self, mutable_server):
+        _, client, graph = mutable_server
+        u, v = _absent_pair(graph)
+        body = client.ingest(
+            "tiny", [["add_edge", u, v]], compaction_threshold=1
+        )
+        assert body["compacted"] is True
+        assert body["version"][1] == 0  # fresh epoch starts at delta_seq 0
+        assert graph.backend.delta_size == 0
+
+    def test_invalid_batch_is_atomic(self, mutable_server):
+        _, client, graph = mutable_server
+        edges_before = graph.num_edges
+        u, v = _absent_pair(graph)
+        with pytest.raises(ServiceClientError) as exc:
+            client.ingest("tiny", [["add_edge", u, v], ["add_edge", 0, 10**9]])
+        assert exc.value.status == 400 and exc.value.code == "invalid_mutation"
+        assert graph.num_edges == edges_before and not graph.has_edge(u, v)
+
+    def test_malformed_ops_reject(self, mutable_server):
+        _, client, _ = mutable_server
+        for ops in ([], [["noop"]], [["add_vertex", 3]], [["add_edge", 0]], "nope"):
+            with pytest.raises(ServiceClientError) as exc:
+                client._call("POST", "/v1/graphs/tiny/ingest", {"ops": ops})
+            assert exc.value.status == 400
+
+
+class TestWriteLock:
+    def test_draining_timeout_is_409(self):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        entry = catalog.add_graph("tiny", tiny_graph(), source="fixture")
+        entry._rw.acquire_read()  # a reader pinned mid-query
+        try:
+            with pytest.raises(ServiceError) as exc:
+                entry.mutate([("add_edge", 0, 1)], write_timeout_s=0.05)
+            assert exc.value.status == 409
+            assert exc.value.code == "graph_compacting"
+            assert exc.value.retry_after_s is not None
+        finally:
+            entry._rw.release_read()
+        # Reader gone: the same mutation goes through.
+        summary = entry.mutate([("add_edge", *_absent_pair(entry.graph))])
+        assert summary.applied == 1
+
+    def test_read_only_service_answers_501(self):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        catalog.add_graph("tiny", tiny_graph(), source="fixture")
+        service = QueryService(catalog, allow_mutations=False)
+        status, body, _ = service.handle_post(
+            "/v1/graphs/tiny/edges", lambda: {"op": "add", "u": 0, "v": 1}
+        )
+        assert status == 501
+        assert body["error"]["code"] == "mutation_unsupported"
+
+
+class TestConcurrentReadersWriter:
+    def test_queries_race_mutation_bit_identically(self, mutable_server):
+        """Every answer equals the pre- or post-mutation reference exactly."""
+        _, client, graph = mutable_server
+        queries = list(query_set(graph, 3, 2, seed=21))
+        config = DSQLConfig(k=DEFAULT_K)
+
+        def reference_answers(g):
+            session = DSQL(
+                LabeledGraph(list(g.labels), list(g.edges()), backend="csr"),
+                config=config,
+            )
+            return {
+                i: session.query(q).to_dict()["embeddings"]
+                for i, q in enumerate(queries)
+            }
+
+        before = reference_answers(graph)
+        u, v = _absent_pair(graph)
+        observations = []
+        errors = []
+        done = threading.Event()
+
+        def reader(tid):
+            try:
+                while not done.is_set():
+                    for i, q in enumerate(queries):
+                        observations.append((i, client.query("tiny", q)["embeddings"]))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append((tid, repr(exc)))
+
+        threads = [threading.Thread(target=reader, args=(t,)) for t in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            time.sleep(0.1)
+            body = client.ingest("tiny", [["add_edge", u, v], ["add_vertex", "Z9"]])
+            assert body["applied"] == 2
+            time.sleep(0.2)
+        finally:
+            done.set()
+            for t in threads:
+                t.join()
+        after = reference_answers(graph)
+        assert not errors, errors
+        assert observations
+        bad = [
+            (i, got)
+            for i, got in observations
+            if got != before[i] and got != after[i]
+        ]
+        assert not bad, bad[:3]

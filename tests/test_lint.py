@@ -123,6 +123,7 @@ def test_service_tests_collected_from_testpaths():
         "test_catalog.py",
         "test_concurrency.py",
         "test_multiworker.py",
+        "test_mutation.py",
         "test_schemas.py",
         "test_server.py",
     ]
@@ -146,3 +147,26 @@ def test_docs_gate_covers_parallel_doc():
     assert parallel_doc in DOC_FILES
     # The doc must actually exercise the gate: at least one python block.
     assert extract_python_blocks(parallel_doc.read_text(encoding="utf-8"))
+
+
+def test_docs_gate_covers_mutation_doc():
+    mutation_doc = REPO / "docs" / "mutation.md"
+    assert mutation_doc.exists(), "docs/mutation.md missing"
+    assert mutation_doc in DOC_FILES
+    # The mutation contract ships runnable examples; the gate must see them.
+    assert extract_python_blocks(mutation_doc.read_text(encoding="utf-8"))
+
+
+def test_compile_gate_covers_mutation_surface():
+    """The live-mutation PR's load-bearing modules stay under the compile
+    gate (and exist — a rename must not silently drop the write path)."""
+    modules = [
+        REPO / "src" / "repro" / "graph" / "labeled_graph.py",
+        REPO / "src" / "repro" / "graph" / "csr.py",
+        REPO / "src" / "repro" / "indexes" / "graph_cache.py",
+        REPO / "src" / "repro" / "indexes" / "plans.py",
+    ]
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    for module in modules:
+        assert module.exists(), f"{module} missing"
+        assert str(module) in gated
