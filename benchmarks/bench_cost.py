@@ -1,0 +1,451 @@
+"""Cost-estimation gates. Writes ``BENCH_cost.json`` at repo root.
+
+Two claims from the cost-estimation work are held to numbers here:
+
+* **Estimator quality** — Spearman rank correlation between the raw model
+  output and the engine's actual ``nodes_expanded`` across mixed-size
+  query sets on five registry datasets. Gates: pooled rho >= 0.8, median
+  per-dataset rho >= 0.8, every dataset >= 0.6 (wordnet's within-class
+  variance is structurally invisible to static features; the floor keeps
+  the gate honest instead of hiding it). A second pass over the same
+  workload must show the EWMA calibration tightening the pooled mean
+  absolute log-error (pass 2 < pass 1).
+
+* **Load shedding** — an adversarial mixed workload (10% crafted
+  dense-pool queries interleaved into cheap traffic, closed-loop
+  clients) through the transport-free ``QueryService.handle_post`` path.
+  Cost-aware admission must hold the cheap queries' p95 latency within 2x
+  of their isolated p95 (same clients, no dense queries interleaved),
+  while count-based admission — where cheap requests queue behind dense
+  ones — must not. Both ratios are recorded; every answered request is
+  compared against a serial DSQL reference and the mismatch count must be
+  zero (the gate may delay or shed, never change answers).
+
+Runs standalone (``python benchmarks/bench_cost.py``) or under
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import random
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from common import bench_graph, bench_queries, dsql_config
+from repro.core.dsql import DSQL
+from repro.cost.calibration import CalibrationState
+from repro.experiments.report import render_table
+from repro.graph.query_graph import QueryGraph
+from repro.service import GraphCatalog, QueryService
+from repro.service.schemas import query_graph_to_json
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cost.json"
+
+# -- estimator-quality probe -------------------------------------------
+QUALITY_DATASETS = ["yeast", "human", "dblp", "wordnet", "epinion"]
+QUALITY_MIX = [(3, 20, 13), (5, 25, 7), (8, 20, 11)]  # (edges, count, seed)
+QUALITY_K = 40
+
+GATE_SPEARMAN_POOLED = 0.8
+GATE_SPEARMAN_MEDIAN = 0.8
+GATE_SPEARMAN_FLOOR = 0.6
+
+# -- adversarial mixed workload ----------------------------------------
+WORKLOAD_DATASET = "yeast"
+WORKLOAD_K = 16
+WORKLOAD_SEED = 404
+WORKERS = 3
+CHEAP_REQUESTS = 135
+DENSE_REQUESTS = 15  # 10% of the mixed workload
+DENSE_MIN_RAW = 3000.0  # raw work units qualifying a crafted query as dense
+COUNT_IN_FLIGHT = 1  # the concurrency knob count-based admission relies on
+COUNT_QUEUE = 64
+BUDGET_HEADROOM = 1.3  # work-unit budget over the costliest dense estimate
+CALIBRATION_ROUNDS = 3  # pre-run feedback rounds so the gate sees honest costs
+
+GATE_CHEAP_P95_RATIO = 2.0
+
+
+def p95(samples: Sequence[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[int(0.95 * (len(ordered) - 1))]
+
+
+def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rho with average ranks for ties (no scipy dependency)."""
+
+    def ranks(vals: Sequence[float]) -> List[float]:
+        order = sorted(range(len(vals)), key=lambda i: vals[i])
+        out = [0.0] * len(vals)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and vals[order[j + 1]] == vals[order[i]]:
+                j += 1
+            for t in range(i, j + 1):
+                out[order[t]] = (i + j) / 2.0
+            i = j + 1
+        return out
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    mx, my = sum(rx) / n, sum(ry) / n
+    num = sum((a - mx) * (b - my) for a, b in zip(rx, ry))
+    den = math.sqrt(
+        sum((a - mx) ** 2 for a in rx) * sum((b - my) ** 2 for b in ry)
+    )
+    return num / den if den else 0.0
+
+
+def _abs_log_err(estimated: float, actual: float) -> float:
+    return abs(math.log(actual + 1.0) - math.log(estimated + 1.0))
+
+
+def estimator_quality() -> Dict[str, object]:
+    """Spearman per dataset + pooled, and the two-pass calibration check."""
+    per_dataset: Dict[str, float] = {}
+    pass1: Dict[str, float] = {}
+    pass2: Dict[str, float] = {}
+    pooled_est: List[float] = []
+    pooled_act: List[float] = []
+    pooled_err = {1: [], 2: []}
+    total_expansions = 0
+    total_seconds = 0.0
+    for name in QUALITY_DATASETS:
+        graph = bench_graph(name)
+        cache = graph.index_cache()
+        estimator = cache.cost_estimator()
+        estimator.restore(CalibrationState())  # pristine: measure from scratch
+        solver = DSQL(graph, config=dsql_config(k=QUALITY_K))
+        plans, raws, actuals = [], [], []
+        for num_edges, count, seed in QUALITY_MIX:
+            for query in bench_queries(name, num_edges, count, seed=seed):
+                plan = cache.plan_cache.get_or_compile(query, cache)
+                raw = estimator.estimate(plan, k=QUALITY_K).raw_expansions
+                start = time.perf_counter()
+                result = solver.query(query)
+                total_seconds += time.perf_counter() - start
+                plans.append(plan)
+                raws.append(raw)
+                actuals.append(result.stats.nodes_expanded)
+                total_expansions += result.stats.nodes_expanded
+        per_dataset[name] = round(spearman(raws, actuals), 3)
+        pooled_est.extend(raws)
+        pooled_act.extend(actuals)
+        # Two passes over the same workload. Pass 1 is the cold server:
+        # every estimate comes from the pristine state, then the actuals
+        # are fed back. Pass 2 replays the workload against what pass 1
+        # learned (still observing, as the live service would).
+        errors1 = [
+            _abs_log_err(estimator.estimate(plan, k=QUALITY_K).work_units, actual)
+            for plan, actual in zip(plans, actuals)
+        ]
+        for plan, actual in zip(plans, actuals):
+            estimator.observe(estimator.estimate(plan, k=QUALITY_K), actual)
+        errors2 = []
+        for plan, actual in zip(plans, actuals):
+            estimate = estimator.estimate(plan, k=QUALITY_K)
+            errors2.append(_abs_log_err(estimate.work_units, actual))
+            estimator.observe(estimate, actual)
+        for pass_no, errors in ((1, errors1), (2, errors2)):
+            mean = sum(errors) / len(errors)
+            (pass1 if pass_no == 1 else pass2)[name] = round(mean, 3)
+            pooled_err[pass_no].extend(errors)
+    rhos = sorted(per_dataset.values())
+    return {
+        "spearman_per_dataset": per_dataset,
+        "spearman_pooled": round(spearman(pooled_est, pooled_act), 3),
+        "spearman_median": round(rhos[len(rhos) // 2], 3),
+        "spearman_min": round(rhos[0], 3),
+        "calibration_pass1_mean_abs_log_err": round(
+            sum(pooled_err[1]) / len(pooled_err[1]), 3
+        ),
+        "calibration_pass2_mean_abs_log_err": round(
+            sum(pooled_err[2]) / len(pooled_err[2]), 3
+        ),
+        "calibration_pass1_per_dataset": pass1,
+        "calibration_pass2_per_dataset": pass2,
+        "measured_units_per_ms": round(total_expansions / (1000.0 * total_seconds), 1),
+        "quality_queries": len(pooled_act),
+    }
+
+
+# ----------------------------------------------------------------------
+# Adversarial mixed workload
+# ----------------------------------------------------------------------
+def dense_queries(graph) -> List[QueryGraph]:
+    """Crafted dense-pool adversaries: 6-cycles over the three most
+    frequent labels, kept when the raw model prices them as heavy. These
+    are the queries the count-based gate cannot distinguish from cheap
+    traffic (each is still "one request")."""
+    top = [label for label, _ in Counter(graph.labels).most_common(3)]
+    edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]
+    cache = graph.index_cache()
+    estimator = cache.cost_estimator()
+    scored, seen = [], set()
+    for combo in itertools.product(range(3), repeat=6):
+        if combo.count(0) < 3:  # >= 3 hub-label vertices keeps costs in a band
+            continue
+        labels = tuple(top[i] for i in combo)
+        if labels in seen:
+            continue
+        seen.add(labels)
+        query = QueryGraph(list(labels), edges)
+        plan = cache.plan_cache.get_or_compile(query, cache)
+        raw = estimator.estimate(plan, k=WORKLOAD_K).raw_expansions
+        if raw >= DENSE_MIN_RAW:
+            scored.append((raw, query))
+    if len(scored) < DENSE_REQUESTS:
+        raise RuntimeError(f"only {len(scored)} dense queries found")
+    scored.sort(key=lambda item: -item[0])  # heaviest first
+    return [query for _, query in scored[:DENSE_REQUESTS]]
+
+
+def cheap_queries(graph) -> List[QueryGraph]:
+    """The cheap 90%: generator queries ranked by estimate, cheapest first,
+    deduplicated so the service memo cannot shortcut repeats."""
+    cache = graph.index_cache()
+    estimator = cache.cost_estimator()
+    pool, seen = [], set()
+    for num_edges, seed in [(3, 101), (3, 102), (5, 103), (5, 104)]:
+        for query in bench_queries(WORKLOAD_DATASET, num_edges, 50, seed=seed):
+            key = query.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            plan = cache.plan_cache.get_or_compile(query, cache)
+            cost = estimator.estimate(plan, k=WORKLOAD_K).raw_expansions
+            pool.append((cost, query))
+    pool.sort(key=lambda item: item[0])
+    if len(pool) < CHEAP_REQUESTS:
+        raise RuntimeError(f"only {len(pool)} distinct cheap queries")
+    return [query for _, query in pool[:CHEAP_REQUESTS]]
+
+
+def run_workload(
+    service: QueryService,
+    schedule: Sequence[Tuple[str, int]],
+    payloads: Dict[Tuple[str, int], Dict[str, object]],
+) -> List[Tuple[str, int, float, Dict[str, object]]]:
+    """Drive the service with WORKERS closed-loop clients; returns
+    ``(kind, status, latency_s, body)`` per request in schedule order."""
+    results: List = [None] * len(schedule)
+    cursor = itertools.count()
+
+    def client() -> None:
+        while True:
+            i = next(cursor)
+            if i >= len(schedule):
+                return
+            kind, _ = schedule[i]
+            payload = payloads[schedule[i]]
+            start = time.perf_counter()
+            status, body, _ = service.handle_post("/v1/query", lambda p=payload: p)
+            results[i] = (kind, status, time.perf_counter() - start, body)
+
+    threads = [threading.Thread(target=client) for _ in range(WORKERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _fresh_service(graph, **kwargs) -> QueryService:
+    catalog = GraphCatalog(default_config=dsql_config(k=WORKLOAD_K))
+    catalog.add_graph("bench", graph)
+    return QueryService(catalog, **kwargs)
+
+
+def adversarial_workload() -> Dict[str, object]:
+    graph = bench_graph(WORKLOAD_DATASET)
+    dense = dense_queries(graph)
+    cheap = cheap_queries(graph)
+
+    # Serial reference: the answer every admission mode must reproduce.
+    reference_session = DSQL(graph, config=dsql_config(k=WORKLOAD_K))
+    reference: Dict[Tuple[str, int], object] = {}
+    for kind, batch in (("dense", dense), ("cheap", cheap)):
+        for i, query in enumerate(batch):
+            reference[(kind, i)] = reference_session.query(query)
+
+    payloads = {
+        (kind, i): {"graph": "bench", "query": query_graph_to_json(query)}
+        for kind, batch in (("dense", dense), ("cheap", cheap))
+        for i, query in enumerate(batch)
+    }
+    mixed = [("cheap", i) for i in range(len(cheap))]
+    mixed += [("dense", i) for i in range(len(dense))]
+    random.Random(WORKLOAD_SEED).shuffle(mixed)
+    cheap_only = [("cheap", i) for i in range(len(cheap))]
+
+    # Converge the calibration on this workload before anything is timed:
+    # the service observes (estimate, actual) per answered query, so a few
+    # feedback rounds with the reference actuals put the estimator where a
+    # warm server would be, and the work-unit budget is sized from honest
+    # numbers instead of the raw model's bias.
+    cache = graph.index_cache()
+    estimator = cache.cost_estimator()
+    workload_plans = {
+        key: cache.plan_cache.get_or_compile(payloadless, cache)
+        for key, payloadless in [
+            ((kind, i), query)
+            for kind, batch in (("dense", dense), ("cheap", cheap))
+            for i, query in enumerate(batch)
+        ]
+    }
+    for _ in range(CALIBRATION_ROUNDS):
+        for key, plan in workload_plans.items():
+            estimate = estimator.estimate(plan, k=WORKLOAD_K)
+            estimator.observe(estimate, reference[key].stats.nodes_expanded)
+
+    # One dense query plus all the cheap traffic fits inside the budget; a
+    # second expensive dense query overlapping it is shed.
+    dense_estimates = [
+        estimator.estimate(workload_plans[("dense", i)], k=WORKLOAD_K).work_units
+        for i in range(len(dense))
+    ]
+    budget = BUDGET_HEADROOM * max(dense_estimates)
+
+    mismatches = 0
+    runs: Dict[str, Dict[str, object]] = {}
+
+    def verify(results, schedule) -> None:
+        nonlocal mismatches
+        for (kind, i), (_, status, _, body) in zip(schedule, results):
+            if status != 200:
+                continue
+            want = reference[(kind, i)]
+            if body["embeddings"] != [list(e) for e in want.embeddings]:
+                mismatches += 1
+            elif body["coverage"] != want.coverage:
+                mismatches += 1
+
+    # Isolated baseline: same clients, no dense queries, no gate.
+    service = _fresh_service(graph, admission_mode="off")
+    try:
+        isolated = run_workload(service, cheap_only, payloads)
+    finally:
+        service.close()
+    verify(isolated, cheap_only)
+    isolated_p95 = p95([lat for _, status, lat, _ in isolated if status == 200])
+
+    for mode, kwargs in (
+        ("count", {"admission_mode": "count", "max_in_flight": COUNT_IN_FLIGHT,
+                   "max_queue": COUNT_QUEUE}),
+        ("cost", {"admission_mode": "cost", "max_in_flight": COUNT_IN_FLIGHT,
+                  "work_unit_budget": budget}),
+    ):
+        service = _fresh_service(graph, **kwargs)
+        try:
+            results = run_workload(service, mixed, payloads)
+        finally:
+            service.close()
+        verify(results, mixed)
+        cheap_latencies = [
+            lat for (kind, _), (_, status, lat, _) in zip(mixed, results)
+            if kind == "cheap" and status == 200
+        ]
+        dense_served = sum(
+            1 for (kind, _), (_, status, _, _) in zip(mixed, results)
+            if kind == "dense" and status == 200
+        )
+        dense_shed = sum(
+            1 for (kind, _), (_, status, _, _) in zip(mixed, results)
+            if kind == "dense" and status == 429
+        )
+        cheap_shed = sum(
+            1 for (kind, _), (_, status, _, _) in zip(mixed, results)
+            if kind == "cheap" and status == 429
+        )
+        runs[mode] = {
+            "cheap_p95_ms": round(1e3 * p95(cheap_latencies), 2),
+            "cheap_served": len(cheap_latencies),
+            "cheap_shed": cheap_shed,
+            "dense_served": dense_served,
+            "dense_shed": dense_shed,
+            "cheap_p95_ratio": round(p95(cheap_latencies) / isolated_p95, 2),
+        }
+
+    return {
+        "workload_dataset": WORKLOAD_DATASET,
+        "workload_requests": len(mixed),
+        "dense_requests": len(dense),
+        "workers": WORKERS,
+        "work_unit_budget": round(budget, 1),
+        "isolated_cheap_p95_ms": round(1e3 * isolated_p95, 2),
+        "count": runs["count"],
+        "cost": runs["cost"],
+        "cheap_p95_ratio_count": runs["count"]["cheap_p95_ratio"],
+        "cheap_p95_ratio_cost": runs["cost"]["cheap_p95_ratio"],
+        "mismatches": mismatches,
+    }
+
+
+def run_cost_bench() -> Dict[str, object]:
+    payload: Dict[str, object] = {
+        "gate_spearman_pooled": GATE_SPEARMAN_POOLED,
+        "gate_spearman_median": GATE_SPEARMAN_MEDIAN,
+        "gate_spearman_floor": GATE_SPEARMAN_FLOOR,
+        "gate_cheap_p95_ratio": GATE_CHEAP_P95_RATIO,
+    }
+    payload.update(estimator_quality())
+    payload.update(adversarial_workload())
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload: Dict[str, object]) -> str:
+    per = payload["spearman_per_dataset"]
+    rows = [
+        ["spearman pooled", f"{payload['spearman_pooled']:+.3f} (gate >= {GATE_SPEARMAN_POOLED})"],
+        ["spearman median", f"{payload['spearman_median']:+.3f} (gate >= {GATE_SPEARMAN_MEDIAN})"],
+        ["spearman per dataset",
+         "  ".join(f"{name}={rho:+.3f}" for name, rho in per.items())],
+        ["calibration mabs log-err",
+         f"pass1 {payload['calibration_pass1_mean_abs_log_err']:.3f} -> "
+         f"pass2 {payload['calibration_pass2_mean_abs_log_err']:.3f}"],
+        ["measured unit rate", f"{payload['measured_units_per_ms']:,} units/ms"],
+        ["isolated cheap p95", f"{payload['isolated_cheap_p95_ms']:.2f}ms"],
+        ["count-mode cheap p95",
+         f"{payload['count']['cheap_p95_ms']:.2f}ms "
+         f"({payload['cheap_p95_ratio_count']:.2f}x isolated)"],
+        ["cost-mode cheap p95",
+         f"{payload['cost']['cheap_p95_ms']:.2f}ms "
+         f"({payload['cheap_p95_ratio_cost']:.2f}x isolated, gate <= {GATE_CHEAP_P95_RATIO}x)"],
+        ["cost-mode shedding",
+         f"{payload['cost']['dense_shed']} dense shed, "
+         f"{payload['cost']['cheap_shed']} cheap shed, "
+         f"{payload['cost']['dense_served']} dense served"],
+        ["mismatches", str(payload["mismatches"])],
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+def test_cost_estimation(benchmark):
+    from common import emit
+
+    payload = benchmark.pedantic(run_cost_bench, rounds=1, iterations=1)
+    emit("cost", _report(payload))
+    assert payload["mismatches"] == 0
+    assert payload["spearman_pooled"] >= GATE_SPEARMAN_POOLED
+    assert payload["spearman_median"] >= GATE_SPEARMAN_MEDIAN
+    assert payload["spearman_min"] >= GATE_SPEARMAN_FLOOR
+    assert (
+        payload["calibration_pass2_mean_abs_log_err"]
+        < payload["calibration_pass1_mean_abs_log_err"]
+    )
+    assert payload["cheap_p95_ratio_cost"] <= GATE_CHEAP_P95_RATIO
+    assert payload["cheap_p95_ratio_count"] > GATE_CHEAP_P95_RATIO
+
+
+if __name__ == "__main__":
+    out = run_cost_bench()
+    print(_report(out))
+    print(f"\nwrote {OUT_PATH}")

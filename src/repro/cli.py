@@ -9,6 +9,9 @@ Subcommands
 ``serve``    — run the long-running multi-graph query service (docs/service.md).
 ``mutate``   — apply live mutations to a graph on a running service
                (docs/mutation.md).
+``estimate`` — print per-query cost estimates from the repro.cost model
+               (docs/cost.md); ``--execute`` also runs the queries and
+               reports estimated vs actual work units.
 
 Examples::
 
@@ -18,6 +21,8 @@ Examples::
     repro-dsql query --dataset youtube --solver COM --queries 10
     repro-dsql schedule --scans 8
     repro-dsql serve --dataset dblp --dataset yeast@1 --port 8707
+    repro-dsql serve --dataset dblp --admission cost --work-unit-budget 50000
+    repro-dsql estimate --dataset yeast --queries 10 --execute
     repro-dsql mutate --graph dblp --op add --edge 12 4711
     repro-dsql mutate --graph dblp --ops-file churn.json
 """
@@ -149,7 +154,58 @@ def _build_parser() -> argparse.ArgumentParser:
         "--retry-after-s",
         type=float,
         default=1.0,
-        help="Retry-After hint attached to 429 rejections",
+        help="base Retry-After hint attached to 429 rejections "
+        "(scaled by live occupancy)",
+    )
+    v.add_argument(
+        "--admission",
+        choices=["count", "cost", "off"],
+        default="count",
+        help="admission mode: 'count' gates concurrent requests, 'cost' gates "
+        "estimated work units (docs/cost.md), 'off' disables shedding",
+    )
+    v.add_argument(
+        "--work-unit-budget",
+        type=float,
+        default=None,
+        metavar="N",
+        help="cost admission: estimated work units allowed in flight "
+        "(default 50000; only with --admission cost)",
+    )
+    v.add_argument(
+        "--client-quota",
+        default=None,
+        metavar="RATE[:BURST]",
+        help="per-client token bucket in work units/second keyed by the "
+        "X-Client-Id header; BURST defaults to 10x RATE",
+    )
+    v.add_argument(
+        "--access-log",
+        default=None,
+        metavar="PATH",
+        help="append one JSONL line per request (client, graph, estimated vs "
+        "actual work units, latency, status) to PATH",
+    )
+    v.add_argument(
+        "--calibration-file",
+        default=None,
+        metavar="PATH",
+        help="load per-graph cost-calibration state at startup and save it on "
+        "drain (single-process server only)",
+    )
+    v.add_argument(
+        "--auto-time-budget",
+        action="store_true",
+        help="derive a per-query deadline from the cost estimate when a "
+        "request sets no time_budget_ms (docs/cost.md)",
+    )
+    v.add_argument(
+        "--work-unit-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="assumed engine throughput in work units per millisecond, used "
+        "by auto budgets and Retry-After hints (default 200)",
     )
     v.add_argument("--seed", type=int, default=0, help="seed for dataset stand-in builds")
     _add_objective_flag(v, help_extra=" (requests may override per call)")
@@ -191,6 +247,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="override the server's overlay-size compaction trigger for this batch",
+    )
+
+    c = sub.add_parser(
+        "estimate", help="print per-query cost estimates (docs/cost.md)"
+    )
+    c.add_argument("--dataset", required=True, choices=dataset_names())
+    c.add_argument("--scale", type=float, default=None, help="dataset scale (default: bench scale)")
+    c.add_argument("--k", type=int, default=40)
+    c.add_argument("--edges", type=int, default=5, help="query size |E_Q|")
+    c.add_argument("--queries", type=int, default=10, help="workload size")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--execute",
+        action="store_true",
+        help="also run each query and report actual work units, the signed "
+        "log estimation error, and the measured work-unit rate",
     )
 
     e = sub.add_parser("experiment", help="run one paper experiment")
@@ -404,19 +476,47 @@ def _cmd_serve(
         parser.error("serve requires at least one --dataset or --graph")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.calibration_file is not None and args.workers > 1:
+        # Calibration state lives in the answering process; the pre-forked
+        # workers each hold their own, and the parent catalog never answers.
+        parser.error("--calibration-file requires the single-process server (--workers 1)")
+    quota_rate = quota_burst = None
+    if args.client_quota is not None:
+        rate_text, _, burst_text = args.client_quota.partition(":")
+        try:
+            quota_rate = float(rate_text)
+            quota_burst = float(burst_text) if burst_text else None
+        except ValueError:
+            parser.error(f"--client-quota must be RATE or RATE:BURST, got {args.client_quota!r}")
     config_kwargs = {}
     if args.query_cache_size is not None:
         # Only override when asked: DSQLConfig's default (128) is the
         # documented serving default, while an explicit None would mean
         # "unbounded" — not a CLI-reachable state.
         config_kwargs["query_cache_size"] = args.query_cache_size
+    if args.work_unit_rate is not None:
+        config_kwargs["work_unit_rate"] = args.work_unit_rate
     config = DSQLConfig(
         k=args.k,
         time_budget_ms=args.time_budget_ms,
         plan_cache=not args.no_plan_cache,
         objective=args.objective,
+        auto_time_budget=args.auto_time_budget,
         **config_kwargs,
     )
+    # The admission-mode / quota / access-log knobs, as QueryService kwargs
+    # (threaded verbatim to every pre-forked worker in multi-worker mode).
+    service_options = {
+        "admission_mode": args.admission,
+        "client_quota_rate": quota_rate,
+        "client_quota_burst": quota_burst,
+        "access_log": args.access_log,
+    }
+    if args.work_unit_budget is not None:
+        service_options["work_unit_budget"] = args.work_unit_budget
+    if args.work_unit_rate is not None:
+        # The drain rate behind cost-mode Retry-After hints, in units/s.
+        service_options["drain_rate"] = args.work_unit_rate * 1000.0
     try:
         catalog, lines = build_catalog(
             datasets=args.dataset,
@@ -425,6 +525,10 @@ def _cmd_serve(
             instrumentation=instr,
             seed=args.seed,
         )
+        if args.calibration_file is not None:
+            restored = catalog.load_calibration(args.calibration_file)
+            if restored:
+                lines.append(f"restored cost calibration for: {', '.join(restored)}")
         if args.workers > 1:
             server = MultiWorkerServer(
                 catalog,
@@ -434,6 +538,7 @@ def _cmd_serve(
                 max_in_flight=args.max_in_flight,
                 max_queue=args.max_queue,
                 retry_after_s=args.retry_after_s,
+                service_options=service_options,
             ).start()
         else:
             service = QueryService(
@@ -441,6 +546,7 @@ def _cmd_serve(
                 max_in_flight=args.max_in_flight,
                 max_queue=args.max_queue,
                 retry_after_s=args.retry_after_s,
+                **service_options,
             )
             server = ServiceServer(service, host=args.host, port=args.port)
     except ReproError as exc:
@@ -460,6 +566,10 @@ def _cmd_serve(
     except KeyboardInterrupt:
         pass
     server.close()
+    if args.calibration_file is not None and args.workers == 1:
+        saved = catalog.save_calibration(args.calibration_file)
+        if saved:
+            print(f"saved cost calibration for: {', '.join(saved)}")
     print("repro service drained")
     return 0
 
@@ -501,6 +611,67 @@ def _cmd_mutate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         f"{args.graph}: applied {body.get('applied')} op(s), "
         f"compacted={body.get('compacted')}, version={version}"
     )
+    return 0
+
+
+def _cmd_estimate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Print the repro.cost estimate for a generated workload (docs/cost.md).
+
+    With ``--execute`` each query also runs, so the table pairs every
+    estimate with the engine's actual ``nodes_expanded`` and the footer
+    reports the mean absolute log error plus the *measured* work-unit rate
+    — the number to feed back into ``--work-unit-rate`` for auto budgets.
+    """
+    import math
+    import time as _time
+
+    from repro.core.dsql import DSQL
+
+    graph = make_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    config = DSQLConfig(k=args.k, plan_cache=True)
+    session = DSQL(graph, config=config)
+    queries = list(query_set(graph, args.edges, args.queries, seed=args.seed))
+
+    headers = ["query", "est units", "lower", "upper"]
+    if args.execute:
+        headers += ["actual", "log err", "ms"]
+    rows = []
+    abs_log_errs = []
+    total_actual = 0
+    total_ms = 0.0
+    for i, query in enumerate(queries):
+        estimate = session.estimate(query)
+        row = [
+            query.name or f"q{i}",
+            f"{estimate.work_units:.1f}",
+            f"{estimate.lower:.1f}",
+            f"{estimate.upper:.1f}",
+        ]
+        if args.execute:
+            start = _time.perf_counter()
+            result = session.query(query)
+            elapsed_ms = (_time.perf_counter() - start) * 1000.0
+            actual = result.stats.nodes_expanded
+            session.index_cache.cost_estimator().observe(estimate, actual)
+            log_err = math.log((actual + 1.0) / (estimate.work_units + 1.0))
+            abs_log_errs.append(abs(log_err))
+            total_actual += actual
+            total_ms += elapsed_ms
+            row += [actual, f"{log_err:+.2f}", f"{elapsed_ms:.1f}"]
+        rows.append(row)
+    print(render_table(headers, rows))
+    info = session.index_cache.cost_estimator().describe()
+    print(
+        f"calibration: factor {info['calibration_factor']:.3f}, "
+        f"band x{info['band']:.1f}, {info['observations']} observation(s)"
+    )
+    if args.execute and abs_log_errs:
+        rate = total_actual / total_ms if total_ms > 0 else float("nan")
+        print(
+            f"mean abs log error: {sum(abs_log_errs) / len(abs_log_errs):.3f}; "
+            f"measured rate: {rate:.1f} work units/ms "
+            f"(pass as --work-unit-rate for auto budgets)"
+        )
     return 0
 
 
@@ -581,6 +752,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "query":
             rc = _cmd_query(parser, args)
+        elif args.command == "estimate":
+            rc = _cmd_estimate(parser, args)
         elif args.command == "serve":
             return _cmd_serve(parser, args, instr)
         else:

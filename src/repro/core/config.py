@@ -110,6 +110,19 @@ class DSQLConfig:
         derives weights from the dataset as ``1 + degree(v)``. Normalized
         to a sorted tuple of pairs so the config stays hashable and two
         equal weightings compare equal.
+    auto_time_budget:
+        Derive a per-query deadline from the plan's cost estimate when
+        ``time_budget_ms`` is unset (see :mod:`repro.cost`): runaway
+        queries self-truncate through the existing ``DeadlineExceeded``
+        machinery while normal queries never notice (the derived budget
+        is the estimate's band-upper times a headroom factor, floored at
+        :data:`repro.cost.DEFAULT_AUTO_BUDGET_FLOOR_MS`). An explicit
+        ``time_budget_ms`` always wins. Requires ``use_plans``.
+    work_unit_rate:
+        Assumed engine throughput in work units (candidate expansions)
+        per millisecond, used to convert cost estimates into auto time
+        budgets and admission drain times. Measure with
+        ``repro-dsql estimate --execute`` and tune per deployment.
     """
 
     k: int
@@ -131,6 +144,8 @@ class DSQLConfig:
     seed: Optional[int] = 0
     objective: str = "vertex"
     vertex_weights: Optional[Tuple[Tuple[int, float], ...]] = None
+    auto_time_budget: bool = False
+    work_unit_rate: float = 200.0
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -192,6 +207,21 @@ class DSQLConfig:
         if self.relaxed_bad_vertices and not self.bad_vertex_skipping:
             raise ConfigError(
                 "relaxed_bad_vertices (DSQLh) requires bad_vertex_skipping"
+            )
+        if not isinstance(self.work_unit_rate, (int, float)) or isinstance(
+            self.work_unit_rate, bool
+        ):
+            raise ConfigError(
+                f"work_unit_rate must be a number, got {self.work_unit_rate!r}"
+            )
+        if self.work_unit_rate <= 0:
+            raise ConfigError(
+                f"work_unit_rate must be positive, got {self.work_unit_rate}"
+            )
+        if self.auto_time_budget and not self.use_plans:
+            raise ConfigError(
+                "auto_time_budget derives deadlines from compiled plans; "
+                "it requires use_plans"
             )
 
     # ------------------------------------------------------------------

@@ -51,6 +51,7 @@ from repro.core.phase2 import run_phase2
 from repro.core.result import DSQResult
 from repro.core.state import SearchStats
 from repro.coverage.objectives import build_weight_profile, make_objective
+from repro.exceptions import ConfigError
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.graph.validation import validate_embedding
@@ -202,10 +203,21 @@ class DSQL:
         else:
             candidates = CandidateIndex(graph, query, cache=self.index_cache, plan=plan)
         # The wall-clock deadline is anchored once and shared by both phases:
-        # time_budget_ms bounds the whole query, not each phase.
+        # time_budget_ms bounds the whole query, not each phase. With
+        # auto_time_budget and no explicit budget, the deadline is derived
+        # from the plan's cost estimate (see repro.cost) so runaway queries
+        # self-truncate; the estimate is observed against actuals afterwards
+        # to keep the per-graph calibration honest.
         deadline = None
+        cost_estimate = None
         if config.time_budget_ms is not None:
             deadline = time.monotonic() + config.time_budget_ms / 1000.0
+        elif config.auto_time_budget and plan is not None:
+            from repro.cost.estimator import derive_time_budget_ms
+
+            cost_estimate = self.index_cache.cost_estimator().estimate(plan, k=config.k)
+            budget_ms = derive_time_budget_ms(cost_estimate, config.work_unit_rate)
+            deadline = time.monotonic() + budget_ms / 1000.0
 
         with (
             instr.span("phase1", query_id=query_id)
@@ -306,8 +318,28 @@ class DSQL:
         if config.validate_results:
             for emb in result.embeddings:
                 validate_embedding(graph, query, emb)
+        if cost_estimate is not None:
+            self.index_cache.cost_estimator().observe(
+                cost_estimate, stats.nodes_expanded
+            )
         return result
 
+    def estimate(self, query: QueryGraph):
+        """Calibrated cost estimate for ``query`` without running it.
+
+        Compiles (or fetches from the shared plan cache) the same
+        :class:`~repro.indexes.plans.QueryPlan` a real ``query()`` call
+        would use, and folds the session's ``k`` into the plan's memoized
+        cost profile — see :mod:`repro.cost`. Requires ``use_plans``.
+        """
+        config = self.config
+        if not config.use_plans:
+            raise ConfigError("cost estimation requires use_plans")
+        if config.plan_cache:
+            plan = self.index_cache.plan_cache.get_or_compile(query, self.index_cache)
+        else:
+            plan = compile_plan(query, self.index_cache)
+        return self.index_cache.cost_estimator().estimate(plan, k=config.k)
 
     def memo_key(self, query: QueryGraph) -> tuple:
         """The ``query_many`` memo key: graph version + canonical structure.

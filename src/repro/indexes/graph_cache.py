@@ -95,6 +95,7 @@ class GraphIndexCache:
         "_adj_memo_size",
         "_adj_lock",
         "_metrics",
+        "_cost_estimator",
     )
 
     def __init__(
@@ -188,6 +189,9 @@ class GraphIndexCache:
         from repro.indexes.plans import PlanCache
 
         self.plan_cache = PlanCache()
+        # The per-graph cost estimator is built lazily (see
+        # :meth:`cost_estimator`) so graphs that never estimate pay nothing.
+        self._cost_estimator = None
 
     # ------------------------------------------------------------------
     # Pickling: locks cannot cross process boundaries; a fresh lock is
@@ -198,7 +202,9 @@ class GraphIndexCache:
         # The adjacency-mask memo is also dropped: it is a pure cache of big
         # ints that rebuilds lazily, and shipping megabytes of masks to a
         # worker is worse than recomputing the few it touches.
-        skip = ("_pool_lock", "_adj_lock", "_adj_masks", "_metrics")
+        # The cost estimator is dropped too (it holds a lock): calibration
+        # is session state that each process re-learns from its own traffic.
+        skip = ("_pool_lock", "_adj_lock", "_adj_masks", "_metrics", "_cost_estimator")
         return {s: getattr(self, s) for s in self.__slots__ if s not in skip}
 
     def __setstate__(self, state: dict) -> None:
@@ -208,6 +214,7 @@ class GraphIndexCache:
         self._adj_lock = threading.Lock()
         self._adj_masks = OrderedDict()
         self._metrics = None
+        self._cost_estimator = None
 
     # ------------------------------------------------------------------
     def attach_metrics(self, registry) -> None:
@@ -223,6 +230,34 @@ class GraphIndexCache:
         """
         self._metrics = registry
         self.plan_cache.attach_metrics(registry)
+        if self._cost_estimator is not None:
+            self._cost_estimator.attach_metrics(registry)
+
+    # ------------------------------------------------------------------
+    def cost_estimator(self):
+        """The graph's shared :class:`~repro.cost.CostEstimator`.
+
+        Built on first use so that sessions which never estimate pay
+        nothing; shared by every session/executor/service handler on this
+        cache so they also share one calibration state (the point of
+        per-graph calibration). Guarded by ``_pool_lock`` — creation is
+        rare and the lock is never held while estimating.
+        """
+        estimator = self._cost_estimator
+        if estimator is None:
+            # Late import mirrors the PlanCache one above: repro.cost is a
+            # leaf package, but keeping it off the module import path means
+            # plain index users never load numpy-adjacent estimator code.
+            from repro.cost.estimator import CostEstimator
+
+            with self._pool_lock:
+                estimator = self._cost_estimator
+                if estimator is None:
+                    estimator = CostEstimator(self)
+                    if self._metrics is not None:
+                        estimator.attach_metrics(self._metrics)
+                    self._cost_estimator = estimator
+        return estimator
 
     # ------------------------------------------------------------------
     @classmethod

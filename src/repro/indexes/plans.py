@@ -78,6 +78,7 @@ class QueryPlan:
         "absent_labels",
         "_cand_masks",
         "_pool_sets",
+        "_cost_profile",
     )
 
     def __init__(
@@ -107,6 +108,7 @@ class QueryPlan:
         self.absent_labels: frozenset = frozenset(absent_labels)
         self._cand_masks: List[Optional[int]] = [None] * len(self.pools)
         self._pool_sets: List[Optional[frozenset]] = [None] * len(self.pools)
+        self._cost_profile = None
 
     def pool(self, u: int) -> Tuple[int, ...]:
         """``candS(u)`` under this plan's filter toggles (ascending)."""
@@ -138,8 +140,23 @@ class QueryPlan:
             self._cand_masks[u] = mask
         return mask
 
+    def cost_profile(self, builder):
+        """Memoized cost profile for this plan (see :mod:`repro.cost`).
+
+        ``builder(plan)`` computes the profile on first call; the result
+        is cached on the plan so repeated estimates of a cached plan are
+        free. The profile depends only on immutable plan state, so the
+        benign-race pattern of the other lazies applies (equal values;
+        last store wins).
+        """
+        profile = self._cost_profile
+        if profile is None:
+            profile = builder(self)
+            self._cost_profile = profile
+        return profile
+
     def __getstate__(self):
-        lazies = ("_cand_masks", "_pool_sets")
+        lazies = ("_cand_masks", "_pool_sets", "_cost_profile")
         return {s: getattr(self, s) for s in self.__slots__ if s not in lazies}
 
     def __setstate__(self, state):
@@ -147,6 +164,7 @@ class QueryPlan:
             setattr(self, name, value)
         self._cand_masks = [None] * len(self.pools)
         self._pool_sets = [None] * len(self.pools)
+        self._cost_profile = None
 
 
 def plan_key(cache, query, use_degree_filter: bool, use_signature_filter: bool):

@@ -12,8 +12,14 @@ Pieces (all stdlib; no web framework):
 
 * :class:`GraphCatalog` / :class:`CatalogEntry` — named warm graphs
   (:mod:`repro.service.catalog`);
-* :class:`AdmissionController` — bounded in-flight + bounded queue,
-  429 with ``Retry-After`` beyond that (:mod:`repro.service.admission`);
+* :class:`AdmissionController` / :class:`WorkUnitAdmissionController` —
+  load shedding behind one seam: bounded request counts (default) or an
+  estimated work-unit budget priced by :mod:`repro.cost`, both answering
+  429 with an occupancy-scaled ``Retry-After``; :class:`ClientQuotas`
+  adds per-client token buckets keyed by ``X-Client-Id``
+  (:mod:`repro.service.admission`);
+* :class:`AccessLog` — opt-in JSONL per-request log with estimated vs
+  actual work units (:mod:`repro.service.accesslog`);
 * :class:`QueryService` / :class:`ServiceServer` — request handling and
   the ``ThreadingHTTPServer`` transport with graceful SIGTERM drain
   (:mod:`repro.service.server`);
@@ -49,7 +55,15 @@ Endpoints, JSON schemas, and admission-control knobs are documented in
 ``docs/observability.md``.
 """
 
-from repro.service.admission import AdmissionController
+from repro.service.accesslog import AccessLog, read_access_log
+from repro.service.admission import (
+    ADMISSION_MODES,
+    AdmissionController,
+    ClientQuotas,
+    NullAdmissionController,
+    WorkUnitAdmissionController,
+    build_admission_controller,
+)
 from repro.service.catalog import CatalogEntry, GraphCatalog, build_catalog
 from repro.service.client import ServiceClient, ServiceClientError
 from repro.service.schemas import (
@@ -72,7 +86,14 @@ from repro.service.multiworker import MultiWorkerServer
 from repro.service.server import QueryService, ServiceServer
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AccessLog",
     "AdmissionController",
+    "ClientQuotas",
+    "NullAdmissionController",
+    "WorkUnitAdmissionController",
+    "build_admission_controller",
+    "read_access_log",
     "CatalogEntry",
     "GraphCatalog",
     "build_catalog",

@@ -1,0 +1,127 @@
+"""Opt-in JSONL access log: one line per ``/v1/*`` request.
+
+``serve --access-log PATH`` turns this on. Each line is a self-contained
+JSON object recording who asked (the ``X-Client-Id`` header), what they
+asked (graph + canonical query key), what the cost model *predicted*
+(``estimated_work_units``), what the engine actually did
+(``actual_work_units`` = ``SearchStats.nodes_expanded``), and how the
+request ended (status, latency). Estimated-vs-actual pairs are exactly the
+data needed to audit the :mod:`repro.cost` estimator offline — the
+calibration EWMA consumes the same pairs online.
+
+The file handling mirrors the trace sink
+(:class:`~repro.observability.tracing.JsonlSink`): append mode, so POSIX
+positions each write at the current end even across fork-inherited
+descriptors (the pre-forked multi-worker front's workers may share the
+parent's log), line-buffered, one-lock-per-process serialization. Every
+record is validated against :data:`ACCESS_LOG_FIELDS` *before* it is
+written — a malformed record is a bug worth an exception, not a corrupt
+log line discovered weeks later.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+ACCESS_LOG_VERSION = 1
+
+ACCESS_LOG_FIELDS: Dict[str, tuple] = {
+    # field -> accepted types; Optional fields also accept None.
+    "v": (int,),
+    "ts_ms": (int, float),
+    "request_id": (int,),
+    "client": (str, type(None)),
+    "path": (str,),
+    "status": (int,),
+    "graph": (str, type(None)),
+    "query_key": (str, type(None)),
+    "estimated_work_units": (int, float, type(None)),
+    "actual_work_units": (int, float, type(None)),
+    "latency_ms": (int, float),
+}
+"""The full record schema: every field is present on every line (absent
+facts are explicit ``null``, so downstream column readers never branch)."""
+
+
+def validate_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Check one record against :data:`ACCESS_LOG_FIELDS` (raises ValueError)."""
+    if not isinstance(record, dict):
+        raise ValueError(f"access-log record must be an object, got {type(record).__name__}")
+    unknown = sorted(set(record) - set(ACCESS_LOG_FIELDS))
+    if unknown:
+        raise ValueError(f"access-log record has unknown field(s): {unknown}")
+    for field, types in ACCESS_LOG_FIELDS.items():
+        if field not in record:
+            raise ValueError(f"access-log record is missing field {field!r}")
+        value = record[field]
+        # bool is an int subclass; an accidental True in a count field
+        # should fail, not serialize as 1.
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ValueError(
+                f"access-log field {field!r} has type {type(value).__name__}; "
+                f"expected one of {[t.__name__ for t in types]}"
+            )
+    return record
+
+
+class AccessLog:
+    """Append-only JSONL access log (fork-safe, see module docstring)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "a", buffering=1, encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        ts_ms: float,
+        request_id: int,
+        path: str,
+        status: int,
+        latency_ms: float,
+        client: Optional[str] = None,
+        graph: Optional[str] = None,
+        query_key: Optional[str] = None,
+        estimated_work_units: Optional[float] = None,
+        actual_work_units: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Validate and append one record; returns the record written."""
+        entry = validate_record(
+            {
+                "v": ACCESS_LOG_VERSION,
+                "ts_ms": ts_ms,
+                "request_id": request_id,
+                "client": client,
+                "path": path,
+                "status": status,
+                "graph": graph,
+                "query_key": query_key,
+                "estimated_work_units": estimated_work_units,
+                "actual_work_units": actual_work_units,
+                "latency_ms": latency_ms,
+            }
+        )
+        line = json.dumps(entry, separators=(",", ":"), sort_keys=True)
+        with self._lock:
+            if not self._file.closed:
+                self._file.write(line + "\n")
+        return entry
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def read_access_log(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Load an access log back into validated records."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(validate_record(json.loads(line)))
+    return records

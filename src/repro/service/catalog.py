@@ -228,6 +228,38 @@ class CatalogEntry:
                 self._sessions.popitem(last=False)
             return session
 
+    # -- cost estimation -----------------------------------------------
+    def estimate_cost(self, query: QueryGraph, config: Optional[DSQLConfig] = None):
+        """The :class:`~repro.cost.CostEstimate` for ``query``, or ``None``.
+
+        ``None`` means no estimate is available (plan compilation disabled
+        on this config) — callers must treat that as "cost unknown" and
+        fall back to count-style accounting, never as "free". Runs
+        *before* admission by design: estimation is a memoized fold over
+        the compiled plan, and the plan is needed to answer anyway.
+        """
+        config = config if config is not None else self.default_config
+        if not config.use_plans:
+            return None
+        return self.session(config).estimate(query)
+
+    def observe_cost(
+        self, estimate, result: DSQResult, config: Optional[DSQLConfig] = None
+    ) -> None:
+        """Feed one answered query's actual work back into calibration.
+
+        Skipped for memo hits (the original search already reported this
+        exact pair — re-observing would double-weight it) and for
+        auto-budget configs (``DSQL._query_impl`` observes those itself on
+        the estimate it derived the deadline from).
+        """
+        if estimate is None or result.from_cache:
+            return
+        config = config if config is not None else self.default_config
+        if config.auto_time_budget and config.time_budget_ms is None:
+            return
+        self.index_cache.cost_estimator().observe(estimate, result.stats.nodes_expanded)
+
     # -- answering -----------------------------------------------------
     def answer(self, query: QueryGraph, config: Optional[DSQLConfig] = None) -> DSQResult:
         """Answer one query with full ``query_many`` memo semantics, thread-safely.
@@ -515,6 +547,44 @@ class GraphCatalog:
     def describe(self) -> Dict[str, Dict[str, object]]:
         """Per-graph facts for ``/metrics`` and startup logging."""
         return {name: self._entries[name].describe() for name in self.names()}
+
+    # -- calibration persistence ---------------------------------------
+    def save_calibration(self, path) -> List[str]:
+        """Persist every graph's cost-calibration state to ``path``.
+
+        Only graphs whose estimator has actually observed queries are
+        written — a fresh estimator carries no information worth saving.
+        Returns the graph names written.
+        """
+        from repro.cost import save_calibration as _save
+
+        table = {}
+        for name in self.names():
+            state = self._entries[name].index_cache.cost_estimator().snapshot()
+            if state.observations > 0:
+                table[name] = state
+        _save(path, table)
+        return sorted(table)
+
+    def load_calibration(self, path) -> List[str]:
+        """Restore cost-calibration state saved by :meth:`save_calibration`.
+
+        Missing/corrupt files and unknown graph names are ignored (a
+        calibration file is an optimization, never a startup dependency).
+        Returns the graph names restored.
+        """
+        from repro.cost import load_calibration as _load
+
+        table = _load(path)
+        if not table:
+            return []
+        restored = []
+        for name, entry in self._entries.items():
+            state = table.get(name)
+            if state is not None:
+                entry.index_cache.cost_estimator().restore(state)
+                restored.append(name)
+        return sorted(restored)
 
     def close(self) -> None:
         """Release every entry's cached executors (and their worker pools)."""

@@ -59,11 +59,22 @@ def _encode_query(query: QueryLike) -> Dict[str, object]:
 
 
 class ServiceClient:
-    """Minimal blocking client over :mod:`urllib.request`."""
+    """Minimal blocking client over :mod:`urllib.request`.
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    ``client_id`` is sent as the ``X-Client-Id`` header on every request;
+    servers running per-client quotas use it as the token-bucket key. A
+    quota rejection surfaces as :class:`ServiceClientError` with status
+    429 and ``code == "quota_exceeded"`` (this client should slow down),
+    distinct from ``code == "overloaded"`` (the whole service is shedding
+    load) — both carry ``retry_after_s``.
+    """
+
+    def __init__(
+        self, base_url: str, timeout: float = 60.0, client_id: Optional[str] = None
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
 
     # -- endpoints -----------------------------------------------------
     def query(
@@ -163,6 +174,8 @@ class ServiceClient:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id is not None:
+            headers["X-Client-Id"] = self.client_id
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"

@@ -78,6 +78,7 @@ def _worker_main(
     max_in_flight: int,
     max_queue: int,
     retry_after_s: float,
+    service_options: Dict[str, object],
     conn,
 ) -> None:
     """One pre-forked worker: attach, serve on the shared port, drain on demand."""
@@ -98,6 +99,10 @@ def _worker_main(
         # Workers serve *attached* shared-memory graphs: a write applied in
         # one worker would be invisible to its siblings behind the same
         # port, so the whole front is read-only (501 mutation_unsupported).
+        # service_options threads the admission-mode / quota / access-log
+        # knobs through verbatim (every worker prices and logs its own
+        # share of the kernel-balanced traffic; the access log file is
+        # append-mode, so concurrent workers interleave whole lines).
         service = QueryService(
             catalog,
             max_in_flight=max_in_flight,
@@ -105,6 +110,7 @@ def _worker_main(
             retry_after_s=retry_after_s,
             identity={"role": "worker", "worker": index, "pid": os.getpid()},
             allow_mutations=False,
+            **service_options,
         )
         front = ServiceServer(service, host=host, port=port, reuse_port=True).start()
         admin = ServiceServer(service, host="127.0.0.1", port=0).start()
@@ -231,6 +237,7 @@ class MultiWorkerServer:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         max_queue: int = DEFAULT_MAX_QUEUE,
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
+        service_options: Optional[Dict[str, object]] = None,
     ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
@@ -249,6 +256,9 @@ class MultiWorkerServer:
         self._max_in_flight = max_in_flight
         self._max_queue = max_queue
         self._retry_after_s = retry_after_s
+        # Extra QueryService kwargs shipped to every worker (admission
+        # mode, work-unit budget, per-client quotas, access-log path).
+        self._service_options = dict(service_options or {})
         self._published: List[Tuple[str, PublishedGraph]] = []
         self._placeholder: Optional[socket.socket] = None
         self._port: Optional[int] = None
@@ -314,6 +324,7 @@ class MultiWorkerServer:
                     index, self.host, self._port, shipped,
                     self.catalog.default_config,
                     self._max_in_flight, self._max_queue, self._retry_after_s,
+                    self._service_options,
                     child_conn,
                 ),
                 name=f"repro-worker-{index}",

@@ -29,6 +29,7 @@ Request outcomes land in the ``service.*`` metrics (see
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import json
 import logging
@@ -38,12 +39,20 @@ import socket
 import threading
 import time
 import urllib.parse
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Dict, Optional, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from repro.cost import DEFAULT_WORK_UNIT_RATE, CostEstimate
 from repro.coverage.objectives import OBJECTIVE_NAMES
 from repro.exceptions import ConfigError
-from repro.service.admission import AdmissionController
+from repro.service.accesslog import AccessLog
+from repro.service.admission import (
+    DEFAULT_WORK_UNIT_BUDGET,
+    ClientQuotas,
+    build_admission_controller,
+)
 from repro.service.catalog import GraphCatalog
 from repro.service.schemas import (
     ServiceError,
@@ -61,6 +70,17 @@ logger = logging.getLogger("repro.service")
 DEFAULT_MAX_IN_FLIGHT = 8
 DEFAULT_MAX_QUEUE = 32
 DEFAULT_RETRY_AFTER_S = 1.0
+DEFAULT_DRAIN_RATE = DEFAULT_WORK_UNIT_RATE * 1000.0
+"""Assumed engine throughput in work units per *second*, used by the
+cost-aware controller to turn a backlog into a ``Retry-After`` hint."""
+
+CLIENT_ID_HEADER = "X-Client-Id"
+ANONYMOUS_CLIENT = "anonymous"
+"""Requests without an ``X-Client-Id`` header share one quota bucket."""
+
+DEFAULT_MUTATION_COST = 1.0
+"""Nominal admission cost of a write: mutations serialize on the graph's
+writer lock anyway, so the gate only needs to count them, not price them."""
 
 
 def _outcome(status: int) -> str:
@@ -76,6 +96,60 @@ def _outcome(status: int) -> str:
     return "server_error"
 
 
+def _actual_work_units(body: Dict[str, object]) -> Optional[int]:
+    """Pull the engine's actual charge count out of a response body.
+
+    ``/v1/query`` bodies carry ``stats.nodes_expanded``; ``/v1/batch``
+    bodies carry one stats block per result (summed here). Error bodies
+    yield ``None`` — no search ran.
+    """
+    if not isinstance(body, dict):
+        return None
+    stats = body.get("stats")
+    if isinstance(stats, dict) and isinstance(stats.get("nodes_expanded"), int):
+        return stats["nodes_expanded"]
+    results = body.get("results")
+    if isinstance(results, list):
+        total, seen = 0, False
+        for entry in results:
+            inner = entry.get("stats") if isinstance(entry, dict) else None
+            if isinstance(inner, dict) and isinstance(inner.get("nodes_expanded"), int):
+                total += inner["nodes_expanded"]
+                seen = True
+        if seen:
+            return total
+    return None
+
+
+def _query_key(query) -> str:
+    """A short stable digest of the query's canonical structure.
+
+    Used only for correlation (access log lines, offline estimator audits)
+    — never as a cache key, so truncating the digest is safe."""
+    return hashlib.sha1(repr(query.canonical_key()).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class _Probe:
+    """Everything the pre-admission cost probe learned about a request.
+
+    Built by :meth:`QueryService._probe_cost` *before* the admission gate
+    so the gate can price the request; the request/config/estimate carry
+    through to the handler so nothing is parsed or estimated twice.
+    ``cost`` falls back to 1.0 (count semantics) whenever no estimate is
+    available — "unknown" must never be priced as "free".
+    """
+
+    cost: float = 1.0
+    graph: Optional[str] = None
+    query_key: Optional[str] = None
+    wire: Optional[Dict[str, object]] = None
+    request: Optional[object] = None
+    config: Optional[object] = None
+    estimate: Optional[CostEstimate] = None
+    estimates: Optional[List[Optional[CostEstimate]]] = field(default=None)
+
+
 class QueryService:
     """Routes parsed requests onto a :class:`~repro.service.catalog.GraphCatalog`.
 
@@ -88,13 +162,30 @@ class QueryService:
         Admission-control bounds (see
         :class:`~repro.service.admission.AdmissionController`).
     retry_after_s:
-        The ``Retry-After`` hint attached to 429 rejections.
+        The base ``Retry-After`` hint attached to 429 rejections; the
+        active controller scales it by live occupancy.
     allow_mutations:
         When ``False`` the write surface (``POST /v1/graphs/{g}/edges`` and
         ``/v1/graphs/{g}/ingest``) answers 501 ``mutation_unsupported``.
         The pre-forked multi-worker front sets this: its workers serve
         *attached* shared-memory graphs, and a write in one worker would be
         invisible to its siblings behind the same port.
+    admission_mode:
+        ``"count"`` (default, bounded concurrency + queue), ``"cost"``
+        (work-unit budget priced by the :mod:`repro.cost` estimator), or
+        ``"off"`` (no gate; for the admission-invariance tests).
+    work_unit_budget, drain_rate:
+        Cost-mode knobs: the global budget of estimated work units in
+        flight, and the assumed drain throughput (units/second) behind
+        ``Retry-After`` hints.
+    client_quota_rate, client_quota_burst:
+        When ``client_quota_rate`` is set, every client (the
+        ``X-Client-Id`` header) gets a token bucket of work units refilled
+        at that rate; over-quota requests answer 429 ``quota_exceeded``
+        *before* touching the global gate.
+    access_log:
+        A path (or :class:`~repro.service.accesslog.AccessLog`) enabling
+        the JSONL per-request log; closed with the service.
     """
 
     def __init__(
@@ -105,13 +196,32 @@ class QueryService:
         retry_after_s: float = DEFAULT_RETRY_AFTER_S,
         identity: Optional[Dict[str, object]] = None,
         allow_mutations: bool = True,
+        admission_mode: str = "count",
+        work_unit_budget: float = DEFAULT_WORK_UNIT_BUDGET,
+        drain_rate: float = DEFAULT_DRAIN_RATE,
+        client_quota_rate: Optional[float] = None,
+        client_quota_burst: Optional[float] = None,
+        access_log: Optional[Union[str, Path, AccessLog]] = None,
     ) -> None:
         self.catalog = catalog
         self.allow_mutations = allow_mutations
         self.instrumentation = catalog.instrumentation
-        self.admission = AdmissionController(
-            max_in_flight, max_queue, metrics=self.instrumentation.metrics
+        self.admission = build_admission_controller(
+            admission_mode,
+            max_in_flight,
+            max_queue,
+            work_unit_budget=work_unit_budget,
+            drain_rate=drain_rate,
+            metrics=self.instrumentation.metrics,
         )
+        self.quotas = (
+            ClientQuotas(client_quota_rate, burst=client_quota_burst)
+            if client_quota_rate is not None
+            else None
+        )
+        if access_log is not None and not isinstance(access_log, AccessLog):
+            access_log = AccessLog(access_log)
+        self.access_log = access_log
         self.retry_after_s = retry_after_s
         # Who is answering: the multi-worker front (repro.service.multiworker)
         # tags each pre-forked worker so /healthz and /metrics are attributable.
@@ -124,38 +234,113 @@ class QueryService:
             "/v1/batch": self.handle_batch,
         }
 
-    # -- endpoint bodies -----------------------------------------------
-    def handle_query(self, payload: Dict[str, object]) -> Dict[str, object]:
-        """``POST /v1/query``: one diversified top-k answer."""
-        request = parse_query_request(payload)
-        entry = self.catalog.get(request.graph)
-        config = entry.request_config(
-            k=request.k,
-            alpha=request.alpha,
-            time_budget_ms=request.time_budget_ms,
-            objective=request.objective,
+    # -- pre-admission cost probe --------------------------------------
+    def _probe_cost(self, path: str, payload: Dict[str, object]) -> _Probe:
+        """Parse + price a request *before* the admission gate sees it.
+
+        Estimation is deliberately pre-admission: it is a memoized fold
+        over the compiled plan (which answering needs anyway), and a gate
+        that cannot see a request's price cannot shed load by cost. Parse
+        and validation errors raise here — an invalid request must never
+        consume quota or budget.
+        """
+        if path == "/v1/query":
+            request = parse_query_request(payload)
+            entry = self.catalog.get(request.graph)
+            config = entry.request_config(
+                k=request.k,
+                alpha=request.alpha,
+                time_budget_ms=request.time_budget_ms,
+                objective=request.objective,
+            )
+            estimate = entry.estimate_cost(request.query, config)
+            probe = _Probe(
+                graph=request.graph,
+                query_key=_query_key(request.query),
+                request=request,
+                config=config,
+                estimate=estimate,
+            )
+            if estimate is not None:
+                probe.cost = estimate.work_units
+                probe.wire = estimate.to_wire()
+            return probe
+        if path == "/v1/batch":
+            request = parse_batch_request(payload)
+            entry = self.catalog.get(request.graph)
+            config = entry.request_config(
+                k=request.k,
+                alpha=request.alpha,
+                time_budget_ms=request.time_budget_ms,
+                objective=request.objective,
+            )
+            estimates = [entry.estimate_cost(q, config) for q in request.queries]
+            probe = _Probe(
+                graph=request.graph,
+                request=request,
+                config=config,
+                estimates=estimates,
+            )
+            if all(e is not None for e in estimates):
+                total = sum(e.work_units for e in estimates)
+                probe.cost = total
+                probe.wire = {
+                    "work_units": round(total, 3),
+                    "queries": len(estimates),
+                }
+            else:
+                probe.cost = float(len(request.queries))
+            return probe
+        # Mutation routes: nominal count-style cost; the graph name is the
+        # path segment (already vetted by _match_graph_route).
+        parts = path.strip("/").split("/")
+        graph = (
+            urllib.parse.unquote(parts[2])
+            if len(parts) == 4 and parts[:2] == ["v1", "graphs"]
+            else None
         )
+        return _Probe(cost=DEFAULT_MUTATION_COST, graph=graph)
+
+    # -- endpoint bodies -----------------------------------------------
+    def handle_query(
+        self, payload: Dict[str, object], probe: Optional[_Probe] = None
+    ) -> Dict[str, object]:
+        """``POST /v1/query``: one diversified top-k answer.
+
+        When called through :meth:`handle_post`, ``probe`` carries the
+        already-parsed request and its cost estimate; direct (test) calls
+        parse and estimate here instead.
+        """
+        if probe is None or probe.request is None:
+            probe = self._probe_cost("/v1/query", payload)
+        request, config, estimate = probe.request, probe.config, probe.estimate
+        entry = self.catalog.get(request.graph)
         start = time.perf_counter()
         result = entry.answer(request.query, config)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        return result_to_json(result, graph=request.graph, elapsed_ms=elapsed_ms)
+        entry.observe_cost(estimate, result, config)
+        body = result_to_json(result, graph=request.graph, elapsed_ms=elapsed_ms)
+        if estimate is not None:
+            body["estimated_cost"] = estimate.to_wire()
+        return body
 
-    def handle_batch(self, payload: Dict[str, object]) -> Dict[str, object]:
+    def handle_batch(
+        self, payload: Dict[str, object], probe: Optional[_Probe] = None
+    ) -> Dict[str, object]:
         """``POST /v1/batch``: a query batch through the parallel executor."""
-        request = parse_batch_request(payload)
+        if probe is None or probe.request is None:
+            probe = self._probe_cost("/v1/batch", payload)
+        request, config = probe.request, probe.config
+        estimates = probe.estimates or [None] * len(request.queries)
         entry = self.catalog.get(request.graph)
-        config = entry.request_config(
-            k=request.k,
-            alpha=request.alpha,
-            time_budget_ms=request.time_budget_ms,
-            objective=request.objective,
-        )
         start = time.perf_counter()
         results, report = entry.answer_batch(
             request.queries, config, strategy=request.strategy, jobs=request.jobs
         )
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        return {
+        for estimate, result in zip(estimates, results):
+            entry.observe_cost(estimate, result, config)
+        body = {
             "graph": request.graph,
             "count": len(results),
             "results": [result_to_json(r, graph=request.graph) for r in results],
@@ -172,6 +357,9 @@ class QueryService:
                 "per_worker": [list(row) for row in report.per_worker],
             },
         }
+        if probe.wire is not None:
+            body["estimated_cost"] = dict(probe.wire)
+        return body
 
     def handle_mutate_edge(self, graph: str, payload: Dict[str, object]) -> Dict[str, object]:
         """``POST /v1/graphs/{g}/edges``: one edge add/remove."""
@@ -217,6 +405,8 @@ class QueryService:
             "uptime_ms": (time.monotonic() - self._started) * 1000.0,
             "admission": self.admission.describe(),
         }
+        if self.quotas is not None:
+            body["client_quotas"] = self.quotas.describe()
         if self.identity:
             body["identity"] = dict(self.identity)
         return status, body
@@ -247,22 +437,40 @@ class QueryService:
             return None
         graph = urllib.parse.unquote(parts[2])
         if parts[3] == "edges":
-            return lambda payload: self.handle_mutate_edge(graph, payload)
+            return lambda payload, probe=None: self.handle_mutate_edge(graph, payload)
         if parts[3] == "ingest":
-            return lambda payload: self.handle_ingest(graph, payload)
+            return lambda payload, probe=None: self.handle_ingest(graph, payload)
         return None
 
     def handle_post(
-        self, path: str, read_payload: Callable[[], Dict[str, object]]
+        self,
+        path: str,
+        read_payload: Callable[[], Dict[str, object]],
+        headers: Optional[Dict[str, str]] = None,
+        request_id: Optional[int] = None,
     ) -> Tuple[int, Dict[str, object], Optional[float]]:
         """Admission-gated dispatch; returns ``(status, body, retry_after_s)``.
 
+        The request lifecycle, in order: route, drain check, body read,
+        **cost probe** (parse + estimate, so the gates can price the
+        request), **per-client quota** (429 ``quota_exceeded``), **global
+        admission** (429 ``overloaded``), handler, access-log line.
+
         Every failure mode is funneled into a :class:`ServiceError` body:
-        unknown endpoint (404), draining (503), queue overflow (429 with
+        unknown endpoint (404), draining (503), shed load (429 with
         ``Retry-After``), parse/validation errors (400/404/413), and any
         unexpected exception (500, logged with traceback, opaque body).
         """
         retry_after = None
+        probe: Optional[_Probe] = None
+        client = None
+        if headers:
+            # HTTP header names are case-insensitive; a plain dict is not.
+            wanted = CLIENT_ID_HEADER.lower()
+            client = next(
+                (v for k, v in headers.items() if k.lower() == wanted), None
+            )
+        started = time.monotonic()
         try:
             handler = self._post_handlers.get(path)
             if handler is None:
@@ -274,25 +482,77 @@ class QueryService:
                     503, "draining", "server is draining; not accepting new requests"
                 )
             payload = read_payload()
-            if not self.admission.acquire():
+            probe = self._probe_cost(path, payload)
+            if self.quotas is not None:
+                quota_client = client if client else ANONYMOUS_CLIENT
+                if not self.quotas.try_consume(quota_client, probe.cost):
+                    self.instrumentation.metrics.counter(
+                        "service.quota_rejections"
+                    ).inc()
+                    raise ServiceError(
+                        429,
+                        "quota_exceeded",
+                        f"client {quota_client!r} is over its work-unit quota "
+                        f"({self.quotas.rate:g} units/s, burst "
+                        f"{self.quotas.burst:g}); slow down",
+                        retry_after_s=max(
+                            self.retry_after_s,
+                            self.quotas.retry_after(quota_client, probe.cost),
+                        ),
+                    )
+            ticket = self.admission.try_admit(probe.cost)
+            if ticket is None:
                 raise ServiceError(
                     429,
                     "overloaded",
-                    f"at capacity ({self.admission.max_in_flight} in flight, "
-                    f"{self.admission.max_queue} queued); retry later",
-                    retry_after_s=self.retry_after_s,
+                    f"at capacity ({self.admission.describe()}); retry later",
+                    retry_after_s=self.admission.retry_after_hint(
+                        self.retry_after_s, probe.cost
+                    ),
                 )
             try:
-                body, status = handler(payload), 200
+                body, status = handler(payload, probe), 200
             finally:
-                self.admission.release()
+                self.admission.release(ticket)
         except ServiceError as exc:
             body, status, retry_after = exc.to_body(), exc.status, exc.retry_after_s
         except Exception:
             logger.exception("unhandled error serving POST %s", path)
             exc = ServiceError(500, "internal", "internal server error")
             body, status = exc.to_body(), exc.status
+        if self.access_log is not None:
+            self._log_access(path, status, probe, body, client, request_id, started)
         return status, body, retry_after
+
+    def _log_access(
+        self,
+        path: str,
+        status: int,
+        probe: Optional[_Probe],
+        body: Dict[str, object],
+        client: Optional[str],
+        request_id: Optional[int],
+        started: float,
+    ) -> None:
+        """One JSONL line per POST; never lets a logging bug fail the request."""
+        try:
+            estimated = None
+            if probe is not None and probe.wire is not None:
+                estimated = probe.wire.get("work_units")
+            self.access_log.record(
+                ts_ms=time.time() * 1000.0,
+                request_id=request_id if request_id is not None else self.next_request_id(),
+                path=path,
+                status=status,
+                latency_ms=(time.monotonic() - started) * 1000.0,
+                client=client,
+                graph=probe.graph if probe is not None else None,
+                query_key=probe.query_key if probe is not None else None,
+                estimated_work_units=estimated,
+                actual_work_units=_actual_work_units(body),
+            )
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("failed to write access-log record for POST %s", path)
 
     def observe_request(self, method: str, path: str, status: int, elapsed_ms: float) -> None:
         """Outcome counters for every request; latency histogram for /v1/*."""
@@ -312,9 +572,12 @@ class QueryService:
 
     def close(self) -> None:
         """Release catalog executors (worker pools, shared segments), then
-        flush instrumentation (the trace sink, when one is attached)."""
+        flush instrumentation (the trace sink, when one is attached) and
+        the access log."""
         self.catalog.close()
         self.instrumentation.close()
+        if self.access_log is not None:
+            self.access_log.close()
 
 
 # ----------------------------------------------------------------------
@@ -401,7 +664,12 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         with service.instrumentation.span(
             "service.request", query_id=None, request_id=request_id, path=path
         ) as span:
-            status, body, retry_after = service.handle_post(path, self._read_payload)
+            status, body, retry_after = service.handle_post(
+                path,
+                self._read_payload,
+                headers=dict(self.headers.items()),
+                request_id=request_id,
+            )
             span["status"] = status
         elapsed_ms = (time.monotonic() - start) * 1000.0
         service.observe_request("POST", path, status, elapsed_ms)

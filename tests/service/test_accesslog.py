@@ -1,0 +1,187 @@
+"""The JSONL access log: schema validation, round-trip, and service wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import DSQLConfig
+from repro.service import (
+    AccessLog,
+    GraphCatalog,
+    QueryService,
+    read_access_log,
+)
+from repro.service.accesslog import ACCESS_LOG_FIELDS, validate_record
+from repro.service.schemas import query_graph_to_json
+from tests.service.conftest import DEFAULT_K, tiny_graph, tiny_queries
+
+
+def _record(**overrides):
+    base = {
+        "v": 1,
+        "ts_ms": 1700000000000.0,
+        "request_id": 7,
+        "client": "alice",
+        "path": "/v1/query",
+        "status": 200,
+        "graph": "tiny",
+        "query_key": "deadbeefdeadbeef",
+        "estimated_work_units": 35.7,
+        "actual_work_units": 42,
+        "latency_ms": 3.5,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestValidateRecord:
+    def test_full_record_passes(self):
+        assert validate_record(_record()) == _record()
+
+    def test_nullable_fields_accept_none(self):
+        record = _record(
+            client=None,
+            graph=None,
+            query_key=None,
+            estimated_work_units=None,
+            actual_work_units=None,
+        )
+        assert validate_record(record) == record
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            validate_record(_record(color="green"))
+
+    def test_missing_field_rejected(self):
+        record = _record()
+        del record["latency_ms"]
+        with pytest.raises(ValueError, match="missing field"):
+            validate_record(record)
+
+    def test_bool_rejected_in_int_field(self):
+        # bool subclasses int; an accidental True must not serialize as 1.
+        with pytest.raises(ValueError, match="status"):
+            validate_record(_record(status=True))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            validate_record(_record(path=42))
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError, match="must be an object"):
+            validate_record(["not", "a", "record"])
+
+    def test_schema_is_total(self):
+        # Every field the writer emits is in the schema and vice versa.
+        assert set(_record()) == set(ACCESS_LOG_FIELDS)
+
+
+class TestRoundTrip:
+    def test_record_then_read(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        log.record(
+            ts_ms=1.0,
+            request_id=0,
+            path="/v1/query",
+            status=200,
+            latency_ms=2.5,
+            client="alice",
+            graph="tiny",
+            query_key="abc",
+            estimated_work_units=10.0,
+            actual_work_units=12,
+        )
+        log.record(ts_ms=2.0, request_id=1, path="/v1/batch", status=400, latency_ms=0.1)
+        log.close()
+        records = read_access_log(path)
+        assert [r["request_id"] for r in records] == [0, 1]
+        assert records[0]["client"] == "alice"
+        # Optional facts are explicit nulls, never absent keys.
+        assert records[1]["client"] is None
+        assert records[1]["actual_work_units"] is None
+        assert all(set(r) == set(ACCESS_LOG_FIELDS) for r in records)
+
+    def test_appends_across_instances(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        for i in range(2):  # a restart must append, not truncate
+            log = AccessLog(path)
+            log.record(ts_ms=float(i), request_id=i, path="/v1/query", status=200, latency_ms=1.0)
+            log.close()
+        assert [r["request_id"] for r in read_access_log(path)] == [0, 1]
+
+    def test_read_rejects_corrupt_records(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        path.write_text(json.dumps({"v": 1, "bogus": True}) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_access_log(path)
+
+    def test_record_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        log = AccessLog(path)
+        log.close()
+        log.record(ts_ms=1.0, request_id=0, path="/v1/query", status=200, latency_ms=1.0)
+        assert read_access_log(path) == []
+
+
+class TestServiceWiring:
+    @pytest.fixture()
+    def logged_service(self, tmp_path):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        catalog.add_graph("tiny", tiny_graph())
+        path = tmp_path / "access.jsonl"
+        service = QueryService(catalog, access_log=path)
+        yield service, path
+        service.close()
+
+    def test_success_line_carries_estimate_and_actual(self, logged_service):
+        service, path = logged_service
+        query = tiny_queries(count=1, seed=61)[0]
+        payload = {"graph": "tiny", "query": query_graph_to_json(query)}
+        status, body, _ = service.handle_post(
+            "/v1/query", lambda: payload, headers={"X-Client-Id": "alice"}, request_id=5
+        )
+        assert status == 200
+        (record,) = read_access_log(path)
+        assert record["path"] == "/v1/query"
+        assert record["status"] == 200
+        assert record["client"] == "alice"
+        assert record["graph"] == "tiny"
+        assert record["request_id"] == 5
+        assert record["query_key"] is not None and len(record["query_key"]) == 16
+        assert record["estimated_work_units"] == body["estimated_cost"]["work_units"]
+        assert record["actual_work_units"] == body["stats"]["nodes_expanded"]
+        assert record["latency_ms"] >= 0
+
+    def test_error_line_has_null_actual(self, logged_service):
+        service, path = logged_service
+        bad = {"graph": "tiny", "query": {"labels": ["A", "B"], "edges": []}}
+        status, _, _ = service.handle_post("/v1/query", lambda: bad)
+        assert status == 400
+        (record,) = read_access_log(path)
+        assert record["status"] == 400
+        assert record["client"] is None
+        assert record["actual_work_units"] is None
+
+    def test_batch_line_sums_actuals(self, logged_service):
+        service, path = logged_service
+        queries = tiny_queries(count=2, seed=62)
+        payload = {"graph": "tiny", "queries": [query_graph_to_json(q) for q in queries]}
+        status, body, _ = service.handle_post("/v1/batch", lambda: payload)
+        assert status == 200
+        (record,) = read_access_log(path)
+        want = sum(r["stats"]["nodes_expanded"] for r in body["results"])
+        assert record["actual_work_units"] == want
+        assert record["estimated_work_units"] == body["estimated_cost"]["work_units"]
+
+    def test_every_line_validates(self, logged_service):
+        service, path = logged_service
+        query = tiny_queries(count=1, seed=63)[0]
+        payload = {"graph": "tiny", "query": query_graph_to_json(query)}
+        service.handle_post("/v1/query", lambda: payload)
+        service.handle_post("/v1/query", lambda: {"nope": 1})
+        service.handle_post("/v1/nope", lambda: {})
+        records = read_access_log(path)  # read_access_log re-validates
+        assert [r["status"] for r in records] == [200, 400, 404]

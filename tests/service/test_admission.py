@@ -102,6 +102,7 @@ class TestIntrospection:
         ctl.acquire()
         info = ctl.describe()
         assert info == {
+            "mode": "count",
             "max_in_flight": 3,
             "max_queue": 5,
             "in_flight": 1,

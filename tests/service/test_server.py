@@ -233,10 +233,10 @@ class _SlowService(QueryService):
         self.entered = threading.Event()
         self.hold_s = 0.3
 
-    def handle_query(self, payload):
+    def handle_query(self, payload, probe=None):
         self.entered.set()
         time.sleep(self.hold_s)
-        return super().handle_query(payload)
+        return super().handle_query(payload, probe)
 
 
 def _slow_server():

@@ -119,9 +119,11 @@ def test_service_tests_collected_from_testpaths():
     tests_dir = REPO / "tests" / "service"
     assert (tests_dir / "__init__.py").exists()
     assert sorted(p.name for p in tests_dir.glob("test_*.py")) == [
+        "test_accesslog.py",
         "test_admission.py",
         "test_catalog.py",
         "test_concurrency.py",
+        "test_cost_admission.py",
         "test_multiworker.py",
         "test_mutation.py",
         "test_schemas.py",
@@ -155,6 +157,27 @@ def test_docs_gate_covers_mutation_doc():
     assert mutation_doc in DOC_FILES
     # The mutation contract ships runnable examples; the gate must see them.
     assert extract_python_blocks(mutation_doc.read_text(encoding="utf-8"))
+
+
+def test_compile_gate_covers_cost_package():
+    """The cost-estimation PR's tree stays under the compile gate."""
+    cost_files = sorted((REPO / "src" / "repro" / "cost").rglob("*.py"))
+    assert cost_files, "cost package missing from src/repro"
+    names = {p.name for p in cost_files}
+    assert {"__init__.py", "calibration.py", "estimator.py"} <= names
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    assert all(str(p) in gated for p in cost_files)
+    accesslog = REPO / "src" / "repro" / "service" / "accesslog.py"
+    assert accesslog.exists(), "service/accesslog.py missing"
+    assert str(accesslog) in gated
+
+
+def test_docs_gate_covers_cost_doc():
+    cost_doc = REPO / "docs" / "cost.md"
+    assert cost_doc.exists(), "docs/cost.md missing"
+    assert cost_doc in DOC_FILES
+    # The doc must actually exercise the gate: at least one python block.
+    assert extract_python_blocks(cost_doc.read_text(encoding="utf-8"))
 
 
 def test_compile_gate_covers_mutation_surface():
