@@ -1,31 +1,244 @@
-"""BoostIso-style compression vs the plain engine (Table 2's generator).
+"""Twin-compression gates. Writes ``BENCH_compression.json`` at repo root.
 
 The paper uses BoostIso [24] (twin-vertex compression over TurboISO) as its
 exhaustive-enumeration workhorse: identical results, faster generation, and
 it can finish counts that plain engines cannot. Compression pays exactly
-when vertices are interchangeable, so this bench runs two regimes:
+when vertices are interchangeable, so the gates run two regimes:
 
-* a **twin-rich casting graph** (movies with interchangeable cast members —
-  the structure [24] motivates): class-level counting computes exact
-  multi-million counts orders of magnitude faster than vertex-level
-  enumeration can even approach;
-* the **imdb stand-in** (ratio ~0.7): exactness holds and compressed
-  counting completes totals the plain engine's budget truncates.
+* ``endtoend_speedup_x`` — on the **imdb stand-in** (the redundancy-heavy
+  registry dataset: one-credit careers give popular works large
+  interchangeable casts, compression ratio ~0.54), an exhaustive fan-out
+  count suite through the cached partition must run at least **1.5x** the
+  plain vertex-level engine, with every count exact either way.
+* ``aa_overhead_pct`` — interleaved A/A on **yeast** (ratio ~1.0, zero
+  twins): DSQL with ``use_compression=True`` vs off must stay within
+  **10%**. Where redundancy is absent the toggle may not tax queries — the
+  cbitset plan kernel refuses pools the partition cannot shrink
+  (``CBITSET_MAX_RATIO``), so the A/A run also pins that refusal.
+* ``mismatches`` — every timed comparison is checked for result identity
+  (counts equal, ``DSQResult`` views identical), so fast-but-wrong cannot
+  pass. The DSQL mechanism path is additionally held to *bit-identical*
+  results with compression on (same embeddings, same ``nodes_expanded``).
+
+Two narrative (non-JSON) benches ride along: the twin-rich casting graph
+where class-level counting computes exact multi-million counts orders of
+magnitude faster than enumeration can approach, and small-query exactness
+on imdb.
+
+Runs standalone (``python benchmarks/bench_compression.py``) or under
+``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
+import timeit
+from dataclasses import replace
+from pathlib import Path
 
-from common import emit
+from common import bench_graph, bench_queries, dsql_config, emit
+from repro.core.dsql import DSQL
 from repro.experiments.report import render_table
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
 from repro.isomorphism.compression import CompressedGraph, count_embeddings_compressed
 from repro.isomorphism.qsearch import count_embeddings
 
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_compression.json"
 
+RICH_DATASET = "imdb"  # bipartite affiliation: ratio ~0.54 at bench scale
+LOW_DATASET = "yeast"  # lognormal PPI: ratio ~1.0, zero twins
+REPEATS = 3
+AA_QUERIES = 10
+AA_EDGES = 4
+K = 10
+
+SPEEDUP_GATE_X = 1.5
+AA_GATE_PCT = 10.0
+
+# Fan-out stars over the two biggest work labels: the casts of popular
+# works are where one-credit twins concentrate.
+STAR_WORK_LABELS = ("W0", "W1")
+STAR_PERSON_LABELS = ("L0", "L1", "L2")
+
+
+def _star_suite():
+    """Star-3 queries per (work label, person label): exhaustive fan-out."""
+    return [
+        QueryGraph([wl, pl, pl, pl], [(0, 1), (0, 2), (0, 3)])
+        for wl in STAR_WORK_LABELS
+        for pl in STAR_PERSON_LABELS
+    ]
+
+
+def _end_to_end(graph):
+    """Exact fan-out counts, plain vs through the cached class partition."""
+    queries = _star_suite()
+    cache = graph.index_cache()
+    start = time.perf_counter()
+    compressed = cache.compressed()
+    build_ms = (time.perf_counter() - start) * 1000
+
+    mismatches = 0
+    for query in queries:  # warm + exactness before any timing
+        plain, plain_done = count_embeddings(graph, query)
+        comp, comp_done = count_embeddings_compressed(
+            graph, query, compressed=compressed
+        )
+        if not (plain_done and comp_done and plain == comp):
+            mismatches += 1
+
+    def plain_suite():
+        for query in queries:
+            count_embeddings(graph, query)
+
+    def comp_suite():
+        for query in queries:
+            count_embeddings_compressed(graph, query, compressed=compressed)
+
+    plain_s = min(timeit.repeat(plain_suite, number=1, repeat=REPEATS))
+    comp_s = min(timeit.repeat(comp_suite, number=1, repeat=REPEATS))
+    return {
+        "endtoend_dataset": RICH_DATASET,
+        "endtoend_queries": len(queries),
+        "endtoend_ratio": compressed.compression_ratio(),
+        "endtoend_build_ms": build_ms,
+        "endtoend_plain_seconds": plain_s,
+        "endtoend_compressed_seconds": comp_s,
+        "endtoend_speedup_x": plain_s / comp_s,
+        "endtoend_mismatches": mismatches,
+    }
+
+
+def _dsql_identity(graph):
+    """The DSQL mechanism path: identical results *and* identical charges."""
+    queries = list(bench_queries(RICH_DATASET, 3, 6, seed=13))
+    config = dsql_config(K)
+    on = DSQL(graph, config=replace(config, use_compression=True))
+    off = DSQL(graph, config=config)
+    mismatches = 0
+    for query in queries:
+        r_on, r_off = on.query(query), off.query(query)
+        if (
+            r_on.embeddings,
+            r_on.coverage,
+            r_on.optimal,
+            r_on.level,
+            r_on.stats.nodes_expanded,
+        ) != (
+            r_off.embeddings,
+            r_off.coverage,
+            r_off.optimal,
+            r_off.level,
+            r_off.stats.nodes_expanded,
+        ):
+            mismatches += 1
+    return {"dsql_queries": len(queries), "dsql_mismatches": mismatches}
+
+
+def _aa_overhead(graph):
+    """Interleaved A/A: use_compression on vs off where twins are absent."""
+    queries = list(bench_queries(LOW_DATASET, AA_EDGES, AA_QUERIES, seed=5))
+    config = dsql_config(K)
+    on_config = replace(config, use_compression=True)
+    ratio = graph.index_cache().compressed().compression_ratio()
+
+    mismatches = 0
+    on, off = DSQL(graph, config=on_config), DSQL(graph, config=config)
+    for query in queries:
+        r_on, r_off = on.query(query), off.query(query)
+        if (r_on.embeddings, r_on.coverage, r_on.optimal, r_on.level) != (
+            r_off.embeddings,
+            r_off.coverage,
+            r_off.optimal,
+            r_off.level,
+        ):
+            mismatches += 1
+
+    def run_off():
+        session = DSQL(graph, config=config)
+        for query in queries:
+            session.query(query)
+
+    def run_on():
+        session = DSQL(graph, config=on_config)
+        for query in queries:
+            session.query(query)
+
+    run_off()
+    run_on()  # warm every code path (incl. the partition build) before timing
+    series_off, series_on = [], []
+    for _ in range(REPEATS + 2):  # interleaved to share thermal/cache drift
+        series_off.append(timeit.timeit(run_off, number=1))
+        series_on.append(timeit.timeit(run_on, number=1))
+    baseline = min(series_off)
+    return {
+        "aa_dataset": LOW_DATASET,
+        "aa_ratio": ratio,
+        "aa_batch": len(queries),
+        "aa_off_seconds": baseline,
+        "aa_on_seconds": min(series_on),
+        "aa_overhead_pct": 100.0 * (min(series_on) - baseline) / baseline,
+        "aa_mismatches": mismatches,
+    }
+
+
+def run_compression_bench():
+    rich = bench_graph(RICH_DATASET)
+    low = bench_graph(LOW_DATASET)
+    payload = {
+        "k": K,
+        "repeats": REPEATS,
+        "gate_endtoend_speedup_x": SPEEDUP_GATE_X,
+        "gate_aa_overhead_pct": AA_GATE_PCT,
+    }
+    payload.update(_end_to_end(rich))
+    payload.update(_dsql_identity(rich))
+    payload.update(_aa_overhead(low))
+    payload["mismatches"] = (
+        payload["endtoend_mismatches"]
+        + payload["dsql_mismatches"]
+        + payload["aa_mismatches"]
+    )
+    OUT_PATH.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+    return payload
+
+
+def _report(payload) -> str:
+    rows = [
+        [
+            "fan-out suite (imdb)",
+            f"{payload['endtoend_plain_seconds']:.2f}s plain / "
+            f"{payload['endtoend_compressed_seconds']:.2f}s compressed",
+        ],
+        [
+            "end-to-end speedup",
+            f"{payload['endtoend_speedup_x']:.2f}x (gate >= {SPEEDUP_GATE_X}x)",
+        ],
+        ["compression ratio (imdb)", f"{payload['endtoend_ratio']:.3f}"],
+        ["partition build", f"{payload['endtoend_build_ms']:.1f}ms"],
+        [
+            "A/A overhead (yeast)",
+            f"{payload['aa_overhead_pct']:+.2f}% (gate < {AA_GATE_PCT:.0f}%)",
+        ],
+        ["mismatches", str(payload["mismatches"])],
+    ]
+    return render_table(["metric", "value"], rows)
+
+
+def test_compression_gates(benchmark):
+    payload = benchmark.pedantic(run_compression_bench, rounds=1, iterations=1)
+    emit("compression_gates", _report(payload))
+    assert payload["mismatches"] == 0
+    assert payload["endtoend_speedup_x"] >= SPEEDUP_GATE_X
+    assert payload["aa_overhead_pct"] < AA_GATE_PCT
+
+
+# ----------------------------------------------------------------------
+# Narrative benches (no JSON): the regimes the substrate was built for.
+# ----------------------------------------------------------------------
 def casting_graph(num_movies: int = 120, cast: int = 12, seed: int = 3) -> LabeledGraph:
     """Movies with interchangeable casts: the twin-rich regime of [24]."""
     rng = random.Random(seed)
@@ -93,8 +306,6 @@ def test_compression_twin_rich(benchmark):
 
 def test_compression_exactness_on_imdb_standin(benchmark):
     """Small queries on the affiliation stand-in: identical counts."""
-    from common import bench_graph, bench_queries
-
     graph = bench_graph("imdb")
     compressed = CompressedGraph(graph)
     queries = bench_queries("imdb", 2, 2, seed=9)
@@ -117,3 +328,9 @@ def test_compression_exactness_on_imdb_standin(benchmark):
     for _, plain, plain_done, comp, comp_done in rows:
         if plain_done and comp_done:
             assert plain == comp
+
+
+if __name__ == "__main__":
+    out = run_compression_bench()
+    print(_report(out))
+    print(f"\nwrote {OUT_PATH}")

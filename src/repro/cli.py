@@ -187,6 +187,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "actual work units, latency, status) to PATH",
     )
     v.add_argument(
+        "--plan-cache-file",
+        default=None,
+        metavar="PATH",
+        help="recompile the previous run's compiled-plan set at startup and "
+        "save the current set on drain, so restarts serve warm plans "
+        "(single-process server only)",
+    )
+    v.add_argument(
         "--calibration-file",
         default=None,
         metavar="PATH",
@@ -301,6 +309,13 @@ def _add_plan_flags(parser: argparse.ArgumentParser) -> None:
         help="recompile the query plan per query instead of memoizing it "
         "(escape hatch; see docs/performance.md)",
     )
+    parser.add_argument(
+        "--compression",
+        action="store_true",
+        help="search over twin-class representatives (BoostIso-style "
+        "structural equivalence); bit-identical results, faster on "
+        "structurally redundant graphs (docs/performance.md)",
+    )
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -387,6 +402,7 @@ def _cmd_query(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             run_phase2=not args.no_phase2,
             time_budget_ms=args.time_budget_ms,
             plan_cache=not args.no_plan_cache,
+            use_compression=args.compression,
             objective=args.objective,
         )
         summary = run_executor_batch(
@@ -480,6 +496,10 @@ def _cmd_serve(
         # Calibration state lives in the answering process; the pre-forked
         # workers each hold their own, and the parent catalog never answers.
         parser.error("--calibration-file requires the single-process server (--workers 1)")
+    if args.plan_cache_file is not None and args.workers > 1:
+        # Same process-locality argument: plan caches live on each worker's
+        # own index caches, not the parent's.
+        parser.error("--plan-cache-file requires the single-process server (--workers 1)")
     quota_rate = quota_burst = None
     if args.client_quota is not None:
         rate_text, _, burst_text = args.client_quota.partition(":")
@@ -500,6 +520,7 @@ def _cmd_serve(
         k=args.k,
         time_budget_ms=args.time_budget_ms,
         plan_cache=not args.no_plan_cache,
+        use_compression=args.compression,
         objective=args.objective,
         auto_time_budget=args.auto_time_budget,
         **config_kwargs,
@@ -529,6 +550,9 @@ def _cmd_serve(
             restored = catalog.load_calibration(args.calibration_file)
             if restored:
                 lines.append(f"restored cost calibration for: {', '.join(restored)}")
+        if args.plan_cache_file is not None:
+            warmed = catalog.load_plan_cache(args.plan_cache_file)
+            lines.append(f"plan_cache.warmed={warmed}")
         if args.workers > 1:
             server = MultiWorkerServer(
                 catalog,
@@ -570,6 +594,9 @@ def _cmd_serve(
         saved = catalog.save_calibration(args.calibration_file)
         if saved:
             print(f"saved cost calibration for: {', '.join(saved)}")
+    if args.plan_cache_file is not None and args.workers == 1:
+        saved_plans = catalog.save_plan_cache(args.plan_cache_file)
+        print(f"plan_cache.saved={saved_plans}")
     print("repro service drained")
     return 0
 
@@ -704,6 +731,7 @@ def _cmd_experiment(parser: argparse.ArgumentParser, args: argparse.Namespace) -
             k=args.k,
             time_budget_ms=args.time_budget_ms,
             plan_cache=not args.no_plan_cache,
+            use_compression=args.compression,
             objective=args.objective,
         )
         dsql = run_executor_batch(

@@ -90,6 +90,18 @@ class DSQLConfig:
         :class:`~repro.indexes.plans.PlanCache`. Off = recompile per query
         (the ``--no-plan-cache`` CLI escape hatch); only meaningful when
         ``use_plans`` is on.
+    use_compression:
+        Compile plans against the graph's twin-class partition (BoostIso
+        [24]-style structural equivalence — see :mod:`repro.isomorphism.
+        compression`): class-level candidate pools, the ``cbitset`` join
+        kernel over class ids, and the compressed per-frame join test in
+        the level engine. Results are bit-identical with the toggle on or
+        off (the compression analogue of the plans-on/off contract, pinned
+        by ``tests/property/test_compression_equivalence.py``); the win is
+        on structurally redundant graphs and the cost is bounded on
+        redundancy-free ones by the per-depth
+        :data:`~repro.kernels.CBITSET_MAX_RATIO` gate. Requires
+        ``use_plans``. Off by default.
     seed:
         Seed for the random candidate retention of Section 5.2. Fixed by
         default so runs are reproducible; set ``None`` for entropy.
@@ -141,6 +153,7 @@ class DSQLConfig:
     query_cache_size: Optional[int] = 128
     use_plans: bool = True
     plan_cache: bool = True
+    use_compression: bool = False
     seed: Optional[int] = 0
     objective: str = "vertex"
     vertex_weights: Optional[Tuple[Tuple[int, float], ...]] = None
@@ -222,6 +235,11 @@ class DSQLConfig:
             raise ConfigError(
                 "auto_time_budget derives deadlines from compiled plans; "
                 "it requires use_plans"
+            )
+        if self.use_compression and not self.use_plans:
+            raise ConfigError(
+                "use_compression rides on compiled plans (class pools, "
+                "cbitset kernel); it requires use_plans"
             )
 
     # ------------------------------------------------------------------

@@ -192,9 +192,13 @@ class DSQL:
         plan = None
         if config.use_plans:
             if config.plan_cache:
-                plan = self.index_cache.plan_cache.get_or_compile(query, self.index_cache)
+                plan = self.index_cache.plan_cache.get_or_compile(
+                    query, self.index_cache, use_compression=config.use_compression
+                )
             else:
-                plan = compile_plan(query, self.index_cache)
+                plan = compile_plan(
+                    query, self.index_cache, use_compression=config.use_compression
+                )
         if instr is not None:
             with instr.span("candidate_build", query_id=query_id):
                 candidates = CandidateIndex(
@@ -336,9 +340,13 @@ class DSQL:
         if not config.use_plans:
             raise ConfigError("cost estimation requires use_plans")
         if config.plan_cache:
-            plan = self.index_cache.plan_cache.get_or_compile(query, self.index_cache)
+            plan = self.index_cache.plan_cache.get_or_compile(
+                query, self.index_cache, use_compression=config.use_compression
+            )
         else:
-            plan = compile_plan(query, self.index_cache)
+            plan = compile_plan(
+                query, self.index_cache, use_compression=config.use_compression
+            )
         return self.index_cache.cost_estimator().estimate(plan, k=config.k)
 
     def memo_key(self, query: QueryGraph) -> tuple:

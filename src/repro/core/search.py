@@ -125,6 +125,16 @@ class LevelSearchEngine:
         self.query_id = query_id
         self._plan = plan
         self._cache = candidates.cache
+        # Twin-class partition for the compressed join test: only wired up
+        # when compression is on AND a plan/cache exists (the partition is
+        # per-graph state owned by the index cache). The compressed branch
+        # changes the join *mechanism*, never which candidates are iterated
+        # or charged, so the bit-identity contract below is preserved.
+        self._compressed = (
+            self._cache.compressed()
+            if (config.use_compression and plan is not None and self._cache is not None)
+            else None
+        )
         self.rng = random.Random(config.seed)
         q = query.size
         self._assignment: List[int] = [UNMATCHED] * q
@@ -284,6 +294,23 @@ class LevelSearchEngine:
             if assignment[u2] != UNMATCHED
         ]
         stats = self.stats
+        comp = self._compressed
+        if comp is not None and len(matched) >= 2:
+            # Compressed join: fold the matched vertices' class join masks
+            # (num_classes bits instead of num_vertices) and test candidates
+            # by class id. Twin symmetry makes this exactly the vertex-mask
+            # predicate: for v outside `used` (so v differs from every
+            # matched vertex), edge(v, v2) holds iff their classes are
+            # adjacent — or, within one class, iff the class is a clique,
+            # which is precisely the self-bit of the class join mask.
+            stats.kernel_cbitset += 1
+            class_of = comp.class_of
+            join_mask = comp.class_join_mask
+            mask = -1
+            for v2 in matched:
+                mask &= join_mask(class_of[v2])
+            used = self._used
+            return lambda v: v not in used and (mask >> class_of[v]) & 1
         if len(matched) >= 2:
             stats.kernel_bitset += 1
             adj_mask = self._cache.adjacency_mask

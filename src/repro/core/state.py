@@ -37,6 +37,7 @@ class SearchStats:
     kernel_merge: int = 0
     kernel_bitset: int = 0
     kernel_scalar: int = 0
+    kernel_cbitset: int = 0
     per_level_added: Dict[int, int] = field(default_factory=dict)
 
     def record_added(self, level: int) -> None:
@@ -71,6 +72,7 @@ class SearchStats:
             "kernel_merge": self.kernel_merge,
             "kernel_bitset": self.kernel_bitset,
             "kernel_scalar": self.kernel_scalar,
+            "kernel_cbitset": self.kernel_cbitset,
             "per_level_added": dict(self.per_level_added),
         }
 

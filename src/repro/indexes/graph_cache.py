@@ -96,6 +96,7 @@ class GraphIndexCache:
         "_adj_lock",
         "_metrics",
         "_cost_estimator",
+        "_compressed",
     )
 
     def __init__(
@@ -192,6 +193,9 @@ class GraphIndexCache:
         # The per-graph cost estimator is built lazily (see
         # :meth:`cost_estimator`) so graphs that never estimate pay nothing.
         self._cost_estimator = None
+        # Twin-class partition for compression-enabled plans, built lazily
+        # (see :meth:`compressed`) and repaired in-place by apply_delta.
+        self._compressed = None
 
     # ------------------------------------------------------------------
     # Pickling: locks cannot cross process boundaries; a fresh lock is
@@ -204,7 +208,16 @@ class GraphIndexCache:
         # worker is worse than recomputing the few it touches.
         # The cost estimator is dropped too (it holds a lock): calibration
         # is session state that each process re-learns from its own traffic.
-        skip = ("_pool_lock", "_adj_lock", "_adj_masks", "_metrics", "_cost_estimator")
+        # The compressed twin partition is likewise dropped — it is a pure
+        # function of the graph and rebuilds lazily on first compressed plan.
+        skip = (
+            "_pool_lock",
+            "_adj_lock",
+            "_adj_masks",
+            "_metrics",
+            "_cost_estimator",
+            "_compressed",
+        )
         return {s: getattr(self, s) for s in self.__slots__ if s not in skip}
 
     def __setstate__(self, state: dict) -> None:
@@ -215,6 +228,7 @@ class GraphIndexCache:
         self._adj_masks = OrderedDict()
         self._metrics = None
         self._cost_estimator = None
+        self._compressed = None
 
     # ------------------------------------------------------------------
     def attach_metrics(self, registry) -> None:
@@ -232,6 +246,12 @@ class GraphIndexCache:
         self.plan_cache.attach_metrics(registry)
         if self._cost_estimator is not None:
             self._cost_estimator.attach_metrics(registry)
+
+    def _record_lazy_expansion(self) -> None:
+        """Mirror one lazy class-frame expansion into the attached registry."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("compression.lazy_expansions").inc()
 
     # ------------------------------------------------------------------
     def cost_estimator(self):
@@ -258,6 +278,41 @@ class GraphIndexCache:
                         estimator.attach_metrics(self._metrics)
                     self._cost_estimator = estimator
         return estimator
+
+    # ------------------------------------------------------------------
+    def compressed(self):
+        """The graph's twin-class partition (:class:`~repro.isomorphism.
+        compression.CompressedGraph`), built on first use and pinned to this
+        cache version.
+
+        Compression-enabled plans and engines share one partition per graph:
+        :meth:`apply_delta` repairs it in place (splitting only the dirtied
+        endpoints' classes), and compaction keeps it — topology is unchanged
+        — so the partition stays valid across the cache's whole life.
+        Guarded by ``_pool_lock``; creation is rare and the lock is never
+        held while searching.
+        """
+        compressed = self._compressed
+        if compressed is None:
+            # Late import mirrors PlanCache/CostEstimator above: the
+            # compression module imports the isomorphism package, which
+            # reaches back here.
+            from repro.isomorphism.compression import CompressedGraph
+
+            with self._pool_lock:
+                compressed = self._compressed
+                if compressed is None:
+                    compressed = CompressedGraph(self.graph)
+                    if self._metrics is not None:
+                        self._metrics.counter("compression.classes_built").inc(
+                            compressed.num_classes
+                        )
+                    # Resolves self._metrics per call so the partition
+                    # follows attach_metrics/detach like every other
+                    # cache-hosted counter.
+                    compressed.on_lazy_expansion = self._record_lazy_expansion
+                    self._compressed = compressed
+        return compressed
 
     # ------------------------------------------------------------------
     @classmethod
@@ -412,6 +467,9 @@ class GraphIndexCache:
         the dirty set; every other entry survives at the same epoch.
         """
         backend = self.graph.backend
+        # Materialized once: the op stream is also replayed into the twin
+        # partition's split repair below, and callers may pass a generator.
+        ops = [tuple(op) for op in ops]
         dirty_vertices: set = set()
         dirty_lids: set = set()
         new_labels: set = set()
@@ -496,6 +554,13 @@ class GraphIndexCache:
                 for v in dirty_vertices:
                     self._adj_masks.pop(v, None)
         self.plan_cache.evict_stale(dirty_lids, new_labels)
+        if self._compressed is not None:
+            # Split repair: the dirtied endpoints leave their twin classes
+            # as fresh singletons; everything else (and all class ids)
+            # survives. See CompressedGraph.apply_delta for the argument.
+            splits = self._compressed.apply_delta(ops)
+            if splits and self._metrics is not None:
+                self._metrics.counter("compression.split_repairs").inc(splits)
         return self.version
 
     def ops_since(self, seq: int) -> Tuple[Tuple[int, Tuple], ...]:

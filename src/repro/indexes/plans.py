@@ -23,11 +23,14 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from heapq import merge as heapq_merge
 from typing import Dict, List, Optional, Tuple
 
 from repro.kernels import (
     BITSET,
     BITSET_MIN_POOL,
+    CBITSET,
+    CBITSET_MAX_RATIO,
     MERGE,
     SCAN,
     bitset_members,
@@ -63,7 +66,13 @@ class QueryPlan:
     kernels:
         Per search depth, the chosen expansion kernel kind
         (:data:`~repro.kernels.SCAN` / :data:`~repro.kernels.MERGE` /
-        :data:`~repro.kernels.BITSET`).
+        :data:`~repro.kernels.BITSET` / :data:`~repro.kernels.CBITSET`).
+    class_pools:
+        Compression-enabled plans only (else ``None``): per query node, the
+        ascending twin-class ids covering ``pools[u]``. Twin classes are
+        filter-uniform (members share label, degree, and signature), so a
+        class is in the pool iff all its members are — the class pool is a
+        lossless re-encoding of the vertex pool at the compression ratio.
     """
 
     __slots__ = (
@@ -74,10 +83,12 @@ class QueryPlan:
         "profiles",
         "pools",
         "kernels",
+        "class_pools",
         "referenced_lids",
         "absent_labels",
         "_cand_masks",
         "_pool_sets",
+        "_class_masks",
         "_cost_profile",
     )
 
@@ -92,6 +103,7 @@ class QueryPlan:
         kernels,
         referenced_lids=frozenset(),
         absent_labels=frozenset(),
+        class_pools=None,
     ):
         self.key = key
         self.qlist: Tuple[int, ...] = tuple(qlist)
@@ -106,8 +118,12 @@ class QueryPlan:
         # such a label first appears).
         self.referenced_lids: frozenset = frozenset(referenced_lids)
         self.absent_labels: frozenset = frozenset(absent_labels)
+        self.class_pools: Optional[Tuple[Tuple[int, ...], ...]] = (
+            None if class_pools is None else tuple(tuple(cp) for cp in class_pools)
+        )
         self._cand_masks: List[Optional[int]] = [None] * len(self.pools)
         self._pool_sets: List[Optional[frozenset]] = [None] * len(self.pools)
+        self._class_masks: List[Optional[int]] = [None] * len(self.pools)
         self._cost_profile = None
 
     def pool(self, u: int) -> Tuple[int, ...]:
@@ -140,6 +156,19 @@ class QueryPlan:
             self._cand_masks[u] = mask
         return mask
 
+    def class_mask(self, u: int) -> int:
+        """Bitset over twin-class ids of ``class_pools[u]``, lazy + memoized.
+
+        The compressed analogue of :meth:`cand_mask` — ``num_classes`` bits
+        instead of ``num_vertices``. Only valid on compression-enabled plans.
+        Benign under races (equal values; last store wins).
+        """
+        mask = self._class_masks[u]
+        if mask is None:
+            mask = bitset_of(self.class_pools[u])
+            self._class_masks[u] = mask
+        return mask
+
     def cost_profile(self, builder):
         """Memoized cost profile for this plan (see :mod:`repro.cost`).
 
@@ -156,7 +185,7 @@ class QueryPlan:
         return profile
 
     def __getstate__(self):
-        lazies = ("_cand_masks", "_pool_sets", "_cost_profile")
+        lazies = ("_cand_masks", "_pool_sets", "_class_masks", "_cost_profile")
         return {s: getattr(self, s) for s in self.__slots__ if s not in lazies}
 
     def __setstate__(self, state):
@@ -164,12 +193,30 @@ class QueryPlan:
             setattr(self, name, value)
         self._cand_masks = [None] * len(self.pools)
         self._pool_sets = [None] * len(self.pools)
+        self._class_masks = [None] * len(self.pools)
         self._cost_profile = None
 
 
-def plan_key(cache, query, use_degree_filter: bool, use_signature_filter: bool):
-    """The memo key: graph epoch + canonical query structure + filters."""
-    return (cache.epoch, query.canonical_key(), use_degree_filter, use_signature_filter)
+def plan_key(
+    cache,
+    query,
+    use_degree_filter: bool,
+    use_signature_filter: bool,
+    use_compression: bool = False,
+):
+    """The memo key: graph epoch + canonical query structure + toggles.
+
+    ``use_compression`` is part of the key because compressed and plain
+    plans differ structurally (class pools, ``cbitset`` kernel choices) —
+    one graph can serve both kinds of traffic without thrashing the cache.
+    """
+    return (
+        cache.epoch,
+        query.canonical_key(),
+        use_degree_filter,
+        use_signature_filter,
+        use_compression,
+    )
 
 
 def compile_plan(
@@ -177,6 +224,7 @@ def compile_plan(
     cache,
     use_degree_filter: bool = True,
     use_signature_filter: bool = True,
+    use_compression: bool = False,
 ) -> QueryPlan:
     """Compile a :class:`QueryPlan` against a graph's index cache.
 
@@ -185,6 +233,15 @@ def compile_plan(
     so plan-driven engines are bit-identical to plan-free ones. Raises
     :class:`~repro.exceptions.InvalidQueryError` on disconnected queries
     (via the search-order construction).
+
+    With ``use_compression`` the plan additionally carries the twin-class
+    re-encoding of every pool (:attr:`QueryPlan.class_pools`) and upgrades
+    :data:`~repro.kernels.BITSET` depths whose pool compresses below
+    :data:`~repro.kernels.CBITSET_MAX_RATIO` to the class-level
+    :data:`~repro.kernels.CBITSET` kernel. Vertex pools, order, and
+    tie-breaks are untouched — the compressed plan emits byte-equal
+    candidate lists, which is the equivalence contract
+    (``tests/property/test_compression_equivalence.py``).
     """
     # Late import: the isomorphism package imports repro.indexes.candidates,
     # which imports graph_cache, which lazily imports this module.
@@ -220,15 +277,32 @@ def compile_plan(
     backward = [
         tuple(w for w in query.neighbors(u) if position[w] < position[u]) for u in order
     ]
+    class_pools: Optional[List[Tuple[int, ...]]] = None
+    if use_compression:
+        class_of = cache.compressed().class_of
+        class_pools = [
+            tuple(sorted({class_of[v] for v in pool})) for pool in pools
+        ]
     kernels = []
     for depth, u in enumerate(order):
         if not backward[depth]:
             kernels.append(SCAN)
         elif len(backward[depth]) >= 2 and len(pools[u]) >= BITSET_MIN_POOL:
-            kernels.append(BITSET)
+            # Upgrade to the class-level kernel only where the pool actually
+            # compresses — near ratio 1.0 the class fold plus member merge
+            # costs more than the plain vertex AND (the A/A overhead gate).
+            if (
+                class_pools is not None
+                and len(class_pools[u]) <= CBITSET_MAX_RATIO * len(pools[u])
+            ):
+                kernels.append(CBITSET)
+            else:
+                kernels.append(BITSET)
         else:
             kernels.append(MERGE)
-    key = plan_key(cache, query, use_degree_filter, use_signature_filter)
+    key = plan_key(
+        cache, query, use_degree_filter, use_signature_filter, use_compression
+    )
     referenced: set = set()
     absent: set = set()
     for u in range(q):
@@ -248,6 +322,7 @@ def compile_plan(
         kernels,
         referenced_lids=referenced,
         absent_labels=absent,
+        class_pools=class_pools,
     )
 
 
@@ -269,6 +344,36 @@ def expand_pool(plan: QueryPlan, depth: int, assignment, cache):
     if kind == BITSET:
         mask = joinable_kernel(cache.adjacency_mask(assignment[w]) for w in backward)
         return kind, bitset_members(mask & plan.cand_mask(u))
+    if kind == CBITSET:
+        # Class-level join: fold the anchors' class join masks at
+        # num_classes bits, AND the class pool, then expand admitted
+        # classes to their ascending members. Twin symmetry makes the
+        # result byte-equal to the BITSET path — with one correction:
+        # a vertex adjacency mask never carries its own bit, but a
+        # multi-member clique class's join mask does, so a backward
+        # anchor can be re-admitted via its own class and must be
+        # filtered back out.
+        comp = cache.compressed()
+        class_of = comp.class_of
+        mask = -1
+        anchors = []
+        for w in backward:
+            a = assignment[w]
+            anchors.append(a)
+            mask &= comp.class_join_mask(class_of[a])
+            if not mask:
+                return kind, []
+        mask &= plan.class_mask(u)
+        cids = bitset_members(mask)
+        classes = comp.classes
+        if len(cids) == 1:
+            members: List[int] = list(classes[cids[0]])
+        else:
+            members = list(heapq_merge(*(classes[cid] for cid in cids)))
+        if any((mask >> class_of[a]) & 1 for a in anchors):
+            drop = set(anchors)
+            members = [v for v in members if v not in drop]
+        return kind, members
     rows = sorted((cache.adjacency_slice(assignment[w]) for w in backward), key=len)
     out = rows[0]
     for row in rows[1:]:
@@ -289,10 +394,14 @@ class PlanCache:
     metrics registry as ``plan.cache.hits`` / ``plan.cache.misses``.
     """
 
-    __slots__ = ("_memo", "_size", "_lock", "hits", "misses", "_metrics")
+    __slots__ = ("_memo", "_specs", "_size", "_lock", "hits", "misses", "_metrics")
 
     def __init__(self, size: Optional[int] = DEFAULT_PLAN_CACHE_SIZE) -> None:
         self._memo: "OrderedDict[tuple, QueryPlan]" = OrderedDict()
+        # JSON-safe recompile specs per memoized key, pruned with evictions;
+        # dump_specs()/warm_from_specs() are the disk-backed warm-start
+        # surface (serve --plan-cache-file).
+        self._specs: Dict[tuple, dict] = {}
         self._size = size
         self._lock = threading.Lock()
         self.hits = 0
@@ -309,9 +418,12 @@ class PlanCache:
         cache,
         use_degree_filter: bool = True,
         use_signature_filter: bool = True,
+        use_compression: bool = False,
     ) -> QueryPlan:
-        """The memoized plan for ``(cache, query, filters)``, compiling on miss."""
-        key = plan_key(cache, query, use_degree_filter, use_signature_filter)
+        """The memoized plan for ``(cache, query, toggles)``, compiling on miss."""
+        key = plan_key(
+            cache, query, use_degree_filter, use_signature_filter, use_compression
+        )
         memo = self._memo
         metrics = self._metrics
         with self._lock:
@@ -330,17 +442,29 @@ class PlanCache:
             cache,
             use_degree_filter=use_degree_filter,
             use_signature_filter=use_signature_filter,
+            use_compression=use_compression,
         )
+        labels, edges = query.canonical_key()
+        spec = {
+            "labels": list(labels),
+            "edges": [list(e) for e in edges],
+            "use_degree_filter": use_degree_filter,
+            "use_signature_filter": use_signature_filter,
+            "use_compression": use_compression,
+        }
         with self._lock:
             memo[key] = plan
+            self._specs[key] = spec
             if self._size is not None and len(memo) > self._size:
-                memo.popitem(last=False)
+                evicted, _ = memo.popitem(last=False)
+                self._specs.pop(evicted, None)
         return plan
 
     def clear(self) -> None:
         """Drop every memoized plan (used by the cold-path benchmarks)."""
         with self._lock:
             self._memo.clear()
+            self._specs.clear()
 
     def evict_stale(self, dirty_lids, new_labels=()) -> int:
         """Delta eviction: drop only plans whose footprint intersects a delta.
@@ -365,7 +489,53 @@ class PlanCache:
             ]
             for key in stale:
                 del self._memo[key]
+                self._specs.pop(key, None)
         return len(stale)
+
+    # ------------------------------------------------------------------
+    # Disk-backed warm start (serve --plan-cache-file)
+    # ------------------------------------------------------------------
+    def dump_specs(self) -> List[dict]:
+        """JSON-safe recompile specs for every currently memoized plan.
+
+        Each spec carries the canonical query structure (labels + edges)
+        and the compile toggles — everything needed to rebuild the plan
+        against a fresh cache at startup. Specs follow LRU order (coldest
+        first), so a truncated warm pass still recompiles the hottest
+        plans last-in. Labels must round-trip through JSON; service graphs
+        use string labels, which do.
+        """
+        with self._lock:
+            return [dict(self._specs[k]) for k in self._memo if k in self._specs]
+
+    def warm_from_specs(self, specs, cache) -> int:
+        """Recompile plans from :meth:`dump_specs` output against ``cache``.
+
+        Returns the number of plans warmed. Specs that no longer compile
+        (malformed after hand-editing, disconnected queries, labels gone
+        from the graph) are skipped rather than failing startup — a warm
+        file is an optimization, never a correctness input.
+        """
+        from repro.graph.query_graph import QueryGraph
+
+        warmed = 0
+        for spec in specs:
+            try:
+                query = QueryGraph(
+                    list(spec["labels"]),
+                    [tuple(e) for e in spec["edges"]],
+                )
+                self.get_or_compile(
+                    query,
+                    cache,
+                    use_degree_filter=bool(spec.get("use_degree_filter", True)),
+                    use_signature_filter=bool(spec.get("use_signature_filter", True)),
+                    use_compression=bool(spec.get("use_compression", False)),
+                )
+                warmed += 1
+            except Exception:
+                continue
+        return warmed
 
     def info(self) -> Dict[str, int]:
         """Hit/miss/size counters for the plan memo."""

@@ -15,7 +15,30 @@ combinations. Two standard equivalence notions are used:
 :func:`count_embeddings_compressed` runs Algorithm-1-style backtracking
 over classes and multiplies falling factorials ``m * (m-1) * ...`` for the
 members drawn from each class; :func:`enumerate_embeddings_compressed`
-expands class assignments back into concrete embeddings.
+expands class assignments back into concrete embeddings, and
+:func:`iter_embeddings_compressed` does the same **lazily** — class-level
+frames are searched first and concrete members are drawn only when a frame
+is actually consumed, which is what lets coverage-aware consumers stop a
+fan-out region after the few members they need.
+
+Since PR 10 the partition also backs the *compiled-plan hot path*
+(``DSQLConfig.use_compression``): :class:`~repro.indexes.graph_cache.
+GraphIndexCache` caches one ``CompressedGraph`` per ``(epoch, delta_seq)``,
+plans compile class-level candidate pools and the ``cbitset`` kernel over
+class ids (:mod:`repro.indexes.plans`), and the engines fold per-frame join
+masks over classes instead of vertices. Those masks live here:
+:meth:`CompressedGraph.class_join_mask` encodes, for a class ``c``, every
+class whose members are adjacent to *all* members of ``c`` — by twin
+symmetry one bit test per candidate replaces the per-vertex adjacency mask
+at ``num_classes`` bits instead of ``num_vertices``.
+
+Live mutation keeps the partition honest without rebuilds
+(:meth:`CompressedGraph.apply_delta`): an edge delta changes exactly its
+two endpoints' neighborhoods, so those endpoints are **split** out of their
+classes into fresh singletons and every derived view (adjacency, join
+masks) is invalidated; untouched classes remain valid twin classes because
+their members' neighborhoods never changed. The partition only refines
+under mutation — re-merging is deferred to the next epoch rebuild.
 
 Exactness (same counts and same embedding sets as the plain engine) is
 asserted in the test suite; the win is on graphs with interchangeable
@@ -27,7 +50,7 @@ graphs where many leaf actors attach to the same movie).
 from __future__ import annotations
 
 from itertools import permutations
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.labeled_graph import LabeledGraph
 from repro.graph.query_graph import QueryGraph
@@ -44,12 +67,28 @@ class CompressedGraph:
     Attributes
     ----------
     classes:
-        List of member tuples; ``classes[c]`` are the vertices of class ``c``.
+        List of member tuples; ``classes[c]`` are the vertices of class ``c``
+        in ascending order.
     class_of:
         ``class_of[v]`` is the class id of vertex ``v``.
     clique:
         ``clique[c]`` is True for true-twin (clique) classes — query edges
         *within* the class are satisfiable.
+    split_repairs:
+        Number of vertices split out of their class by
+        :meth:`apply_delta` over this object's lifetime.
+    lazy_expansions:
+        Number of concrete embeddings drawn out of class frames by the lazy
+        expander (:func:`iter_embeddings_compressed`).
+
+    Class adjacency and the per-class join masks are derived **lazily from a
+    representative member** and memoized: every member of a valid twin class
+    has the same neighborhood (closed, for cliques), so one neighbor-row
+    scan answers for the whole class. Lazy derivation is also what makes
+    delta repair cheap — :meth:`apply_delta` only has to drop memos, never
+    patch them. Memoized values are pure functions of immutable state
+    between deltas, so concurrent rebuilds race benignly (equal values; the
+    last store wins — the same contract as the plan lazies).
     """
 
     def __init__(self, graph: LabeledGraph) -> None:
@@ -57,8 +96,14 @@ class CompressedGraph:
         self.classes: List[Tuple[int, ...]] = []
         self.class_of: List[int] = [-1] * graph.num_vertices
         self.clique: List[bool] = []
+        self.split_repairs = 0
+        self.lazy_expansions = 0
+        # Optional sink mirroring lazy_expansions into a metrics registry
+        # (wired by GraphIndexCache.compressed when instrumentation is on).
+        self.on_lazy_expansion: Optional[Callable[[], None]] = None
+        self._adjacency: Dict[int, Set[int]] = {}
+        self._join_masks: Dict[int, int] = {}
         self._build()
-        self._adjacency: List[Set[int]] = self._build_adjacency()
 
     def _build(self) -> None:
         graph = self.graph
@@ -97,15 +142,6 @@ class CompressedGraph:
             self.class_of[v] = cid
             assigned[v] = True
 
-    def _build_adjacency(self) -> List[Set[int]]:
-        adjacency: List[Set[int]] = [set() for _ in self.classes]
-        for u, v in self.graph.edges():
-            cu, cv = self.class_of[u], self.class_of[v]
-            if cu != cv:
-                adjacency[cu].add(cv)
-                adjacency[cv].add(cu)
-        return adjacency
-
     # ------------------------------------------------------------------
     @property
     def num_classes(self) -> int:
@@ -121,17 +157,129 @@ class CompressedGraph:
         return self.graph.label(self.classes[cid][0])
 
     def neighbors(self, cid: int) -> Set[int]:
-        """Classes adjacent to ``cid`` (excluding itself)."""
-        return self._adjacency[cid]
+        """Classes adjacent to ``cid`` (excluding itself).
+
+        Derived from the representative member's neighbor row: twins share
+        their (open or closed) neighborhood, so the class ids of one
+        member's neighbors are the class ids of every member's neighbors.
+        """
+        adj = self._adjacency.get(cid)
+        if adj is None:
+            class_of = self.class_of
+            adj = {class_of[w] for w in self.graph.neighbors(self.classes[cid][0])}
+            adj.discard(cid)
+            self._adjacency[cid] = adj
+        return adj
+
+    def adjacent(self, c1: int, c2: int) -> bool:
+        """Can a query edge map across ``(c1, c2)``?
+
+        Distinct classes: any member pair carries an edge iff every member
+        pair does (twin symmetry). The same class carries within-class
+        edges iff it is a clique (true twins).
+        """
+        if c1 == c2:
+            return self.clique[c1] and self.size(c1) > 1
+        return c2 in self.neighbors(c1)
+
+    def class_join_mask(self, cid: int) -> int:
+        """Join constraint of class ``cid`` as a class-id bitset.
+
+        Bit ``c`` is set iff a data vertex of class ``c`` can sit next to a
+        matched vertex of class ``cid``: the adjacent classes, plus the
+        self-bit for multi-member cliques. This is the compressed analogue
+        of :meth:`~repro.indexes.graph_cache.GraphIndexCache.
+        adjacency_mask` — ``num_classes`` bits instead of ``num_vertices``,
+        and one mask shared by every member of the class.
+        """
+        mask = self._join_masks.get(cid)
+        if mask is None:
+            mask = 0
+            for c in self.neighbors(cid):
+                mask |= 1 << c
+            if self.clique[cid] and len(self.classes[cid]) > 1:
+                mask |= 1 << cid
+            self._join_masks[cid] = mask
+        return mask
 
     def compression_ratio(self) -> float:
         """``num_classes / |V|`` — lower is more compressible."""
         n = self.graph.num_vertices
         return self.num_classes / n if n else 1.0
 
+    # ------------------------------------------------------------------
+    # Live mutation: split repair
+    # ------------------------------------------------------------------
+    def apply_delta(self, ops) -> int:
+        """Repair the partition after the graph applied ``ops``; returns the
+        number of vertices split out of a shared class.
+
+        ``ops`` are the normalized applied mutations of
+        :meth:`~repro.indexes.graph_cache.GraphIndexCache.apply_delta`. An
+        edge op changes the neighborhoods of exactly its two endpoints, so
+        those endpoints are detached into fresh singleton classes (class
+        ids are stable: old classes shrink in place, new ids append). Every
+        *other* class stays a valid twin class — its members' neighborhoods
+        did not change — but the memoized adjacency/join-mask views may
+        reference reassigned class ids, so all lazies are dropped and
+        rebuilt on demand from the representatives.
+        """
+        dirty: Set[int] = set()
+        grew = False
+        for op in ops:
+            kind = op[0]
+            if kind == "add_vertex":
+                v = op[1]
+                if v != len(self.class_of):
+                    raise ValueError(
+                        f"out-of-order vertex delta: got id {v}, "
+                        f"expected {len(self.class_of)}"
+                    )
+                cid = len(self.classes)
+                self.classes.append((v,))
+                self.clique.append(False)
+                self.class_of.append(cid)
+                grew = True
+            elif kind in ("add_edge", "remove_edge"):
+                dirty.add(op[1])
+                dirty.add(op[2])
+            else:
+                raise ValueError(f"unknown mutation op {kind!r}")
+        splits = 0
+        for v in sorted(dirty):
+            splits += self._detach(v)
+        if splits or dirty or grew:
+            # Memoized views may embed pre-delta class ids/neighborhoods;
+            # they rebuild lazily at O(deg(representative)) each.
+            self._adjacency.clear()
+            self._join_masks.clear()
+        self.split_repairs += splits
+        return splits
+
+    def _detach(self, v: int) -> int:
+        """Split ``v`` into a fresh singleton class; returns 1 if it moved."""
+        old = self.class_of[v]
+        members = self.classes[old]
+        if len(members) == 1:
+            # Already alone in its class; its neighborhood changed, but the
+            # lazy views are rebuilt from scratch after any delta.
+            return 0
+        self.classes[old] = tuple(w for w in members if w != v)
+        cid = len(self.classes)
+        self.classes.append((v,))
+        self.clique.append(False)
+        self.class_of[v] = cid
+        return 1
+
 
 class _ClassSearch:
-    """Backtracking over classes with per-class usage counting."""
+    """Backtracking over classes with per-class usage counting.
+
+    With a compiled :class:`~repro.indexes.plans.QueryPlan` (compression
+    variant), the search order, backward lists, and class-level candidate
+    pools come straight off the plan; otherwise they are derived per query
+    exactly as the seed did.
+    """
 
     def __init__(
         self,
@@ -139,12 +287,20 @@ class _ClassSearch:
         query: QueryGraph,
         candidates: CandidateIndex,
         node_budget: Optional[int] = None,
+        plan=None,
     ) -> None:
         self.compressed = compressed
         self.query = query
         self.node_budget = node_budget
         self.nodes_expanded = 0
         self.budget_exhausted = False
+        if plan is not None and getattr(plan, "class_pools", None) is not None:
+            self.order = list(plan.order)
+            self._backward = [list(b) for b in plan.backward]
+            self.class_candidates: List[Set[int]] = [
+                set(pool) for pool in plan.class_pools
+            ]
+            return
         qlist = selectivity_order(query, candidates)
         self.order = connected_search_order(query, qlist)
         position = {u: i for i, u in enumerate(self.order)}
@@ -154,7 +310,7 @@ class _ClassSearch:
         ]
         # Class candidates per query node: classes whose representative is a
         # filter-passing candidate (twins share degree and signature).
-        self.class_candidates: List[Set[int]] = []
+        self.class_candidates = []
         for u in range(query.size):
             cands = {compressed.class_of[v] for v in candidates.candidates(u)}
             self.class_candidates.append(cands)
@@ -172,10 +328,7 @@ class _ClassSearch:
             c2 = assignment[u2]
             if c2 == UNMATCHED:
                 continue
-            if c2 == cid:
-                if not compressed.clique[cid]:
-                    return False
-            elif c2 not in compressed.neighbors(cid):
+            if not compressed.adjacent(cid, c2):
                 return False
         return True
 
@@ -215,17 +368,21 @@ def count_embeddings_compressed(
     query: QueryGraph,
     compressed: Optional[CompressedGraph] = None,
     node_budget: Optional[int] = None,
+    candidates: Optional[CandidateIndex] = None,
+    plan=None,
 ) -> Tuple[int, bool]:
     """``(count, complete)`` via class search + falling factorials.
 
     ``complete`` mirrors :func:`repro.isomorphism.qsearch.count_embeddings`:
     ``False`` when ``node_budget`` tripped and the count is a lower bound.
     """
-    candidates = CandidateIndex(graph, query)
+    candidates = candidates or CandidateIndex(graph, query, plan=plan)
     if candidates.any_empty():
         return 0, True
     compressed = compressed or CompressedGraph(graph)
-    search = _ClassSearch(compressed, query, candidates, node_budget=node_budget)
+    search = _ClassSearch(
+        compressed, query, candidates, node_budget=node_budget, plan=plan
+    )
     total = 0
     for assignment in search.assignments():
         counts: Dict[int, int] = {}
@@ -240,24 +397,95 @@ def count_embeddings_compressed(
     return total, not search.budget_exhausted
 
 
+def iter_embeddings_compressed(
+    graph: LabeledGraph,
+    query: QueryGraph,
+    compressed: Optional[CompressedGraph] = None,
+    node_budget: Optional[int] = None,
+    candidates: Optional[CandidateIndex] = None,
+    plan=None,
+) -> Iterator[Mapping]:
+    """Lazily expand class frames into concrete embeddings.
+
+    The class-level search runs first; each accepted class assignment (one
+    *class frame*) is expanded member-combination by member-combination only
+    as the consumer pulls. A coverage-driven consumer that stops after a few
+    embeddings of a fan-out region therefore never pays for the rest of the
+    cross product — the collapse-then-expand shape of [24] with the
+    expansion on demand.
+    """
+    candidates = candidates or CandidateIndex(graph, query, plan=plan)
+    if candidates.any_empty():
+        return
+    compressed = compressed or CompressedGraph(graph)
+    search = _ClassSearch(
+        compressed, query, candidates, node_budget=node_budget, plan=plan
+    )
+    for assignment in search.assignments():
+        groups: Dict[int, List[int]] = {}
+        for u, cid in enumerate(assignment):
+            groups.setdefault(cid, []).append(u)
+        for mapping in _iter_expansions(groups, compressed, len(assignment)):
+            compressed.lazy_expansions += 1
+            if compressed.on_lazy_expansion is not None:
+                compressed.on_lazy_expansion()
+            yield mapping
+
+
+def _iter_expansions(
+    groups: Dict[int, List[int]],
+    compressed: CompressedGraph,
+    q: int,
+) -> Iterator[Mapping]:
+    """All concrete embeddings of one class assignment, lazily.
+
+    Per class, an ordered selection of distinct members is drawn for the
+    query nodes assigned to it; the cross product over classes enumerates
+    exactly the plain engine's embedding set for this frame (order
+    differs).
+    """
+    class_ids = list(groups)
+
+    def recurse(index: int, mapping: Dict[int, int]) -> Iterator[Mapping]:
+        if index == len(class_ids):
+            yield tuple(mapping[u] for u in range(q))
+            return
+        cid = class_ids[index]
+        nodes = groups[cid]
+        for combo in permutations(compressed.classes[cid], len(nodes)):
+            for u, v in zip(nodes, combo):
+                mapping[u] = v
+            yield from recurse(index + 1, mapping)
+
+    return recurse(0, {})
+
+
 def enumerate_embeddings_compressed(
     graph: LabeledGraph,
     query: QueryGraph,
     limit: Optional[int] = None,
     compressed: Optional[CompressedGraph] = None,
+    candidates: Optional[CandidateIndex] = None,
+    plan=None,
 ) -> List[Mapping]:
     """Concrete embeddings by expanding each class assignment.
 
     Expansion draws, per class, an ordered selection of distinct members for
     the query nodes assigned to it; the cross product over classes
     enumerates exactly the plain engine's embedding set (order differs).
+    ``limit`` truncates to at most ``limit`` embeddings; ``limit <= 0``
+    returns an empty list (pinned by the ``_expand`` unit tests — the
+    truncation check runs *before* an embedding is recorded, so a zero
+    limit can never over-report).
     """
-    candidates = CandidateIndex(graph, query)
+    candidates = candidates or CandidateIndex(graph, query, plan=plan)
     if candidates.any_empty():
         return []
     compressed = compressed or CompressedGraph(graph)
-    search = _ClassSearch(compressed, query, candidates)
+    search = _ClassSearch(compressed, query, candidates, plan=plan)
     out: List[Mapping] = []
+    if limit is not None and limit <= 0:
+        return out
     for assignment in search.assignments():
         groups: Dict[int, List[int]] = {}
         for u, cid in enumerate(assignment):
@@ -274,10 +502,20 @@ def _expand(
     out: List[Mapping],
     limit: Optional[int],
 ) -> bool:
-    """Cross-product expansion of one class assignment; True when limited."""
+    """Cross-product expansion of one class assignment into ``out``.
+
+    Returns ``True`` exactly when ``out`` holds ``limit`` embeddings and
+    enumeration must stop — the "True when limited" contract the lazy
+    expander and the Phase-1 stream sit on. The limit check runs *before*
+    each append: ``len(out)`` can never exceed ``limit``, a pre-filled
+    ``out`` at the limit adds nothing, and ``limit <= 0`` appends nothing
+    (pinned by ``tests/isomorphism/test_compression_expand.py``).
+    """
     class_ids = list(groups)
 
     def recurse(index: int, mapping: Dict[int, int]) -> bool:
+        if limit is not None and len(out) >= limit:
+            return True
         if index == len(class_ids):
             out.append(tuple(mapping[u] for u in range(len(assignment))))
             return limit is not None and len(out) >= limit

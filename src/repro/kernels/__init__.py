@@ -16,6 +16,8 @@ speedups (``benchmarks/bench_join_kernels.py`` / ``BENCH_join.json``).
 from repro.kernels.join import (
     BITSET,
     BITSET_MIN_POOL,
+    CBITSET,
+    CBITSET_MAX_RATIO,
     GALLOP_RATIO,
     KERNEL_KINDS,
     MERGE,
@@ -31,6 +33,8 @@ from repro.kernels.join import (
 __all__ = [
     "BITSET",
     "BITSET_MIN_POOL",
+    "CBITSET",
+    "CBITSET_MAX_RATIO",
     "GALLOP_RATIO",
     "KERNEL_KINDS",
     "MERGE",

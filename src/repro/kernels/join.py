@@ -56,7 +56,24 @@ SCALAR = "scalar"
 """Kernel kind: the seed per-neighbor ``has_edge`` probe loop (the
 fallback when too few query neighbors are matched to amortize a kernel)."""
 
-KERNEL_KINDS = (SCAN, MERGE, BITSET, SCALAR)
+CBITSET = "cbitset"
+"""Kernel kind: big-int AND over twin-**class** bitsets (compression-enabled
+plans only). The join constraint is folded at ``num_classes`` bits instead
+of ``num_vertices`` and admitted classes expand to their sorted members, so
+the per-frame mask work shrinks by the compression ratio while the emitted
+vertex list stays byte-equal to :data:`BITSET`'s."""
+
+CBITSET_MAX_RATIO = 0.75
+"""Maximum ``num_classes(pool) / len(pool)`` for a compression-enabled plan
+to upgrade a :data:`BITSET` depth to :data:`CBITSET`.
+
+Near 1.0 the pool has almost no twins, so folding class masks plus the
+member-merge costs more than the plain vertex-bitset AND; the cutoff keeps
+compiled plans on :data:`BITSET` for low-redundancy graphs, which is what
+bounds the interleaved A/A overhead gate in ``BENCH_compression.json``.
+"""
+
+KERNEL_KINDS = (SCAN, MERGE, BITSET, SCALAR, CBITSET)
 """Every kernel kind, as reported by the ``kernel.dispatch.*`` counters."""
 
 

@@ -180,6 +180,7 @@ class CatalogEntry:
         alpha: Optional[float] = None,
         time_budget_ms: Optional[float] = None,
         objective: Optional[str] = None,
+        use_compression: Optional[bool] = None,
     ) -> DSQLConfig:
         """The default config with per-request overrides applied (400 on bad values).
 
@@ -202,6 +203,8 @@ class CatalogEntry:
             overrides["objective"] = objective
             if objective != "weighted-vertex":
                 overrides["vertex_weights"] = None
+        if use_compression is not None:
+            overrides["use_compression"] = use_compression
         if not overrides:
             return self.default_config
         try:
@@ -585,6 +588,58 @@ class GraphCatalog:
                 entry.index_cache.cost_estimator().restore(state)
                 restored.append(name)
         return sorted(restored)
+
+    # -- plan-cache persistence ----------------------------------------
+    def save_plan_cache(self, path) -> int:
+        """Persist every graph's compiled-plan *specs* to ``path`` (JSON).
+
+        Plans themselves are graph-version-pinned and cheap to recompile;
+        what is worth keeping across restarts is *which* plans the traffic
+        compiled — the canonical query structures plus compile toggles
+        (:meth:`~repro.indexes.plans.PlanCache.dump_specs`). Returns the
+        total number of specs written.
+        """
+        import json
+        from pathlib import Path
+
+        table = {}
+        total = 0
+        for name in self.names():
+            specs = self._entries[name].index_cache.plan_cache.dump_specs()
+            if specs:
+                table[name] = specs
+                total += len(specs)
+        payload = {"version": 1, "graphs": table}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return total
+
+    def load_plan_cache(self, path) -> int:
+        """Eagerly recompile plans from a :meth:`save_plan_cache` file.
+
+        Missing/corrupt files, unknown graph names, and specs that no
+        longer compile are all skipped — a warm file is an optimization,
+        never a startup dependency. Returns the number of plans warmed
+        (the ``plan_cache.warmed=N`` startup line).
+        """
+        import json
+        from pathlib import Path
+
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+            table = payload.get("graphs", {})
+            if not isinstance(table, dict):
+                return 0
+        except (OSError, ValueError):
+            return 0
+        warmed = 0
+        for name, entry in self._entries.items():
+            specs = table.get(name)
+            if isinstance(specs, list) and specs:
+                cache = entry.index_cache
+                warmed += cache.plan_cache.warm_from_specs(specs, cache)
+        return warmed
 
     def close(self) -> None:
         """Release every entry's cached executors (and their worker pools)."""

@@ -102,6 +102,7 @@ class QueryRequest:
     alpha: Optional[float] = None
     time_budget_ms: Optional[float] = None
     objective: Optional[str] = None
+    use_compression: Optional[bool] = None
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,7 @@ class BatchRequest:
     strategy: str = "serial"
     jobs: Optional[int] = None
     objective: Optional[str] = None
+    use_compression: Optional[bool] = None
 
 
 # ----------------------------------------------------------------------
@@ -170,6 +172,15 @@ def _optional_number(payload: Dict[str, object], name: str, positive: bool) -> O
     if not positive and value < 0:
         raise ServiceError(400, "invalid_request", f"{name!r} must be >= 0, got {value}")
     return float(value)
+
+
+def _optional_bool(payload: Dict[str, object], name: str) -> Optional[bool]:
+    value = payload.get(name)
+    if value is None:
+        return None
+    if not isinstance(value, bool):
+        raise ServiceError(400, "invalid_request", f"{name!r} must be a boolean")
+    return value
 
 
 def _optional_objective(payload: Dict[str, object]) -> Optional[str]:
@@ -255,7 +266,15 @@ def query_graph_from_json(obj: object, where: str = "query") -> QueryGraph:
 # ----------------------------------------------------------------------
 # Request parsers
 # ----------------------------------------------------------------------
-_QUERY_FIELDS = ("graph", "query", "k", "alpha", "time_budget_ms", "objective")
+_QUERY_FIELDS = (
+    "graph",
+    "query",
+    "k",
+    "alpha",
+    "time_budget_ms",
+    "objective",
+    "use_compression",
+)
 _BATCH_FIELDS = (
     "graph",
     "queries",
@@ -265,6 +284,7 @@ _BATCH_FIELDS = (
     "strategy",
     "jobs",
     "objective",
+    "use_compression",
 )
 
 
@@ -278,6 +298,7 @@ def parse_query_request(payload: Dict[str, object]) -> QueryRequest:
         alpha=_optional_number(payload, "alpha", positive=False),
         time_budget_ms=_optional_number(payload, "time_budget_ms", positive=True),
         objective=_optional_objective(payload),
+        use_compression=_optional_bool(payload, "use_compression"),
     )
 
 
@@ -313,6 +334,7 @@ def parse_batch_request(payload: Dict[str, object]) -> BatchRequest:
         strategy=strategy,
         jobs=_optional_int(payload, "jobs", minimum=1),
         objective=_optional_objective(payload),
+        use_compression=_optional_bool(payload, "use_compression"),
     )
 
 

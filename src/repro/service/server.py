@@ -252,6 +252,7 @@ class QueryService:
                 alpha=request.alpha,
                 time_budget_ms=request.time_budget_ms,
                 objective=request.objective,
+                use_compression=request.use_compression,
             )
             estimate = entry.estimate_cost(request.query, config)
             probe = _Probe(
@@ -273,6 +274,7 @@ class QueryService:
                 alpha=request.alpha,
                 time_budget_ms=request.time_budget_ms,
                 objective=request.objective,
+                use_compression=request.use_compression,
             )
             estimates = [entry.estimate_cost(q, config) for q in request.queries]
             probe = _Probe(

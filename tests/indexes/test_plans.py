@@ -177,3 +177,88 @@ def test_restricted_accepts_sorted_and_unordered_input():
     assert ci.restricted(0, [0, 2]) == [0, 2]
     assert ci.restricted(0, {2, 0}) == [0, 2]
     assert ci.set_views_built == 0
+
+
+# ----------------------------------------------------------------------
+# Disk-backed warm start: dump_specs / warm_from_specs
+# ----------------------------------------------------------------------
+class TestPlanSpecs:
+    def test_dump_and_warm_round_trip(self, graph, queries):
+        cache = graph.index_cache()
+        pc = PlanCache()
+        originals = [pc.get_or_compile(q, cache) for q in queries]
+        specs = pc.dump_specs()
+        assert len(specs) == len(queries)
+
+        fresh_cache = GraphIndexCache(graph)
+        fresh = fresh_cache.plan_cache
+        assert fresh.warm_from_specs(specs, fresh_cache) == len(queries)
+        assert fresh.info()["size"] == len(queries)
+        # Warmed plans answer the original queries as cache *hits* with the
+        # same structure the cold compile produced.
+        for query, original in zip(queries, originals):
+            hits = fresh.hits
+            plan = fresh.get_or_compile(query, fresh_cache)
+            assert fresh.hits == hits + 1
+            assert list(plan.order) == list(original.order)
+            assert [list(p) for p in plan.pools] == [list(p) for p in original.pools]
+            assert list(plan.kernels) == list(original.kernels)
+
+    def test_specs_are_json_safe(self, graph, queries):
+        import json
+
+        cache = graph.index_cache()
+        pc = PlanCache()
+        for q in queries:
+            pc.get_or_compile(q, cache, use_compression=True)
+        specs = json.loads(json.dumps(pc.dump_specs()))
+        fresh_cache = GraphIndexCache(graph)
+        warmed = fresh_cache.plan_cache.warm_from_specs(specs, fresh_cache)
+        assert warmed == len(queries)
+        # The compression toggle survived the round trip: warmed plans carry
+        # class pools.
+        plan = fresh_cache.plan_cache.get_or_compile(
+            queries[0], fresh_cache, use_compression=True
+        )
+        assert fresh_cache.plan_cache.info()["hits"] == 1
+        assert plan.class_pools is not None
+
+    def test_specs_track_toggles_separately(self, graph, queries):
+        cache = graph.index_cache()
+        pc = PlanCache()
+        pc.get_or_compile(queries[0], cache)
+        pc.get_or_compile(queries[0], cache, use_compression=True)
+        specs = pc.dump_specs()
+        assert len(specs) == 2
+        assert {s["use_compression"] for s in specs} == {False, True}
+
+    def test_specs_pruned_with_lru_eviction(self, graph, queries):
+        cache = graph.index_cache()
+        pc = PlanCache(size=2)
+        for q in queries[:3]:
+            pc.get_or_compile(q, cache)
+        assert len(pc.dump_specs()) == 2
+
+    def test_specs_pruned_on_clear_and_evict_stale(self, graph, queries):
+        cache = graph.index_cache()
+        pc = PlanCache()
+        plan = pc.get_or_compile(queries[0], cache)
+        assert pc.evict_stale(plan.referenced_lids) == 1
+        assert pc.dump_specs() == []
+        pc.get_or_compile(queries[0], cache)
+        pc.clear()
+        assert pc.dump_specs() == []
+
+    def test_bad_specs_are_skipped_not_fatal(self, graph, queries):
+        cache = GraphIndexCache(graph)
+        pc = cache.plan_cache
+        bad = [
+            {"labels": ["no-such-label"], "edges": []},
+            {"edges": [[0, 1]]},  # missing labels entirely
+            "not-a-dict",
+        ]
+        good_pc = PlanCache()
+        good_pc.get_or_compile(queries[0], cache)
+        warmed = pc.warm_from_specs(bad + good_pc.dump_specs(), cache)
+        assert warmed >= 1
+        assert pc.info()["size"] >= 1

@@ -1,0 +1,235 @@
+"""Direct unit tests for the compression expanders and split repair.
+
+``_expand`` carries a subtle contract: it returns ``True`` exactly when
+``out`` has been truncated at ``limit`` and the *caller's* loop over class
+assignments must stop. The limit check runs before each append, so
+``len(out)`` can never exceed ``limit``, a zero/negative limit yields
+nothing, and a pre-filled ``out`` at the limit is left untouched. These
+tests pin that contract at the function level (the property suite only
+sees it indirectly through result equality), plus the lazy expander's
+pay-per-pull accounting and :meth:`CompressedGraph.apply_delta` repair
+semantics.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+
+import pytest
+
+from repro.graph.labeled_graph import LabeledGraph
+from repro.graph.query_graph import QueryGraph
+from repro.isomorphism.compression import (
+    CompressedGraph,
+    _expand,
+    count_embeddings_compressed,
+    enumerate_embeddings_compressed,
+    iter_embeddings_compressed,
+)
+from repro.isomorphism.qsearch import enumerate_embeddings
+
+
+def hub_and_leaves(num_leaves: int = 3):
+    """One ``a`` hub, ``num_leaves`` interchangeable ``b`` leaves."""
+    labels = ["a"] + ["b"] * num_leaves
+    edges = [(0, v) for v in range(1, num_leaves + 1)]
+    graph = LabeledGraph(labels, edges)
+    comp = CompressedGraph(graph)
+    return graph, comp
+
+
+def frame_for(comp, assignment):
+    """The (groups, assignment) pair ``enumerate_embeddings_compressed``
+    would hand to ``_expand`` for one class assignment."""
+    groups = {}
+    for u, cid in enumerate(assignment):
+        groups.setdefault(cid, []).append(u)
+    return groups, assignment
+
+
+class TestExpandLimit:
+    def setup_method(self):
+        self.graph, self.comp = hub_and_leaves(3)
+        hub = self.comp.class_of[0]
+        leaf = self.comp.class_of[1]
+        # Query nodes 0 -> hub class, 1 -> leaf class: 1 * 3 = 3 embeddings.
+        self.frame = frame_for(self.comp, [hub, leaf])
+
+    def expand(self, out, limit):
+        groups, assignment = self.frame
+        return _expand(groups, self.comp, assignment, out, limit)
+
+    def test_no_limit_yields_all_and_reports_unlimited(self):
+        out = []
+        assert self.expand(out, None) is False
+        assert len(out) == 3
+        assert len(set(out)) == 3
+
+    def test_zero_limit_appends_nothing_and_reports_limited(self):
+        out = []
+        assert self.expand(out, 0) is True
+        assert out == []
+
+    def test_negative_limit_appends_nothing_and_reports_limited(self):
+        out = []
+        assert self.expand(out, -2) is True
+        assert out == []
+
+    def test_mid_product_truncation_is_exact(self):
+        out = []
+        assert self.expand(out, 2) is True
+        assert len(out) == 2
+
+    def test_limit_at_total_reports_limited(self):
+        # All 3 embeddings fit, and the stream is exactly full: the caller
+        # must stop — appending frame 2 would overshoot.
+        out = []
+        assert self.expand(out, 3) is True
+        assert len(out) == 3
+
+    def test_limit_beyond_total_reports_unlimited(self):
+        out = []
+        assert self.expand(out, 5) is False
+        assert len(out) == 3
+
+    def test_prefilled_out_at_limit_is_untouched(self):
+        # The caller accumulates across frames; a previous frame may already
+        # have filled the budget.
+        sentinel = [("sentinel",), ("sentinel",)]
+        out = list(sentinel)
+        assert self.expand(out, 2) is True
+        assert out == sentinel
+
+    def test_prefilled_out_below_limit_tops_up_exactly(self):
+        out = [("sentinel",)]
+        assert self.expand(out, 3) is True
+        assert len(out) == 3
+        assert out[0] == ("sentinel",)
+
+    def test_multi_node_class_draws_ordered_distinct_members(self):
+        # Two query nodes in the leaf class: ordered selections of distinct
+        # members, 3 * 2 = 6, never the same vertex twice.
+        leaf = self.comp.class_of[1]
+        hub = self.comp.class_of[0]
+        groups, assignment = frame_for(self.comp, [leaf, hub, leaf])
+        out = []
+        assert _expand(groups, self.comp, assignment, out, None) is False
+        assert len(out) == 6
+        assert all(m[0] != m[2] for m in out)
+        assert len(set(out)) == 6
+
+
+class TestEnumerateLimit:
+    def setup_method(self):
+        self.graph, _ = hub_and_leaves(4)
+        self.query = QueryGraph(["b", "a", "b"], [(0, 1), (1, 2)])
+
+    def test_limit_zero_and_negative_return_empty(self):
+        assert enumerate_embeddings_compressed(self.graph, self.query, limit=0) == []
+        assert enumerate_embeddings_compressed(self.graph, self.query, limit=-1) == []
+
+    def test_limit_truncates_to_exactly_limit(self):
+        full = enumerate_embeddings_compressed(self.graph, self.query)
+        assert len(full) == 12  # 4 * 3 ordered leaf pairs
+        for limit in (1, 5, 11, 12, 13, 50):
+            got = enumerate_embeddings_compressed(self.graph, self.query, limit=limit)
+            assert len(got) == min(limit, 12)
+            assert set(got) <= set(full)
+
+    def test_matches_plain_engine_set(self):
+        full = enumerate_embeddings_compressed(self.graph, self.query)
+        plain = enumerate_embeddings(self.graph, self.query)
+        assert set(full) == set(plain)
+        assert len(full) == len(plain)
+
+
+class TestLazyExpansion:
+    def test_counter_pays_per_pull(self):
+        graph, comp = hub_and_leaves(4)
+        query = QueryGraph(["b", "a", "b"], [(0, 1), (1, 2)])
+        stream = iter_embeddings_compressed(graph, query, compressed=comp)
+        assert comp.lazy_expansions == 0
+        first = list(islice(stream, 3))
+        assert len(first) == 3
+        assert comp.lazy_expansions == 3
+        rest = list(stream)
+        assert comp.lazy_expansions == 12
+        assert set(first) | set(rest) == set(enumerate_embeddings(graph, query))
+
+    def test_lazy_matches_eager(self):
+        graph, comp = hub_and_leaves(3)
+        query = QueryGraph(["a", "b"], [(0, 1)])
+        lazy = list(iter_embeddings_compressed(graph, query, compressed=comp))
+        eager = enumerate_embeddings_compressed(graph, query)
+        assert lazy == eager
+
+
+class TestApplyDelta:
+    def test_add_vertex_appends_singleton(self):
+        graph, comp = hub_and_leaves(3)
+        n = graph.num_vertices
+        assert comp.apply_delta([("add_vertex", n, "b")]) == 0
+        assert comp.classes[-1] == (n,)
+        assert comp.class_of[n] == comp.num_classes - 1
+        assert not comp.clique[-1]
+
+    def test_add_vertex_out_of_order_raises(self):
+        graph, comp = hub_and_leaves(3)
+        with pytest.raises(ValueError):
+            comp.apply_delta([("add_vertex", graph.num_vertices + 1, "b")])
+
+    def test_unknown_op_raises(self):
+        _, comp = hub_and_leaves(3)
+        with pytest.raises(ValueError):
+            comp.apply_delta([("recolor", 0, "z")])
+
+    def test_edge_delta_splits_both_shared_endpoints(self):
+        graph, comp = hub_and_leaves(4)
+        leaf_cid = comp.class_of[1]
+        assert comp.size(leaf_cid) == 4
+        before_classes = comp.num_classes
+        assert graph.add_edge(1, 2)
+        splits = comp.apply_delta([("add_edge", 1, 2)])
+        assert splits == 2
+        assert comp.split_repairs == 2
+        # Old class shrank in place; ids are append-only stable.
+        assert comp.classes[leaf_cid] == (3, 4)
+        assert comp.num_classes == before_classes + 2
+        assert comp.class_of[1] != comp.class_of[2] != leaf_cid
+        assert comp.classes[comp.class_of[1]] == (1,)
+        assert comp.classes[comp.class_of[2]] == (2,)
+
+    def test_singleton_endpoint_counts_no_split(self):
+        graph, comp = hub_and_leaves(2)
+        hub_cid = comp.class_of[0]
+        assert comp.size(hub_cid) == 1
+        assert graph.remove_edge(0, 1)
+        splits = comp.apply_delta([("remove_edge", 0, 1)])
+        # Leaf 1 splits out of the leaf pair; the hub was already alone.
+        assert splits == 1
+
+    def test_memoized_views_are_invalidated(self):
+        graph, comp = hub_and_leaves(3)
+        hub_cid = comp.class_of[0]
+        leaf_cid = comp.class_of[1]
+        # Memoize pre-delta views.
+        assert leaf_cid in comp.neighbors(hub_cid)
+        assert (comp.class_join_mask(hub_cid) >> leaf_cid) & 1
+        assert graph.remove_edge(0, 1)
+        comp.apply_delta([("remove_edge", 0, 1)])
+        # Vertex 1 sits alone in a new class that the hub no longer joins.
+        new_cid = comp.class_of[1]
+        assert new_cid != leaf_cid
+        assert new_cid not in comp.neighbors(comp.class_of[0])
+        assert not (comp.class_join_mask(comp.class_of[0]) >> new_cid) & 1
+        # And results stay exact against the live topology.
+        query = QueryGraph(["a", "b"], [(0, 1)])
+        count, complete = count_embeddings_compressed(graph, query, compressed=comp)
+        assert complete
+        assert count == len(enumerate_embeddings(graph, query)) == 2
+
+    def test_empty_delta_is_noop(self):
+        _, comp = hub_and_leaves(3)
+        comp.neighbors(comp.class_of[0])
+        assert comp.apply_delta([]) == 0
+        assert comp._adjacency  # memo untouched: nothing was dirtied

@@ -130,4 +130,4 @@ def test_adjacency_mask_matches_adjacency_slice(seed):
 
 
 def test_kernel_kinds_are_distinct():
-    assert len(set(KERNEL_KINDS)) == len(KERNEL_KINDS) == 4
+    assert len(set(KERNEL_KINDS)) == len(KERNEL_KINDS) == 5

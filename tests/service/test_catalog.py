@@ -237,3 +237,69 @@ class TestExecutorLeases:
         assert errors == []
         assert not entry._executor_leases
         entry.close()
+
+
+class TestPlanCachePersistence:
+    """serve --plan-cache-file: specs out on drain, eager recompile at boot."""
+
+    @staticmethod
+    def _warm_catalog():
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        entry = catalog.add_graph("tiny", tiny_graph())
+        for query in tiny_queries(count=3, seed=21):
+            entry.answer(query)
+        return catalog, entry
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        catalog, entry = self._warm_catalog()
+        path = tmp_path / "plans.json"
+        saved = catalog.save_plan_cache(path)
+        assert saved == entry.index_cache.plan_cache.info()["size"] > 0
+
+        cold = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        cold_entry = cold.add_graph("tiny", tiny_graph())
+        warmed = cold.load_plan_cache(path)
+        assert warmed == saved
+        # Every request that compiled before boot is now a plan-cache hit.
+        pc = cold_entry.index_cache.plan_cache
+        hits = pc.info()["hits"]
+        for query in tiny_queries(count=3, seed=21):
+            cold_entry.answer(query)
+        assert pc.info()["hits"] > hits
+        assert pc.info()["misses"] == pc.info()["size"]  # only the warm pass compiled
+
+    def test_save_file_is_json_with_graph_table(self, tmp_path):
+        import json
+
+        catalog, _ = self._warm_catalog()
+        path = tmp_path / "plans.json"
+        catalog.save_plan_cache(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert set(payload["graphs"]) == {"tiny"}
+        for spec in payload["graphs"]["tiny"]:
+            assert {"labels", "edges", "use_compression"} <= set(spec)
+
+    def test_missing_and_corrupt_files_warm_zero(self, tmp_path):
+        catalog = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        catalog.add_graph("tiny", tiny_graph())
+        assert catalog.load_plan_cache(tmp_path / "absent.json") == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert catalog.load_plan_cache(bad) == 0
+        bad.write_text('{"graphs": []}', encoding="utf-8")
+        assert catalog.load_plan_cache(bad) == 0
+
+    def test_unknown_graphs_in_file_are_skipped(self, tmp_path):
+        catalog, _ = self._warm_catalog()
+        path = tmp_path / "plans.json"
+        saved = catalog.save_plan_cache(path)
+
+        other = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        other.add_graph("tiny", tiny_graph())
+        other.add_graph("unrelated", tiny_graph())
+        assert other.load_plan_cache(path) == saved
+
+        renamed = GraphCatalog(default_config=DSQLConfig(k=DEFAULT_K))
+        renamed.add_graph("different-name", tiny_graph())
+        assert renamed.load_plan_cache(path) == 0

@@ -246,3 +246,33 @@ class TestResultEnvelope:
         assert body["deadline_exhausted"] is True
         assert body["stats"]["deadline_exhausted"] is True
         assert "elapsed_ms" not in body
+
+
+class TestUseCompressionField:
+    def test_defaults_to_none_on_both_requests(self):
+        assert parse_query_request(_query_payload()).use_compression is None
+        assert parse_batch_request(_batch_payload()).use_compression is None
+
+    @pytest.mark.parametrize("value", [True, False])
+    def test_round_trips_on_both_requests(self, value):
+        assert (
+            parse_query_request(_query_payload(use_compression=value)).use_compression
+            is value
+        )
+        assert (
+            parse_batch_request(_batch_payload(use_compression=value)).use_compression
+            is value
+        )
+
+    def test_explicit_null_means_absent(self):
+        assert (
+            parse_query_request(_query_payload(use_compression=None)).use_compression
+            is None
+        )
+
+    @pytest.mark.parametrize("bad", ["true", 1, 0])
+    def test_non_bool_is_typed_400(self, bad):
+        with pytest.raises(ServiceError) as info:
+            parse_query_request(_query_payload(use_compression=bad))
+        assert (info.value.status, info.value.code) == (400, "invalid_request")
+        assert "use_compression" in info.value.message

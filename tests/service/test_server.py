@@ -302,3 +302,24 @@ class TestDrain:
         client = ServiceClient(server.url, timeout=2.0)
         with pytest.raises(ServiceClientError):
             client.healthz()
+
+
+class TestCompressionOverride:
+    """``use_compression`` over the wire: identical answers, distinct session."""
+
+    def test_query_identical_with_compression(self, client):
+        query = tiny_queries(count=1, seed=31)[0]
+        base = client.query("tiny", query)
+        compressed = client.query("tiny", query, use_compression=True)
+        assert compressed["embeddings"] == base["embeddings"]
+        assert compressed["coverage"] == base["coverage"]
+        # Distinct override config -> distinct session and memo.
+        assert not compressed["from_cache"]
+
+    def test_batch_identical_with_compression(self, client):
+        queries = tiny_queries(count=3, seed=32)
+        base = client.batch("tiny", queries)
+        compressed = client.batch("tiny", queries, use_compression=True)
+        assert [r["embeddings"] for r in compressed["results"]] == [
+            r["embeddings"] for r in base["results"]
+        ]

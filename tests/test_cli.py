@@ -261,3 +261,39 @@ class TestServeCommand:
     def test_unknown_dataset_rejected(self):
         with pytest.raises(SystemExit):
             main(["serve", "--dataset", "not-a-dataset"])
+
+
+class TestServePlanCacheFile:
+    def test_plan_cache_file_requires_single_worker(self):
+        with pytest.raises(SystemExit) as info:
+            main(
+                [
+                    "serve",
+                    "--dataset",
+                    "yeast@0.1",
+                    "--workers",
+                    "2",
+                    "--plan-cache-file",
+                    "/tmp/plans.json",
+                ]
+            )
+        assert info.value.code != 0
+
+    def test_compression_flag_parses_on_query(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "yeast",
+                "--scale",
+                "0.2",
+                "--queries",
+                "2",
+                "--k",
+                "3",
+                "--compression",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out

@@ -193,3 +193,30 @@ def test_compile_gate_covers_mutation_surface():
     for module in modules:
         assert module.exists(), f"{module} missing"
         assert str(module) in gated
+
+
+def test_compile_gate_covers_compression_surface():
+    """The twin-compression PR's load-bearing modules stay under the
+    compile gate, and its benchmark stays under the benchmarks glob."""
+    modules = [
+        REPO / "src" / "repro" / "isomorphism" / "compression.py",
+        REPO / "src" / "repro" / "kernels" / "join.py",
+        REPO / "src" / "repro" / "indexes" / "plans.py",
+        REPO / "src" / "repro" / "indexes" / "graph_cache.py",
+        REPO / "src" / "repro" / "datasets" / "synthetic.py",
+    ]
+    gated = {str(p) for p in (REPO / "src").rglob("*.py")}
+    for module in modules:
+        assert module.exists(), f"{module} missing"
+        assert str(module) in gated
+    bench = REPO / "benchmarks" / "bench_compression.py"
+    assert bench.exists(), "benchmarks/bench_compression.py missing"
+    assert str(bench) in {str(p) for p in (REPO / "benchmarks").glob("*.py")}
+
+
+def test_docs_gate_covers_performance_doc():
+    performance_doc = REPO / "docs" / "performance.md"
+    assert performance_doc.exists(), "docs/performance.md missing"
+    assert performance_doc in DOC_FILES
+    # The doc must actually exercise the gate: at least one python block.
+    assert extract_python_blocks(performance_doc.read_text(encoding="utf-8"))
